@@ -1,0 +1,130 @@
+"""Micro-benchmarks of the approximate processor's core operators."""
+
+import pytest
+
+from repro.ctables.assignments import Contain, Exact
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.processor.bannotate import annotate_table
+from repro.processor.conditions import ComparisonCondition, make_side
+from repro.processor.constraints import apply_constraint_to_cell
+from repro.processor.context import ExecutionContext
+from repro.processor.library import jaccard, make_similar
+from repro.processor.operators import JoinOp, TableSource
+from repro.text.corpus import Corpus
+from repro.text.html_parser import parse_html
+from repro.text.span import doc_span
+from repro.xlog.parser import parse_rules
+from repro.xlog.program import Program
+from repro.datagen.books import generate_books
+
+
+@pytest.fixture
+def context():
+    program = Program.parse("q(x) :- base(x).", extensional=["base"])
+    return ExecutionContext(program, Corpus({"base": []}))
+
+
+@pytest.fixture(scope="module")
+def record_doc():
+    return parse_html(
+        "bench",
+        "<p><a href='#'><b>Database Systems in Practice</b></a></p>"
+        "<p>by Alice Chen (2003)</p>"
+        "<p>Our Price: <b>$116.00</b>. You save 20%.</p>"
+        "<p>ISBN: 0471234567. In stock.</p>",
+    )
+
+
+def test_bench_tokenize(benchmark, record_doc):
+    from repro.text.tokenize import tokenize
+
+    tokens = benchmark(tokenize, record_doc.text)
+    assert tokens
+
+
+def test_bench_parse_html(benchmark):
+    html = (
+        "<p><b>Title</b> and <i>italics</i> plus <a href='#'>link</a></p>" * 20
+    )
+    doc = benchmark(parse_html, "p", html)
+    assert doc.regions_of("bold")
+
+
+def test_bench_parse_program(benchmark):
+    source = """
+        houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(@x, p, a, h).
+        schools(s)? :- schoolPages(y), extractSchools(@y, s).
+        Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500.
+        extractHouses(@x, p, a, h) :- from(@x, p), from(@x, a), from(@x, h),
+            numeric(p) = yes, numeric(a) = yes.
+        extractSchools(@y, s) :- from(@y, s), bold_font(s) = yes.
+    """
+    rules = benchmark(parse_rules, source)
+    assert len(rules) == 5
+
+
+def test_bench_numeric_refine(benchmark, context, record_doc):
+    cell = Cell((Contain(doc_span(record_doc)),))
+
+    def apply():
+        return apply_constraint_to_cell(cell, "numeric", "yes", (), context)
+
+    out = benchmark(apply)
+    assert not out.is_empty()
+
+
+def test_bench_constraint_chain(benchmark, context, record_doc):
+    cell = Cell((Contain(doc_span(record_doc)),))
+
+    def chain():
+        step = apply_constraint_to_cell(cell, "numeric", "yes", (), context)
+        return apply_constraint_to_cell(
+            step, "preceded_by", "Price: $", (("numeric", "yes"),), context
+        )
+
+    out = benchmark(chain)
+    assert len(out.assignments) == 1
+
+
+def test_bench_comparison_condition(benchmark, context, record_doc):
+    cell = Cell((Contain(doc_span(record_doc)),))
+    cond = ComparisonCondition(make_side(attr="p"), ">", make_side(const=100))
+
+    result = benchmark(cond.evaluate, {"p": cell}, context)
+    assert result.some
+
+
+def test_bench_jaccard(benchmark):
+    result = benchmark(jaccard, "Database Systems in Practice", "Practice of Database Systems")
+    assert result > 0
+
+
+def test_bench_bannotate(benchmark, context):
+    table = CompactTable(["k", "v"])
+    for i in range(200):
+        table.add(
+            CompactTuple([Cell((Exact("key%d" % (i % 50)),)), Cell((Exact(i),))])
+        )
+
+    out = benchmark(annotate_table, table, False, ("v",), context)
+    assert len(out) == 50
+
+
+def test_bench_blocked_similarity_join(benchmark, context):
+    tables = generate_books({"Amazon": 120, "Barnes": 120}, seed=4)
+
+    def side(records, attr):
+        table = CompactTable((attr,))
+        for r in records:
+            table.add(CompactTuple([Cell((Exact(r.spans["title"]),))]))
+        return TableSource(table)
+
+    from repro.processor.conditions import PFunctionCondition
+
+    cond = PFunctionCondition(
+        "similar", make_similar(0.55), [make_side(attr="a"), make_side(attr="b")]
+    )
+    join = JoinOp(side(tables["Amazon"], "a"), side(tables["Barnes"], "b"), [cond])
+
+    out = benchmark.pedantic(join.execute, args=(context,), rounds=3, iterations=1)
+    assert len(out) >= 1

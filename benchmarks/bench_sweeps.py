@@ -1,0 +1,57 @@
+"""Sensitivity sweeps (extension experiments; see EXPERIMENTS.md).
+
+The paper fixes α (developer decline probability), the subset fraction,
+and the convergence window k.  These benches vary each and record how
+convergence quality and cost respond.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.sweeps import alpha_sweep, k_sweep, subset_fraction_sweep
+
+from conftest import print_block
+
+HEADERS = ("value", "superset", "iterations", "questions", "machine s", "converged")
+
+
+def test_alpha_sensitivity(benchmark, bench_seed, artifacts):
+    task, points = benchmark.pedantic(
+        alpha_sweep,
+        kwargs={"task_id": "T7", "size": 200, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [p.row() for p in points]
+    print_block(render_table(HEADERS, rows, title="α sweep (developer declines) — T7"))
+    artifacts.table("sweep_alpha", HEADERS, rows)
+    # quality should survive moderate decline rates
+    by_alpha = {p.parameter: p for p in points}
+    assert by_alpha[0.0].superset_pct <= 105
+
+
+def test_subset_fraction_sensitivity(benchmark, bench_seed, artifacts):
+    task, points = benchmark.pedantic(
+        subset_fraction_sweep,
+        kwargs={"task_id": "T7", "size": 400, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [p.row() for p in points]
+    print_block(render_table(HEADERS, rows, title="subset fraction sweep — T7"))
+    artifacts.table("sweep_subset_fraction", HEADERS, rows)
+    sampled = points[0]
+    full = points[-1]
+    assert full.machine_seconds >= sampled.machine_seconds
+
+
+def test_k_sensitivity(benchmark, bench_seed, artifacts):
+    task, points = benchmark.pedantic(
+        k_sweep,
+        kwargs={"task_id": "T5", "size": 200, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [p.row() for p in points]
+    print_block(render_table(HEADERS, rows, title="convergence window k sweep — T5"))
+    artifacts.table("sweep_k", HEADERS, rows)
+    iterations = [p.iterations for p in points]
+    assert iterations == sorted(iterations)

@@ -1,0 +1,23 @@
+"""Table 1: domain / table inventory (and corpus generation speed)."""
+
+from repro.experiments import render_table, table1
+from repro.datagen.movies import generate_movies
+
+from conftest import print_block
+
+
+def test_table1_domains(benchmark, artifacts):
+    headers, rows, _ = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print_block(render_table(headers, rows, title="Table 1 — experiment domains"))
+    artifacts.table("table1_domains", headers, rows)
+    assert len(rows) == 9
+
+
+def test_corpus_generation_speed(benchmark):
+    """Generation throughput for a mid-size movies corpus."""
+
+    def generate():
+        return generate_movies({"IMDB": 100, "Ebert": 100, "Prasanna": 100}, seed=1)
+
+    tables = benchmark(generate)
+    assert sum(len(v) for v in tables.values()) == 300

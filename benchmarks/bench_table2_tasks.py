@@ -1,0 +1,14 @@
+"""Table 2: the nine IE tasks and their initial programs."""
+
+from repro.experiments import render_table, table2
+
+from conftest import print_block
+
+
+def test_table2_tasks(benchmark, artifacts):
+    headers, rows, _ = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print_block(render_table(headers, rows, title="Table 2 — IE tasks"))
+    artifacts.table("table2_tasks", headers, rows)
+    assert [row[0] for row in rows] == [
+        "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9",
+    ]

@@ -1,0 +1,36 @@
+"""Table 4: effects of soliciting domain knowledge, per iteration.
+
+Paper shape: the result shrinks (sometimes drastically) over 2-10
+iterations of question answering; the final bracketed number is the
+full-input run in reuse mode; supersets end at or near 100 %.
+"""
+
+from repro.experiments import render_table, table4
+
+from conftest import print_block
+
+
+def test_table4_iteration_effects(benchmark, bench_scale, bench_seed, artifacts):
+    headers, rows, extras = benchmark.pedantic(
+        table4,
+        kwargs={"seed": bench_seed, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print_block(
+        render_table(
+            headers, rows,
+            title="Table 4 — per-iteration effects [scale=%.2f]" % bench_scale,
+        )
+    )
+    artifacts.table("table4_iterations", headers, rows, meta={"scale": bench_scale, "seed": bench_seed})
+    assert len(rows) == 9
+    runs = extras["runs"]
+    # shape: sessions converge within the paper's 2-10 iteration band
+    # (allow a little slack for the simulated developer)
+    for task_id, run in runs.items():
+        assert run.iterations <= 14, task_id
+        assert run.trace.records[-1].mode == "reuse"
+    # most tasks end exactly at the correct result size
+    exact = sum(1 for run in runs.values() if round(run.superset_pct) == 100)
+    assert exact >= 6

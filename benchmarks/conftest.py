@@ -1,0 +1,65 @@
+"""Benchmark harness configuration.
+
+Every table/figure of the paper's evaluation has one bench module here.
+The experiment benches run the actual experiment once (inside the
+``benchmark`` fixture so ``pytest benchmarks/ --benchmark-only`` times
+them) and print the regenerated table — compare against the paper's
+(EXPERIMENTS.md holds the recorded comparison).
+
+``REPRO_SCALE`` (default 0.25 for the benches) scales the per-table
+tuple counts; run with ``REPRO_SCALE=1.0`` to reproduce at the paper's
+full sizes (slower).
+"""
+
+import os
+
+import pytest
+
+#: benches default to quarter scale so the whole suite stays laptop-fast
+DEFAULT_BENCH_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    raw = os.environ.get("REPRO_SCALE", "")
+    return float(raw) if raw else DEFAULT_BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """Session-wide artifact writer (``REPRO_ARTIFACTS``, default
+
+    ``results/``): every regenerated table is also written to disk."""
+    from repro.experiments.artifacts import ArtifactWriter
+
+    writer = ArtifactWriter(os.environ.get("REPRO_ARTIFACTS", "results"))
+    yield writer
+    writer.finish()
+
+
+#: regenerated tables collected during the run, emitted after the
+#: benchmark summary (pytest captures per-test stdout, so printing
+#: directly would hide them from ``pytest benchmarks/`` output; they
+#: are also persisted under ``results/`` by the artifacts fixture)
+_BLOCKS = []
+
+
+def print_block(text):
+    print()
+    print(text)
+    _BLOCKS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _BLOCKS:
+        return
+    terminalreporter.section("regenerated tables")
+    for block in _BLOCKS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

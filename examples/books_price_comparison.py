@@ -1,0 +1,49 @@
+"""Cross-site price comparison (the paper's T9).
+
+The hardest task in the paper's evaluation: join Amazon and Barnes &
+Noble result pages on *approximately matching* titles and keep books
+that are cheaper at Amazon.  The initial program knows almost nothing
+("prices are numeric"), so the first result is a huge maybe-superset —
+then the assistant narrows both sides in a handful of questions.
+
+Also demonstrates comparing against the two baselines (Manual, precise
+Xlog) the way Table 3 does.
+
+Run:  python examples/books_price_comparison.py
+"""
+
+from repro.assistant import SimulationStrategy
+from repro.baselines import run_manual_baseline, run_xlog_baseline
+from repro.experiments import build_task, fmt_minutes, run_iflex
+
+
+def main():
+    task = build_task("T9", size=150, seed=11)
+    print("task:", task.description)
+    print("records:", task.table_sizes())
+    print("correct answers:", len(task.correct_rows))
+
+    manual = run_manual_baseline(task)
+    xlog = run_xlog_baseline(task)
+    iflex = run_iflex(task, strategy=SimulationStrategy(alpha=0.1), seed=11)
+
+    print("\nmethod comparison (developer minutes, Table 3 style):")
+    print("  Manual: %s" % manual.display())
+    print("  Xlog:   %s  (precise result: %d rows)" % (fmt_minutes(xlog.minutes), xlog.row_count))
+    print("  iFlex:  %s  (+%d min cleanup)" % (fmt_minutes(iflex.minutes), task.cleanup_minutes))
+
+    print("\niFlex iteration trace:")
+    for record in iflex.trace.records:
+        print(
+            "  it%-2d %-7s tuples=%-6d questions=%d"
+            % (record.index, record.mode, record.tuples, len(record.questions))
+        )
+    print("\nfinal: %d tuples vs %d correct (superset %.0f%%)" % (
+        iflex.final_count, iflex.correct_count, iflex.superset_pct,
+    ))
+    sample = iflex.trace.final_result.query_table.pretty(max_rows=5)
+    print("\nresult sample:\n%s" % sample)
+
+
+if __name__ == "__main__":
+    main()

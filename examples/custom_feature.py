@@ -1,0 +1,68 @@
+"""Extending iFlex with a custom text feature.
+
+The paper: "To add a new feature f, a developer needs to implement only
+two procedures Verify and Refine."  This example adds an ``all_caps``
+feature (the span is an acronym-like all-capitals token run), registers
+it, and uses it in a domain constraint.
+
+Run:  python examples/custom_feature.py
+"""
+
+import re
+
+from repro import Corpus, IFlexEngine, Program, default_registry, parse_html
+from repro.features.base import Feature, NO, YES
+from repro.text.span import Span
+
+_CAPS_RE = re.compile(r"[A-Z]{2,}(?:\s+[A-Z]{2,})*")
+
+
+class AllCapsFeature(Feature):
+    """``all_caps(a) = yes``: the span is one or more ALL-CAPS words."""
+
+    name = "all_caps"
+    question_values = (YES, NO)
+
+    def verify(self, span, value):
+        matched = _CAPS_RE.fullmatch(span.text) is not None
+        return matched if value == YES else not matched
+
+    def refine(self, span, value):
+        if value != YES:
+            return [("contain", span)]
+        hints = []
+        for match in _CAPS_RE.finditer(span.text):
+            hints.append(
+                (
+                    "exact",
+                    Span(span.doc, span.start + match.start(), span.start + match.end()),
+                )
+            )
+        return hints
+
+
+def main():
+    registry = default_registry().register(AllCapsFeature())
+
+    docs = [
+        parse_html("c1", "<p>The SIGMOD 2008 conference is in Vancouver.</p>"),
+        parse_html("c2", "<p>Attend VLDB next; also see the workshop page.</p>"),
+        parse_html("c3", "<p>No acronyms on this page at all.</p>"),
+    ]
+    corpus = Corpus({"pages": docs})
+
+    program = Program.parse(
+        """
+        confs(x, c)? :- pages(x), extractConf(@x, c).
+        extractConf(@x, c) :- from(@x, c), all_caps(c) = yes.
+        """,
+        extensional=["pages"],
+        query="confs",
+    )
+    result = IFlexEngine(program, corpus, features=registry).execute()
+    print("extracted acronym spans:")
+    print(result.query_table.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Quickstart: the paper's running example (Figures 1-3), end to end.
+
+Builds the two house pages and two school pages of Figure 1, writes the
+approximate Alog program of Figure 2 (skeleton rules + description
+rules + annotations), executes it with the approximate processor, and
+prints the compact tables of Figure 3.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Corpus, IFlexEngine, PFunction, Program, make_similar, parse_html
+
+
+def build_corpus():
+    house1 = parse_html(
+        "x1",
+        "<p>Cozy house on quiet street. 5146 Windsor Ave., Champaign. "
+        "Sqft: 2750. Price: <b>$351,000</b>. High school: Vanhise High.</p>",
+    )
+    house2 = parse_html(
+        "x2",
+        "<p>Amazing house in great location. 3112 Stonecreek Blvd., Cherry Hills. "
+        "Sqft: 4700. Price: <b>$619,000</b>. High school: Basktall HS.</p>",
+    )
+    school1 = parse_html(
+        "y1",
+        "<p>Top High Schools (page 1): <b>Basktall</b>, Cherry Hills; "
+        "<b>Franklin</b>, Robeson; <b>Vanhise</b>, Champaign</p>",
+    )
+    school2 = parse_html(
+        "y2",
+        "<p>Top High Schools (page 2): <b>Hoover</b>, Akron; "
+        "<b>Ossage</b>, Lynneville</p>",
+    )
+    return Corpus({"housePages": [house1, house2], "schoolPages": [school1, school2]})
+
+
+PROGRAM = """
+% Skeleton rules with annotations (Figure 2.c):
+% each house page lists exactly one house -> annotate <p>, <a>, <h>;
+% not every bold span is a school -> existence annotation on schools.
+S1: houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(@x, p, a, h).
+S2: schools(s)? :- schoolPages(y), extractSchools(@y, s).
+S3: Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500,
+    approxMatch(@h, @s).
+
+% Description rules (Figure 2.b): partial, declarative implementations
+% of the IE predicates.
+S4: extractHouses(@x, p, a, h) :- from(@x, p), from(@x, a), from(@x, h),
+    numeric(p) = yes, numeric(a) = yes.
+S5: extractSchools(@y, s) :- from(@y, s), bold_font(s) = yes.
+"""
+
+
+def main():
+    corpus = build_corpus()
+    program = Program.parse(
+        PROGRAM,
+        extensional=["housePages", "schoolPages"],
+        p_functions={"approxMatch": PFunction("approxMatch", make_similar(0.4))},
+        query="Q",
+    )
+    program.check_safety()
+
+    engine = IFlexEngine(program, corpus)
+    print("=== compiled plans (Figure 4) ===")
+    print(engine.explain())
+
+    result = engine.execute()
+    print("\n=== houses compact table (Figure 3) ===")
+    print(result.tables["houses"].pretty())
+    print("\n=== schools compact table (Figure 3) ===")
+    print(result.tables["schools"].pretty())
+    print("\n=== query result ===")
+    print(result.query_table.pretty())
+    print("\nsummary:", result.summary())
+
+    # one manual refinement: the developer notices prices are in bold
+    refined = program.add_constraint("extractHouses", "p", "bold_font", "yes")
+    refined_result = IFlexEngine(refined, corpus).execute()
+    print("\n=== after refining with bold_font(p) = yes ===")
+    print(refined_result.tables["houses"].pretty())
+
+    from repro.ctables import diff_tables
+
+    diff = diff_tables(result.tables["houses"], refined_result.tables["houses"])
+    print("\n=== what the refinement changed ===")
+    print(diff.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs cannot build; this file lets ``pip install -e .``
+fall back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "iFlex: best-effort information extraction "
+        "(reproduction of Shen et al., SIGMOD 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,73 @@
+"""iFlex — best-effort information extraction.
+
+Reproduction of Shen, DeRose, McCann, Doan, Ramakrishnan,
+*Toward Best-Effort Information Extraction*, SIGMOD 2008.
+
+Quickstart::
+
+    from repro import Corpus, Program, IFlexEngine, parse_html
+
+    corpus = Corpus({"housePages": [parse_html("x1", html)]})
+    program = Program.parse(source, extensional=["housePages"], query="Q")
+    result = IFlexEngine(program, corpus).execute()
+    print(result.query_table.pretty())
+
+See README.md for the full tour and DESIGN.md for the system map.
+"""
+
+__version__ = "1.0.0"
+
+from repro.assistant import (
+    ConvergenceMonitor,
+    GroundTruth,
+    RefinementSession,
+    SequentialStrategy,
+    SimulatedDeveloper,
+    SimulationStrategy,
+)
+from repro.errors import (
+    EnumerationLimitError,
+    EvaluationError,
+    ParseError,
+    ReproError,
+    SafetyError,
+    UnknownFeatureError,
+    UnknownPredicateError,
+)
+from repro.features import FeatureRegistry, default_registry
+from repro.processor import ExecConfig, IFlexEngine, RuleCache, make_similar
+from repro.text import Corpus, Document, Span, doc_span, parse_html
+from repro.xlog import PFunction, PPredicate, Program, XlogEngine, parse_rules
+
+__all__ = [
+    "ConvergenceMonitor",
+    "Corpus",
+    "Document",
+    "EnumerationLimitError",
+    "EvaluationError",
+    "ExecConfig",
+    "FeatureRegistry",
+    "GroundTruth",
+    "IFlexEngine",
+    "PFunction",
+    "PPredicate",
+    "ParseError",
+    "Program",
+    "RefinementSession",
+    "ReproError",
+    "RuleCache",
+    "SafetyError",
+    "SequentialStrategy",
+    "SimulatedDeveloper",
+    "SimulationStrategy",
+    "Span",
+    "UnknownFeatureError",
+    "UnknownPredicateError",
+    "XlogEngine",
+    "__version__",
+    "default_registry",
+    "doc_span",
+    "make_similar",
+    "parse_html",
+    "parse_rules",
+]

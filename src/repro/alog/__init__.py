@@ -1,0 +1,18 @@
+"""Alog semantics: description-rule unfolding and possible-worlds reference."""
+
+from repro.alog.semantics import (
+    annotate_relation,
+    powerset_relations,
+    program_possible_relations,
+    rule_possible_relations,
+)
+from repro.alog.unfold import unfold_program, unfold_rules
+
+__all__ = [
+    "annotate_relation",
+    "powerset_relations",
+    "program_possible_relations",
+    "rule_possible_relations",
+    "unfold_program",
+    "unfold_rules",
+]

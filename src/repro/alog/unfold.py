@@ -1,0 +1,139 @@
+"""Description-rule unfolding (paper section 4, first step).
+
+Given a program whose skeleton rules reference IE predicates that are
+"implemented" by description rules, unfolding replaces each such IE
+atom with the body of its description rule, unifying variables, until
+only procedurally-backed predicates remain.  The unfolded rules are
+what the plan compiler consumes (Figure 4.a of the paper).
+"""
+
+import itertools
+
+from repro.errors import EvaluationError
+from repro.xlog.ast import (
+    Arith,
+    ComparisonAtom,
+    ConstraintAtom,
+    Const,
+    PredicateAtom,
+    Rule,
+    Var,
+)
+from repro.xlog.program import Program
+
+__all__ = ["unfold_program", "unfold_rules"]
+
+
+class _Renamer:
+    """Fresh-variable renaming for one unfolding instance."""
+
+    def __init__(self, mapping, suffix):
+        self.mapping = dict(mapping)  # old var name -> Term
+        self.suffix = suffix
+
+    def term(self, term):
+        if isinstance(term, Const):
+            return term
+        if isinstance(term, Arith):
+            return Arith(self.var(term.var), term.op, term.const)
+        if term.name not in self.mapping:
+            self.mapping[term.name] = Var("%s__u%d" % (term.name, self.suffix))
+        return self.mapping[term.name]
+
+    def var(self, var):
+        mapped = self.term(var)
+        if not isinstance(mapped, Var):
+            raise EvaluationError(
+                "constraint variable %r unified with a constant during "
+                "unfolding" % (var.name,)
+            )
+        return mapped
+
+
+def _rename_atom(atom, renamer):
+    if isinstance(atom, PredicateAtom):
+        return PredicateAtom(
+            atom.name,
+            tuple(renamer.term(a) for a in atom.args),
+            atom.input_flags,
+        )
+    if isinstance(atom, ConstraintAtom):
+        return ConstraintAtom(atom.feature, renamer.var(atom.var), atom.value)
+    if isinstance(atom, ComparisonAtom):
+        return ComparisonAtom(renamer.term(atom.left), atom.op, renamer.term(atom.right))
+    raise EvaluationError("cannot unfold atom %r" % (atom,))
+
+
+def _unfold_atom(atom, description_rule, counter):
+    """The body of ``description_rule`` specialised to ``atom``'s args."""
+    head_args = description_rule.head.args
+    if len(head_args) != len(atom.args):
+        raise EvaluationError(
+            "arity mismatch unfolding %r against %r"
+            % (atom.name, description_rule.label or description_rule.head.name)
+        )
+    mapping = {
+        head_arg.var.name: arg for head_arg, arg in zip(head_args, atom.args)
+    }
+    renamer = _Renamer(mapping, counter)
+    return [_rename_atom(a, renamer) for a in description_rule.body]
+
+
+def unfold_rules(program):
+    """Unfold every skeleton rule of ``program``.
+
+    Returns a list of rules in which every IE atom that has description
+    rules has been replaced by the (renamed) description-rule body.  An
+    IE predicate with several description rules multiplies the rule —
+    one unfolded variant per combination, mirroring the union
+    semantics.
+    """
+    counter = itertools.count(1)
+    out = []
+    for rule in program.skeleton_rules:
+        out.extend(_unfold_rule(rule, program, counter))
+    return out
+
+
+def _unfold_rule(rule, program, counter):
+    pending = [rule]
+    finished = []
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > 10_000:
+            raise EvaluationError("unfolding did not terminate (cyclic description rules?)")
+        current = pending.pop()
+        target = None
+        for atom in current.body:
+            if (
+                isinstance(atom, PredicateAtom)
+                and atom.name in program.ie_predicates
+                and program.description_rules_for(atom.name)
+            ):
+                target = atom
+                break
+        if target is None:
+            finished.append(current)
+            continue
+        for description_rule in program.description_rules_for(target.name):
+            replacement = _unfold_atom(target, description_rule, next(counter))
+            body = []
+            for atom in current.body:
+                if atom is target:
+                    body.extend(replacement)
+                else:
+                    body.append(atom)
+            pending.append(Rule(current.head, tuple(body), label=current.label))
+    return finished
+
+
+def unfold_program(program):
+    """A new :class:`Program` holding only the unfolded skeleton rules."""
+    return Program(
+        unfold_rules(program),
+        extensional=program.extensional,
+        p_predicates=program.p_predicates,
+        p_functions=program.p_functions,
+        query=program.query,
+    )

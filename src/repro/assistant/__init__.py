@@ -1,0 +1,45 @@
+"""The next-effort assistant (paper section 5)."""
+
+from repro.assistant.convergence import ConvergenceMonitor
+from repro.assistant.feedback import eliminate_by_examples
+from repro.assistant.interactive import InteractiveDeveloper
+from repro.assistant.oracle import GroundTruth, SimulatedDeveloper
+from repro.assistant.persistence import (
+    resume_session,
+    save_session,
+    trace_report,
+    trace_to_dict,
+)
+from repro.assistant.questions import Question, question_space
+from repro.assistant.session import (
+    IterationRecord,
+    RefinementSession,
+    SessionTrace,
+    auto_subset_fraction,
+)
+from repro.assistant.strategies import (
+    SequentialStrategy,
+    SimulationStrategy,
+    attribute_ranking,
+)
+
+__all__ = [
+    "ConvergenceMonitor",
+    "GroundTruth",
+    "InteractiveDeveloper",
+    "eliminate_by_examples",
+    "resume_session",
+    "save_session",
+    "trace_report",
+    "trace_to_dict",
+    "IterationRecord",
+    "Question",
+    "RefinementSession",
+    "SequentialStrategy",
+    "SessionTrace",
+    "SimulatedDeveloper",
+    "SimulationStrategy",
+    "attribute_ranking",
+    "auto_subset_fraction",
+    "question_space",
+]

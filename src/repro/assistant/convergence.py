@@ -1,0 +1,39 @@
+"""Convergence detection (section 5.1, "Notifying the Developer").
+
+The assistant monitors, per iteration, both the number of tuples in
+the result and the number of assignments the extraction produced; when
+both stay constant for ``k`` consecutive iterations (the paper sets
+k = 3), it notifies the developer that the result appears to have
+converged.
+"""
+
+__all__ = ["ConvergenceMonitor"]
+
+
+class ConvergenceMonitor:
+    """Tracks (tuple count, assignment count) pairs across iterations."""
+
+    def __init__(self, k=3):
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        self.k = k
+        self.history = []
+
+    def observe(self, *counts):
+        """Record one iteration's count vector; True when converged.
+
+        The vector is (tuples, assignments, encoded values) in the
+        sessions; any stable tuple of measures works.
+        """
+        self.history.append(tuple(counts))
+        return self.converged
+
+    @property
+    def converged(self):
+        if len(self.history) < self.k:
+            return False
+        tail = self.history[-self.k :]
+        return all(entry == tail[0] for entry in tail)
+
+    def reset(self):
+        self.history.clear()

@@ -1,0 +1,54 @@
+"""Markup-example feedback (paper section 5.1.1, "More Types of Feedback").
+
+    "the assistant can ask the developer to mark up a sample title.  If
+    this title is bold, then the assistant can infer that for the
+    question 'is title bold?', the answer cannot be 'no' ... Hence,
+    when searching for the next best question, the assistant does not
+    have to simulate the case of the developer's answering 'no'."
+
+A marked-up example span eliminates the answers it contradicts:
+
+* the example satisfies ``f = yes``  → the answer is not ``no``;
+* the example does not satisfy ``yes`` → the answer is neither ``yes``
+  nor ``distinct_yes``;
+* the example satisfies ``yes`` but not ``distinct_yes`` → the answer
+  is not ``distinct_yes``.
+
+(One example can *eliminate* answers but never *prove* one — other
+instances may differ — which is exactly the paper's framing.)
+"""
+
+from repro.features.base import DISTINCT_YES, NO, YES
+
+__all__ = ["eliminate_by_examples"]
+
+
+def eliminate_by_examples(feature, values, examples):
+    """Drop answers contradicted by any example span.
+
+    ``values`` is the candidate answer list for a boolean feature;
+    parameterised features pass through unchanged (an example cannot
+    enumerate a parameter space).  Returns a non-empty subset — if all
+    answers get contradicted (inconsistent examples), the original list
+    is returned so the question is still askable.
+    """
+    if feature.parameterized or not examples:
+        return list(values)
+    impossible = set()
+    for span in examples:
+        try:
+            satisfies_yes = feature.verify(span, YES)
+        except ValueError:
+            continue
+        if satisfies_yes:
+            impossible.add(NO)
+            try:
+                if not feature.verify(span, DISTINCT_YES):
+                    impossible.add(DISTINCT_YES)
+            except ValueError:
+                pass
+        else:
+            impossible.add(YES)
+            impossible.add(DISTINCT_YES)
+    remaining = [v for v in values if v not in impossible]
+    return remaining or list(values)

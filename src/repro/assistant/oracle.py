@@ -1,0 +1,125 @@
+"""The simulated developer (substitution for the paper's volunteers).
+
+The paper's experiments have a human examine the pages and answer the
+assistant's questions ("is price in bold font?" — "yes" / "no" / "I do
+not know").  We simulate that developer with ground truth: the data
+generators know the exact spans of every attribute, so the oracle
+answers a question by checking the feature against the true spans —
+answering only when the answer is uniform across them, and declining
+("I don't know") otherwise, exactly as the paper reports its
+developers behaved.
+
+``scripted`` answers model domain knowledge a human brings that cannot
+be inferred mechanically (e.g. a regex for conference names, section
+6.3); tasks declare them explicitly so they are auditable.
+"""
+
+import random
+
+from repro.features.base import DISTINCT_YES, NO, YES
+
+__all__ = ["GroundTruth", "SimulatedDeveloper"]
+
+
+class GroundTruth:
+    """Ground truth for one IE task.
+
+    Parameters
+    ----------
+    attribute_spans:
+        ``(ie_predicate, attribute) -> list[Span]`` — the true value
+        spans in the corpus.
+    answer_rows:
+        The correct query result, as a list of tuples of values (used
+        by the experiment harness to score superset size, not by the
+        oracle itself).
+    scripted_answers:
+        ``(ie_predicate, attribute, feature) -> value`` overrides.
+    """
+
+    def __init__(self, attribute_spans, answer_rows=(), scripted_answers=None):
+        self.attribute_spans = dict(attribute_spans)
+        self.answer_rows = list(answer_rows)
+        self.scripted_answers = dict(scripted_answers or {})
+
+    def true_spans(self, ie_predicate, attribute):
+        return self.attribute_spans.get((ie_predicate, attribute), [])
+
+    def restrict_to_docs(self, doc_ids):
+        """Ground truth over a document subset (for subset evaluation)."""
+        doc_ids = set(doc_ids)
+        spans = {
+            key: [s for s in value if s.doc.doc_id in doc_ids]
+            for key, value in self.attribute_spans.items()
+        }
+        return GroundTruth(spans, self.answer_rows, self.scripted_answers)
+
+
+class SimulatedDeveloper:
+    """Answers assistant questions from ground truth.
+
+    ``alpha`` is the paper's probability that the developer declines a
+    question; on top of that, the oracle declines whenever the true
+    spans do not agree on an answer (a human inspecting samples would
+    not commit either).
+    """
+
+    def __init__(self, truth, alpha=0.0, seed=0, answer_seconds=20.0):
+        self.truth = truth
+        self.alpha = alpha
+        self.rng = random.Random(seed)
+        #: modelled human time per answered/declined question (used by
+        #: the cost model, section 6's "time" columns)
+        self.answer_seconds = answer_seconds
+        self.questions_seen = 0
+        self.questions_answered = 0
+
+    # ------------------------------------------------------------------
+    def answer(self, question, registry):
+        """The developer's answer, or ``None`` for "I don't know"."""
+        self.questions_seen += 1
+        if self.alpha and self.rng.random() < self.alpha:
+            return None
+        scripted = self.truth.scripted_answers.get(question.key())
+        if scripted is not None:
+            self.questions_answered += 1
+            return scripted
+        spans = self.truth.true_spans(question.ie_predicate, question.attribute)
+        if not spans:
+            return None
+        feature = registry.get(question.feature_name)
+        value = self._infer(feature, spans)
+        if value is not None:
+            self.questions_answered += 1
+        return value
+
+    def provide_example(self, ie_predicate, attribute):
+        """Mark up one sample value (section 5.1.1's feedback type).
+
+        The simulated developer hands back a true span; a human would
+        highlight one on the page.
+        """
+        spans = self.truth.true_spans(ie_predicate, attribute)
+        if not spans:
+            return None
+        return spans[self.rng.randrange(len(spans))]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _infer(feature, spans):
+        if feature.parameterized:
+            return feature.infer_parameter(spans)
+
+        def verify_all(value):
+            try:
+                return all(feature.verify(s, value) for s in spans)
+            except ValueError:
+                return False  # feature does not support this value
+
+        if DISTINCT_YES in feature.question_values and verify_all(DISTINCT_YES):
+            return DISTINCT_YES
+        if verify_all(YES):
+            return YES
+        if not any(feature.verify(s, YES) for s in spans):
+            return NO
+        return None  # mixed: "I don't know"

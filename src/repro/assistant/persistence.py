@@ -1,0 +1,134 @@
+"""Saving and restoring refinement sessions.
+
+A best-effort IE session is a developer-day artefact: you refine for a
+while, stop, and come back.  This module serialises what matters — the
+refined program, the questions asked (so none repeat), the collected
+examples, and the per-iteration trace — to JSON, and restores a session
+that picks up where the saved one left off.
+
+Corpora are *not* serialised (they live on disk as HTML; see
+``repro.datagen.emit``); the caller supplies the corpus on resume.
+"""
+
+import json
+import pathlib
+
+from repro.text.span import Span
+from repro.xlog.program import Program
+
+__all__ = ["save_session", "resume_session", "trace_to_dict", "trace_report"]
+
+
+def trace_to_dict(trace):
+    """A JSON-ready dict of a :class:`SessionTrace`."""
+    return {
+        "converged": trace.converged,
+        "subset_fraction": trace.subset_fraction,
+        "machine_seconds": trace.machine_seconds,
+        "questions_asked": trace.questions_asked,
+        "questions_answered": trace.questions_answered,
+        "final_tuples": trace.final_result.tuple_count,
+        "program": trace.program.source(),
+        "iterations": [
+            {
+                "index": r.index,
+                "mode": r.mode,
+                "tuples": r.tuples,
+                "assignments": r.assignments,
+                "elapsed": r.elapsed,
+                "questions": [
+                    {
+                        "ie_predicate": q.ie_predicate,
+                        "attribute": q.attribute,
+                        "feature": q.feature_name,
+                        "answer": answer,
+                    }
+                    for q, answer in r.questions
+                ],
+            }
+            for r in trace.records
+        ],
+    }
+
+
+def trace_report(trace):
+    """A Table 4-style one-line rendering of a trace."""
+    series = " ".join(
+        ("[%d]" % r.tuples) if r.mode == "reuse" else str(r.tuples)
+        for r in trace.records
+    )
+    return "%s | %d questions | %.2fs machine | converged: %s" % (
+        series,
+        trace.questions_asked,
+        trace.machine_seconds,
+        "yes" if trace.converged else "no",
+    )
+
+
+def save_session(session, path, trace=None):
+    """Serialise a session's resumable state (and optionally its trace)."""
+    payload = {
+        "program": session.program.source(),
+        "query": session.program.query,
+        "extensional": sorted(session.program.extensional),
+        "asked": sorted(list(key) for key in session.asked),
+        "examples": [
+            {
+                "ie_predicate": pred,
+                "attribute": attr,
+                "doc": span.doc.doc_id,
+                "start": span.start,
+                "end": span.end,
+            }
+            for (pred, attr), spans in session.examples.items()
+            for span in spans
+        ],
+        "subset_fraction": session.subset_fraction,
+        "trace": trace_to_dict(trace) if trace is not None else None,
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=1, ensure_ascii=False), encoding="utf-8")
+    return path
+
+
+def resume_session(path, corpus, developer, strategy=None, **session_kwargs):
+    """Rebuild a session from a save file over a supplied corpus.
+
+    The program (with every refinement applied), the asked-question
+    set, and the examples are restored; p-functions must be re-supplied
+    via ``session_kwargs['p_functions']`` if the program used any.
+    """
+    from repro.assistant.session import RefinementSession
+
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    p_functions = session_kwargs.pop("p_functions", None)
+    program = Program.parse(
+        payload["program"],
+        extensional=payload["extensional"],
+        p_functions=p_functions,
+        query=payload["query"],
+    )
+    session = RefinementSession(
+        program,
+        corpus,
+        developer,
+        strategy=strategy,
+        subset_fraction=payload.get("subset_fraction"),
+        **session_kwargs,
+    )
+    session.asked = {tuple(key) for key in payload["asked"]}
+    docs = {
+        doc.doc_id: doc
+        for name in corpus.table_names()
+        for doc in corpus.table(name)
+    }
+    for example in payload["examples"]:
+        doc = docs.get(example["doc"])
+        if doc is None:
+            continue  # the corpus changed; skip stale examples
+        session.add_example(
+            example["ie_predicate"],
+            example["attribute"],
+            Span(doc, example["start"], example["end"]),
+        )
+    return session

@@ -1,0 +1,60 @@
+"""The question space of the next-effort assistant (section 5.1).
+
+A question asks "what is the value of feature *f* for attribute *a*?"
+where *a* is an output attribute of some IE predicate still open to
+refinement.  The space, at any moment, is all (feature, attribute)
+pairs whose answer is unknown — neither already constrained nor
+already asked this session.
+"""
+
+from dataclasses import dataclass
+
+__all__ = ["Question", "question_space"]
+
+
+@dataclass(frozen=True)
+class Question:
+    """One (IE predicate, attribute, feature) question."""
+
+    ie_predicate: str
+    attribute: str
+    feature_name: str
+
+    def key(self):
+        return (self.ie_predicate, self.attribute, self.feature_name)
+
+    def text(self, registry):
+        feature = registry.get(self.feature_name)
+        return feature.question_text(
+            "%s.%s" % (self.ie_predicate, self.attribute)
+        )
+
+    def __repr__(self):
+        return "Question(%s.%s : %s)" % (
+            self.ie_predicate,
+            self.attribute,
+            self.feature_name,
+        )
+
+
+def question_space(program, registry, asked=()):
+    """All currently askable questions.
+
+    ``asked`` is a set of :meth:`Question.key` triples already posed
+    (answered or declined) this session; a feature already constrained
+    on an attribute is likewise closed.
+    """
+    asked = set(asked)
+    questions = []
+    for ie_predicate, attribute in program.ie_attributes():
+        constrained = {
+            feature for feature, _ in program.constraints_on(ie_predicate, attribute)
+        }
+        for name in registry.names():
+            if name in constrained:
+                continue
+            question = Question(ie_predicate, attribute, name)
+            if question.key() in asked:
+                continue
+            questions.append(question)
+    return questions

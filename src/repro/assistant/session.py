@@ -1,0 +1,383 @@
+"""The iterative refinement session (sections 2.2.4, 5, 5.2).
+
+One :class:`RefinementSession` reproduces the paper's development loop:
+
+1. execute the current Alog program over a random **subset** of the
+   input (5-30 %, by input size) with per-rule **reuse**;
+2. check **convergence** (result size and assignment count stable for
+   k = 3 iterations); when converged, switch to reuse mode over the
+   full input and stop;
+3. otherwise have the **strategy** pick a question, the (simulated)
+   **developer** answer it, fold the answer into the program as a new
+   domain constraint, and iterate.
+
+The trace records exactly what the paper's Table 4 reports per
+iteration: result size, execution mode, questions asked, and time.
+"""
+
+import logging
+from dataclasses import dataclass, field
+
+from repro.assistant.convergence import ConvergenceMonitor
+from repro.assistant.strategies import SequentialStrategy
+from repro.features.registry import default_registry
+from repro.processor.context import ExecConfig
+from repro.processor.executor import IFlexEngine, RuleCache
+from repro.xlog.ast import PredicateAtom, Var
+
+__all__ = ["RefinementSession", "SessionTrace", "IterationRecord", "auto_subset_fraction"]
+
+logger = logging.getLogger("repro.assistant")
+
+
+def auto_subset_fraction(corpus):
+    """The paper's 5-30 % subset, scaled to the input size."""
+    largest = max((corpus.size_of(n) for n in corpus.table_names()), default=0)
+    if largest <= 60:
+        return 1.0
+    if largest <= 200:
+        return 0.30
+    if largest <= 1000:
+        return 0.15
+    return 0.05
+
+
+@dataclass
+class IterationRecord:
+    """One row of the paper's Table 4."""
+
+    index: int
+    mode: str  # 'subset' or 'reuse' (full input)
+    tuples: int
+    assignments: int
+    elapsed: float
+    questions: list = field(default_factory=list)  # (Question, answer|None)
+
+    @property
+    def answered(self):
+        return [qa for qa in self.questions if qa[1] is not None]
+
+
+@dataclass
+class SessionTrace:
+    """The full outcome of a refinement session."""
+
+    records: list
+    converged: bool
+    final_result: object  # ExecutionResult over the full corpus
+    program: object
+    subset_fraction: float
+    machine_seconds: float
+    questions_asked: int
+    questions_answered: int
+
+    @property
+    def iterations(self):
+        return len([r for r in self.records if r.mode == "subset"])
+
+    def tuple_series(self):
+        return [r.tuples for r in self.records]
+
+
+class _CacheCopy:
+    """Shallow-copyable view so simulations never pollute the cache."""
+
+    @staticmethod
+    def copy(cache):
+        clone = RuleCache()
+        clone._entries = dict(cache._entries)
+        return clone
+
+
+class RefinementSession:
+    """Drives execute → converge? → ask → refine until convergence."""
+
+    def __init__(
+        self,
+        program,
+        corpus,
+        developer,
+        strategy=None,
+        features=None,
+        config=None,
+        subset_fraction=None,
+        seed=0,
+        max_iterations=20,
+        k_convergence=3,
+        questions_per_iteration=2,
+    ):
+        self.program = program
+        self.corpus = corpus
+        self.developer = developer
+        self.strategy = strategy or SequentialStrategy()
+        self.registry = features or default_registry()
+        self.config = config or ExecConfig()
+        self.subset_fraction = (
+            subset_fraction if subset_fraction is not None else auto_subset_fraction(corpus)
+        )
+        self.subset_corpus = (
+            corpus
+            if self.subset_fraction >= 1.0
+            else corpus.sample(self.subset_fraction, seed=seed)
+        )
+        self.max_iterations = max_iterations
+        self.questions_per_iteration = questions_per_iteration
+        self.monitor = ConvergenceMonitor(k=k_convergence)
+        self.asked = set()
+        #: markup-example feedback: (ie_pred, attr) -> [Span]
+        self.examples = {}
+        self.machine_seconds = 0.0
+        #: how many candidate refinements were simulated (section 5.1)
+        self.simulations = 0
+        self._subset_cache = RuleCache()
+        self._full_cache = RuleCache()
+        self._last_subset_result = None
+
+    # ------------------------------------------------------------------
+    # hooks used by strategies
+    # ------------------------------------------------------------------
+    def applicable(self, question):
+        """Data-aware pruning of the question space (section 5.1.1).
+
+        The assistant never asks about markup the corpus does not
+        contain (no italics anywhere → no italics questions), skips
+        word-shaped features for attributes already constrained to be
+        numeric, and only asks open-ended regex questions when the
+        task scripted an answer for them.
+        """
+        feature_name = question.feature_name
+        region_kind = getattr(self.registry.get(feature_name), "region_kind", None)
+        if region_kind is not None and region_kind not in self._corpus_region_kinds():
+            return False
+        if feature_name in ("prec_label_contains", "prec_label_max_dist"):
+            if not self._corpus_has_labels():
+                return False
+        if feature_name in ("starts_with", "ends_with", "pattern"):
+            # open-ended regex questions: a simulated developer can only
+            # answer them when the task scripted an answer; a human
+            # (interactive) developer has no such limitation
+            truth = getattr(self.developer, "truth", None)
+            if truth is not None:
+                return question.key() in truth.scripted_answers
+            return True
+        constraints = self.program.constraints_on(
+            question.ie_predicate, question.attribute
+        )
+        if ("numeric", "yes") in constraints or ("numeric", "distinct_yes") in constraints:
+            if feature_name in ("capitalized", "person_name"):
+                return False
+        return True
+
+    def _corpus_region_kinds(self):
+        if not hasattr(self, "_region_kinds_cache"):
+            kinds = set()
+            for name in self.subset_corpus.table_names():
+                for doc in self.subset_corpus.table(name):
+                    for kind, intervals in doc.regions.items():
+                        if intervals:
+                            kinds.add(kind)
+            self._region_kinds_cache = kinds
+        return self._region_kinds_cache
+
+    def _corpus_has_labels(self):
+        if not hasattr(self, "_has_labels_cache"):
+            self._has_labels_cache = any(
+                doc.labels
+                for name in self.subset_corpus.table_names()
+                for doc in self.subset_corpus.table(name)
+            )
+        return self._has_labels_cache
+
+    def add_example(self, ie_predicate, attribute, span):
+        """Record a developer-marked example value (section 5.1.1).
+
+        Examples shrink the simulation strategy's answer space: answers
+        the example contradicts are never simulated.
+        """
+        self.examples.setdefault((ie_predicate, attribute), []).append(span)
+
+    def collect_examples(self):
+        """Ask the developer for one example per refinable attribute.
+
+        Only developers exposing ``provide_example(ie_pred, attr)``
+        participate (the simulated developer does; a session may also
+        pre-seed examples via :meth:`add_example`).
+        """
+        provide = getattr(self.developer, "provide_example", None)
+        if provide is None:
+            return 0
+        count = 0
+        for ie_predicate, attribute in self.program.ie_attributes():
+            span = provide(ie_predicate, attribute)
+            if span is not None:
+                self.add_example(ie_predicate, attribute, span)
+                count += 1
+        return count
+
+    def example_spans(self, ie_predicate, attribute):
+        return self.examples.get((ie_predicate, attribute), [])
+
+    def simulate_refinement(self, ie_predicate, attribute, feature, value):
+        """Result size if the developer answered ``value`` (section 5.1).
+
+        Runs over the evaluation subset with a throwaway copy of the
+        reuse cache, so simulation cost is one incremental constraint
+        application in the common case.
+        """
+        self.simulations += 1
+        try:
+            variant = self.program.add_constraint(ie_predicate, attribute, feature, value)
+        except Exception:
+            return float("inf")
+        engine = IFlexEngine(variant, self.subset_corpus, self.registry, self.config)
+        result = engine.execute(cache=_CacheCopy.copy(self._subset_cache))
+        self.machine_seconds += result.elapsed
+        # tuple count first; narrowing measures as tie-breakers, so a
+        # question that shrinks the extraction without (yet) moving the
+        # result size still beats a no-op question
+        assignments = sum(t.assignment_count() for t in result.tables.values())
+        values = sum(t.encoded_value_count() for t in result.tables.values())
+        return result.tuple_count + assignments * 1e-5 + values * 1e-10
+
+    def attribute_profile(self, ie_predicate, attribute, max_tuples=50):
+        """Candidate spans currently extracted for an attribute.
+
+        Used to profile parameter values for parameterised features
+        (``preceded_by`` candidates, value quantiles, ...).
+        """
+        if self._last_subset_result is None:
+            return []
+        column = self._column_for(ie_predicate, attribute)
+        if column is None:
+            return []
+        head, attr = column
+        table = self._last_subset_result.tables.get(head)
+        if table is None or attr not in table.attrs:
+            return []
+        index = table.attr_index(attr)
+        spans = []
+        for t in table.tuples[:max_tuples]:
+            for assignment in t.cells[index].assignments:
+                span = assignment.anchor_span
+                if span is not None:
+                    spans.append(span)
+        return spans
+
+    def _column_for(self, ie_predicate, attribute):
+        description_rules = self.program.description_rules_for(ie_predicate)
+        if not description_rules:
+            return None
+        head = description_rules[0].head
+        for rule in self.program.skeleton_rules:
+            for atom in rule.body_atoms(PredicateAtom):
+                if atom.name != ie_predicate:
+                    continue
+                for head_arg, arg in zip(head.args, atom.args):
+                    if head_arg.var.name == attribute and isinstance(arg, Var):
+                        if arg.name in rule.head.attr_names:
+                            return (rule.head.name, arg.name)
+        return None
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Run the session to convergence (or exhaustion)."""
+        records = []
+        converged = False
+        for index in range(1, self.max_iterations + 1):
+            result = self._execute_subset()
+            # the monitor watches the result size, the number of
+            # assignments the whole extraction produced, and the total
+            # number of encoded values (sensitive to narrowing)
+            extraction_assignments = sum(
+                table.assignment_count() for table in result.tables.values()
+            )
+            extraction_values = sum(
+                table.encoded_value_count() for table in result.tables.values()
+            )
+            record = IterationRecord(
+                index=index,
+                mode="subset",
+                tuples=result.tuple_count,
+                assignments=extraction_assignments,
+                elapsed=result.elapsed,
+            )
+            records.append(record)
+            logger.debug(
+                "iteration %d: %d tuples, %d assignments, %d values",
+                index,
+                result.tuple_count,
+                extraction_assignments,
+                extraction_values,
+            )
+            if self.monitor.observe(
+                result.tuple_count, extraction_assignments, extraction_values
+            ):
+                converged = True
+                break
+            if not self._refine(record):
+                break  # question space exhausted
+        final_result = self._execute_full()
+        records.append(
+            IterationRecord(
+                index=len(records) + 1,
+                mode="reuse",
+                tuples=final_result.tuple_count,
+                assignments=sum(
+                    table.assignment_count()
+                    for table in final_result.tables.values()
+                ),
+                elapsed=final_result.elapsed,
+            )
+        )
+        return SessionTrace(
+            records=records,
+            converged=converged,
+            final_result=final_result,
+            program=self.program,
+            subset_fraction=self.subset_fraction,
+            machine_seconds=self.machine_seconds,
+            questions_asked=len(self.asked),
+            questions_answered=self.developer.questions_answered,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_subset(self):
+        engine = IFlexEngine(self.program, self.subset_corpus, self.registry, self.config)
+        result = engine.execute(cache=self._subset_cache)
+        self.machine_seconds += result.elapsed
+        self._last_subset_result = result
+        return result
+
+    def _execute_full(self):
+        engine = IFlexEngine(self.program, self.corpus, self.registry, self.config)
+        result = engine.execute(cache=self._full_cache)
+        self.machine_seconds += result.elapsed
+        return result
+
+    def _refine(self, record):
+        """Ask ``questions_per_iteration`` questions; True unless the
+
+        question space is exhausted before anything was asked.
+        """
+        for _ in range(self.questions_per_iteration):
+            question = self.strategy.select(self)
+            if question is None:
+                return bool(record.questions)
+            self.asked.add(question.key())
+            answer = self.developer.answer(question, self.registry)
+            record.questions.append((question, answer))
+            logger.debug(
+                "asked %s -> %s", question, "IDK" if answer is None else answer
+            )
+            if answer is None:
+                continue
+            try:
+                self.program = self.program.add_constraint(
+                    question.ie_predicate,
+                    question.attribute,
+                    question.feature_name,
+                    answer,
+                )
+            except Exception:
+                continue  # un-applicable answer; treat as declined
+        return True

@@ -1,0 +1,19 @@
+"""Comparison methods: Manual and precise-Xlog, with the cost model."""
+
+from repro.baselines.cost_model import CostModel, MANUAL_SECONDS_PER_RECORD
+from repro.baselines.manual import ManualOutcome, run_manual_baseline
+from repro.baselines.xlog_method import (
+    XlogOutcome,
+    precise_program,
+    run_xlog_baseline,
+)
+
+__all__ = [
+    "CostModel",
+    "MANUAL_SECONDS_PER_RECORD",
+    "ManualOutcome",
+    "XlogOutcome",
+    "precise_program",
+    "run_manual_baseline",
+    "run_xlog_baseline",
+]

@@ -1,0 +1,90 @@
+"""The developer-time model (substitution for the paper's volunteers).
+
+The paper's Table 3/5/6 "time" columns measure *human* minutes: reading
+pages, writing Perl, answering assistant questions.  We cannot rerun
+volunteers, so every human-time constant lives here, in one auditable
+place; machine time is always *measured*, never modelled.
+
+Calibration notes
+-----------------
+* ``XLOG_STRUCTURAL`` reproduces the paper's observation that the Xlog
+  method's cost is dominated by writing/debugging Perl per IE predicate
+  and per attribute, and is essentially flat in the data size.  The
+  structural formula ``base + 4·attrs + 6·predicates + 8·joins`` lands
+  within a few minutes of every Table 3 Xlog entry without using any
+  per-task constant.
+* ``MANUAL_SECONDS_PER_RECORD`` is per-task because manual workflows
+  differ in kind (scanning one list vs cross-checking two sites); rates
+  are calibrated against the paper's own Manual column, since that
+  method is 100 % human work.
+"""
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "MANUAL_SECONDS_PER_RECORD"]
+
+#: Calibrated human scan rates (seconds per record), per task kind.
+MANUAL_SECONDS_PER_RECORD = {
+    "T1": 0.8,   # scan a ranked list for a votes threshold
+    "T2": 0.8,
+    "T3": 8.5,   # cross-compare three title lists
+    "T4": 1.0,
+    "T5": 2.3,
+    "T6": 45.0,  # for each SIGMOD paper, search ICDE authors
+    "T7": 2.4,
+    "T8": 2.3,
+    "T9": 82.0,  # for each book, find it on the other site and compare
+}
+
+
+@dataclass
+class CostModel:
+    """Human-time constants (minutes/seconds) used by all baselines."""
+
+    # -- iFlex ---------------------------------------------------------
+    #: writing one skeleton or description rule of the initial program
+    rule_minutes: float = 0.4
+    #: inspecting pages and answering (or declining) one question
+    question_seconds: float = 20.0
+    #: eyeballing the approximate result after each iteration
+    inspection_seconds_per_iteration: float = 25.0
+
+    # -- Xlog (precise IE in Perl) --------------------------------------
+    xlog_base_minutes: float = 18.0
+    xlog_minutes_per_attribute: float = 4.0
+    xlog_minutes_per_predicate: float = 6.0
+    xlog_minutes_per_join: float = 8.0
+
+    # -- Manual ----------------------------------------------------------
+    manual_setup_minutes: float = 0.5
+    #: past this, the method is reported as DNF ("—" in Table 3)
+    manual_budget_minutes: float = 150.0
+
+    # ------------------------------------------------------------------
+    def iflex_minutes(self, trace, rule_count, cleanup_minutes=0.0):
+        """Total iFlex developer minutes for a finished session."""
+        iterations = getattr(trace, "iterations", 0)
+        human = (
+            rule_count * self.rule_minutes
+            + trace.questions_asked * self.question_seconds / 60.0
+            + iterations * self.inspection_seconds_per_iteration / 60.0
+        )
+        return human + trace.machine_seconds / 60.0 + cleanup_minutes
+
+    def xlog_minutes(self, attributes, predicates, joins, machine_seconds=0.0):
+        """Modelled minutes to write + debug a precise Xlog program."""
+        return (
+            self.xlog_base_minutes
+            + attributes * self.xlog_minutes_per_attribute
+            + predicates * self.xlog_minutes_per_predicate
+            + joins * self.xlog_minutes_per_join
+            + machine_seconds / 60.0
+        )
+
+    def manual_minutes(self, task_id, record_count):
+        """Modelled minutes to answer the task by hand, or None (DNF)."""
+        rate = MANUAL_SECONDS_PER_RECORD[task_id]
+        minutes = self.manual_setup_minutes + record_count * rate / 60.0
+        if minutes > self.manual_budget_minutes:
+            return None
+        return minutes

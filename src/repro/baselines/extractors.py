@@ -1,0 +1,132 @@
+"""Precise, hand-written extractors — the Xlog baseline's "Perl code".
+
+The paper's Xlog method has a developer implement each IE predicate as
+a procedural module; these are those modules, written against the
+record layouts of :mod:`repro.datagen` the way a developer would write
+them against the real pages: regexes anchored on labels, plus markup
+(first bold region is the title, ...).  They return exact spans, so
+the Xlog baseline produces the precise result the paper's comparison
+assumes.
+"""
+
+import re
+
+from repro.text.span import Span
+
+__all__ = [
+    "first_region",
+    "number_after",
+    "text_after",
+    "imdb_extractor",
+    "ebert_extractor",
+    "prasanna_extractor",
+    "gm_extractor",
+    "vldb_extractor",
+    "venue_extractor",
+    "amazon_extractor",
+    "barnes_extractor",
+]
+
+
+def _doc(span):
+    return span.doc
+
+
+def first_region(span, kind):
+    """The first markup region of ``kind`` in the record, as a span."""
+    regions = _doc(span).regions_of(kind)
+    if not regions:
+        return None
+    start, end = regions[0]
+    return Span(_doc(span), start, end)
+
+
+def number_after(span, label):
+    """The first number following ``label`` (e.g. ``"Votes:"``)."""
+    doc = _doc(span)
+    match = re.search(re.escape(label) + r"\s*\$?([\d,]+(?:\.\d+)?)", doc.text)
+    if match is None:
+        return None
+    return Span(doc, match.start(1), match.end(1))
+
+
+def text_after(span, label, pattern=r"([^\n]+?)[.\n]"):
+    """The text following ``label`` up to a sentence/line break."""
+    doc = _doc(span)
+    match = re.search(re.escape(label) + r"\s*" + pattern, doc.text)
+    if match is None:
+        return None
+    return Span(doc, match.start(1), match.end(1))
+
+
+# ----------------------------------------------------------------------
+# per-record-type extractors; each returns a list of output tuples
+# ----------------------------------------------------------------------
+
+def imdb_extractor(x):
+    """(title, year, votes) of an IMDB record."""
+    title = first_region(x, "bold")
+    year = number_after(x, "(")
+    votes = number_after(x, "Votes:")
+    return [(title, year, votes)]
+
+
+def ebert_extractor(x):
+    """(title, year) of an Ebert record (title is italic)."""
+    title = first_region(x, "italic")
+    year = number_after(x, "(")
+    return [(title, year)]
+
+
+def prasanna_extractor(x):
+    """(title, year) of a Prasanna record (title is the hyperlink)."""
+    title = first_region(x, "hyperlink")
+    year = number_after(x, "(")
+    return [(title, year)]
+
+
+def gm_extractor(x):
+    """(title, journalYear) of a Garcia-Molina record.
+
+    ``journalYear`` is None for conference publications.
+    """
+    title = first_region(x, "bold")
+    journal_year = number_after(x, "Journal,")
+    return [(title, journal_year)]
+
+
+def vldb_extractor(x):
+    """(title, firstPage, lastPage) of a VLDB record."""
+    doc = _doc(x)
+    title = first_region(x, "bold")
+    match = re.search(r"pp\.\s*(\d+)-(\d+)", doc.text)
+    if match is None:
+        return [(title, None, None)]
+    first = Span(doc, match.start(1), match.end(1))
+    last = Span(doc, match.start(2), match.end(2))
+    return [(title, first, last)]
+
+
+def venue_extractor(x):
+    """(title, authors) of a SIGMOD/ICDE record."""
+    title = first_region(x, "bold")
+    authors = first_region(x, "italic")
+    return [(title, authors)]
+
+
+def amazon_extractor(x):
+    """(title, listPrice, newPrice, usedPrice) of an Amazon record."""
+    title = first_region(x, "bold")
+    return [(
+        title,
+        number_after(x, "List: $"),
+        number_after(x, "New: $"),
+        number_after(x, "Used: $"),
+    )]
+
+
+def barnes_extractor(x):
+    """(title, price) of a Barnes record."""
+    title = first_region(x, "hyperlink")
+    price = number_after(x, "Our Price: $")
+    return [(title, price)]

@@ -1,0 +1,35 @@
+"""The Manual baseline: a human inspects every record by hand.
+
+Entirely a time model (there is nothing to execute); the paper stops
+the method and reports "—" once it is clearly non-scalable, which the
+model reproduces with a time budget.
+"""
+
+from dataclasses import dataclass
+
+from repro.baselines.cost_model import CostModel
+
+__all__ = ["ManualOutcome", "run_manual_baseline"]
+
+
+@dataclass
+class ManualOutcome:
+    minutes: object  # float, or None for DNF ("—")
+    record_count: int
+
+    @property
+    def finished(self):
+        return self.minutes is not None
+
+    def display(self):
+        if self.minutes is None:
+            return "—"
+        return "%d" % max(1, round(self.minutes))
+
+
+def run_manual_baseline(task, cost_model=None):
+    """Price the manual workflow for one scenario."""
+    cost_model = cost_model or CostModel()
+    record_count = sum(task.table_sizes().values())
+    minutes = cost_model.manual_minutes(task.task_id, record_count)
+    return ManualOutcome(minutes=minutes, record_count=record_count)

@@ -1,0 +1,348 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run PROGRAM --table pages=./html_dir [--query Q]
+    python -m repro explain PROGRAM --table pages=./html_dir
+    python -m repro session PROGRAM --table pages=./html_dir
+    python -m repro tables --which 3 --scale 0.25
+    python -m repro demo
+
+``run`` executes an Alog program over a corpus of HTML files and prints
+the resulting compact table; ``explain`` prints the compiled plans;
+``session`` starts an interactive best-effort refinement loop (the
+assistant asks *you* the questions); ``tables`` regenerates the paper's
+evaluation tables; ``demo`` runs the built-in Figure 1-3 example.
+
+The built-in p-functions ``similar`` and ``approxMatch`` (token-Jaccard,
+``--similar-threshold``) are always registered.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.assistant.interactive import InteractiveDeveloper
+from repro.assistant.session import RefinementSession
+from repro.assistant.strategies import SequentialStrategy, SimulationStrategy
+from repro.processor.executor import IFlexEngine
+from repro.processor.library import make_similar
+from repro.text.corpus import Corpus
+from repro.text.html_parser import parse_html
+from repro.xlog.program import PFunction, Program
+
+__all__ = ["main", "build_parser", "load_corpus", "load_program"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iFlex: best-effort information extraction (SIGMOD 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_program_args(p):
+        p.add_argument("program", help="path to an Alog program file")
+        p.add_argument(
+            "--table",
+            action="append",
+            default=[],
+            metavar="NAME=PATH",
+            help="extensional table: NAME=(html file | directory of html files); repeatable",
+        )
+        p.add_argument("--query", help="query predicate (default: first rule head)")
+        p.add_argument(
+            "--similar-threshold",
+            type=float,
+            default=0.6,
+            help="Jaccard threshold for the built-in similar()/approxMatch()",
+        )
+
+    run = sub.add_parser("run", help="execute a program and print the result")
+    add_program_args(run)
+    run.add_argument("--max-rows", type=int, default=25)
+    run.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print per-operator timings and cardinalities (EXPLAIN ANALYZE)",
+    )
+    run.add_argument(
+        "--json", action="store_true", help="emit the result table as JSON"
+    )
+    run.add_argument(
+        "--csv", action="store_true", help="emit best-guess rows as CSV"
+    )
+
+    explain = sub.add_parser("explain", help="print the compiled plans")
+    add_program_args(explain)
+
+    session = sub.add_parser(
+        "session", help="interactive best-effort refinement session"
+    )
+    add_program_args(session)
+    session.add_argument(
+        "--strategy", choices=("sequential", "simulation"), default="sequential"
+    )
+    session.add_argument("--max-iterations", type=int, default=10)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument(
+        "--which",
+        default="1,2",
+        help="comma-separated table numbers from 1-6 (3-6 run experiments)",
+    )
+    tables.add_argument("--scale", type=float, default=0.25)
+    tables.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser(
+        "generate", help="emit a synthetic corpus (HTML + ground truth) to disk"
+    )
+    generate.add_argument(
+        "domain", choices=("movies", "dblp", "books", "dblife")
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument(
+        "--size", type=int, help="records per table (default: domain defaults)"
+    )
+    generate.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("demo", help="run the built-in Figure 1-3 example")
+    return parser
+
+
+def load_corpus(table_args):
+    """Build a corpus from ``NAME=PATH`` arguments."""
+    corpus = Corpus()
+    for spec in table_args:
+        if "=" not in spec:
+            raise SystemExit("--table expects NAME=PATH, got %r" % (spec,))
+        name, raw_path = spec.split("=", 1)
+        path = pathlib.Path(raw_path)
+        if path.is_dir():
+            files = sorted(
+                p for p in path.iterdir() if p.suffix.lower() in (".html", ".htm")
+            )
+        elif path.is_file():
+            files = [path]
+        else:
+            raise SystemExit("no such file or directory: %s" % (path,))
+        docs = [
+            parse_html("%s:%s" % (name, f.name), f.read_text(encoding="utf-8"))
+            for f in files
+        ]
+        if not docs:
+            raise SystemExit("table %r has no .html documents" % (name,))
+        corpus.add_table(name, docs)
+    return corpus
+
+
+def load_program(args, corpus):
+    source = pathlib.Path(args.program).read_text(encoding="utf-8")
+    similar = make_similar(args.similar_threshold)
+    return Program.parse(
+        source,
+        extensional=corpus.table_names(),
+        p_functions={
+            "similar": PFunction("similar", similar),
+            "approxMatch": PFunction("approxMatch", similar),
+        },
+        query=args.query,
+    )
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+def _cmd_run(args):
+    corpus = load_corpus(args.table)
+    program = load_program(args, corpus)
+    program.check_safety()
+    engine = IFlexEngine(program, corpus)
+    if args.analyze:
+        result, report = engine.explain_analyze()
+        print(report)
+        print()
+    else:
+        result = engine.execute()
+    if args.json:
+        from repro.ctables.export import table_to_json
+
+        print(table_to_json(result.query_table, indent=2))
+        return 0
+    if args.csv:
+        from repro.ctables.export import table_to_csv
+
+        print(table_to_csv(result.query_table), end="")
+        return 0
+    print(result.query_table.pretty(max_rows=args.max_rows))
+    summary = result.summary()
+    print(
+        "\n%d tuples (%d maybe), %d assignments, %.3fs"
+        % (
+            summary["tuples"],
+            summary["maybe"],
+            summary["assignments"],
+            summary["elapsed_s"],
+        )
+    )
+    return 0
+
+
+def _cmd_explain(args):
+    corpus = load_corpus(args.table)
+    program = load_program(args, corpus)
+    print(IFlexEngine(program, corpus).explain())
+    return 0
+
+
+def _cmd_session(args):
+    corpus = load_corpus(args.table)
+    program = load_program(args, corpus)
+    developer = InteractiveDeveloper()
+    strategy = (
+        SimulationStrategy() if args.strategy == "simulation" else SequentialStrategy()
+    )
+    session = RefinementSession(
+        program,
+        corpus,
+        developer,
+        strategy=strategy,
+        max_iterations=args.max_iterations,
+    )
+    developer.session = session
+    trace = session.run()
+    print("\n=== session finished (converged: %s) ===" % trace.converged)
+    print(trace.final_result.query_table.pretty())
+    print("\nrefined program:\n%s" % trace.program.source())
+    return 0
+
+
+def _cmd_tables(args):
+    import os
+
+    os.environ["REPRO_SCALE"] = str(args.scale)
+    from repro.experiments import (
+        convergence_stat,
+        render_table,
+        table1,
+        table2,
+        table3,
+        table4,
+        table5,
+        table6,
+    )
+
+    which = {int(w) for w in args.which.split(",") if w.strip()}
+    producers = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5, 6: table6}
+    for number in sorted(which):
+        producer = producers.get(number)
+        if producer is None:
+            raise SystemExit("unknown table %d (choose 1-6)" % (number,))
+        kwargs = {}
+        if number in (3, 4, 5):
+            kwargs = {"seed": args.seed, "scale": args.scale}
+        elif number == 6:
+            kwargs = {"seed": args.seed}
+        headers, rows, extras = producer(**kwargs)
+        print(render_table(headers, rows, title="Table %d" % number))
+        if number == 3:
+            stat = convergence_stat(extras)
+            print(
+                "\nconvergence: %d/%d scenarios at 100%%"
+                % (stat["exact"], stat["scenarios"])
+            )
+        print()
+    return 0
+
+
+def _cmd_generate(args):
+    from repro.datagen.emit import emit_tables
+
+    if args.domain == "movies":
+        from repro.datagen.movies import MOVIE_TABLE_SIZES, generate_movies
+
+        sizes = (
+            {name: args.size for name in MOVIE_TABLE_SIZES} if args.size else None
+        )
+        tables = generate_movies(sizes, seed=args.seed)
+    elif args.domain == "dblp":
+        from repro.datagen.dblp import DBLP_TABLE_SIZES, generate_dblp
+
+        sizes = {name: args.size for name in DBLP_TABLE_SIZES} if args.size else None
+        tables = generate_dblp(sizes, seed=args.seed)
+    elif args.domain == "books":
+        from repro.datagen.books import BOOK_TABLE_SIZES, generate_books
+
+        sizes = {name: args.size for name in BOOK_TABLE_SIZES} if args.size else None
+        tables = generate_books(sizes, seed=args.seed)
+    else:  # dblife
+        from repro.datagen.dblife import generate_dblife
+
+        pages = (
+            {"conference": args.size, "project": args.size, "homepage": args.size}
+            if args.size
+            else None
+        )
+        records, _ = generate_dblife(pages, seed=args.seed)
+        tables = {"docs": records}
+    written = emit_tables(tables, args.out)
+    print(
+        "wrote %d files under %s (%s)"
+        % (len(written), args.out, ", ".join(sorted(tables)))
+    )
+    return 0
+
+
+def _run_demo():
+    from repro import Corpus as _Corpus
+
+    house1 = parse_html(
+        "x1",
+        "<p>Cozy house. Sqft: 2750. Price: <b>$351,000</b>. "
+        "High school: Vanhise High.</p>",
+    )
+    house2 = parse_html(
+        "x2",
+        "<p>Amazing house. Sqft: 4700. Price: <b>$619,000</b>. "
+        "High school: Basktall HS.</p>",
+    )
+    school = parse_html("y1", "<p>Top schools: <b>Basktall</b>, <b>Vanhise</b></p>")
+    corpus = _Corpus({"housePages": [house1, house2], "schoolPages": [school]})
+    similar = make_similar(0.4)
+    program = Program.parse(
+        """
+        houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(@x, p, a, h).
+        schools(s)? :- schoolPages(y), extractSchools(@y, s).
+        Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500,
+            approxMatch(@h, @s).
+        extractHouses(@x, p, a, h) :- from(@x, p), from(@x, a), from(@x, h),
+            numeric(p) = yes, numeric(a) = yes.
+        extractSchools(@y, s) :- from(@y, s), bold_font(s) = yes.
+        """,
+        extensional=["housePages", "schoolPages"],
+        p_functions={"approxMatch": PFunction("approxMatch", similar)},
+        query="Q",
+    )
+    result = IFlexEngine(program, corpus).execute()
+    print("houses:\n%s\n" % result.tables["houses"].pretty())
+    print("schools:\n%s\n" % result.tables["schools"].pretty())
+    print("Q:\n%s" % result.query_table.pretty())
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    commands = {
+        "run": _cmd_run,
+        "explain": _cmd_explain,
+        "session": _cmd_session,
+        "tables": _cmd_tables,
+        "generate": _cmd_generate,
+        "demo": lambda a: _run_demo(),
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

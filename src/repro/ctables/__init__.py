@@ -1,0 +1,47 @@
+"""Approximate data representations: assignments, compact tables, a-tables."""
+
+from repro.ctables.assignments import (
+    Assignment,
+    Contain,
+    Exact,
+    value_key,
+    value_number,
+    value_text,
+    values_equal,
+)
+from repro.ctables.atable import ATable, ATuple
+from repro.ctables.convert import atable_to_compact, compact_to_atable
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.ctables.diff import TableDiff, diff_tables
+from repro.ctables.export import (
+    result_to_dict,
+    table_to_csv,
+    table_to_dicts,
+    table_to_json,
+)
+from repro.ctables.worlds import atable_worlds, compact_worlds
+
+__all__ = [
+    "ATable",
+    "ATuple",
+    "Assignment",
+    "Cell",
+    "CompactTable",
+    "CompactTuple",
+    "Contain",
+    "Exact",
+    "atable_to_compact",
+    "atable_worlds",
+    "TableDiff",
+    "compact_to_atable",
+    "compact_worlds",
+    "diff_tables",
+    "result_to_dict",
+    "table_to_csv",
+    "table_to_dicts",
+    "table_to_json",
+    "value_key",
+    "value_number",
+    "value_text",
+    "values_equal",
+]

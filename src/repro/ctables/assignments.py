@@ -1,0 +1,164 @@
+"""Assignments: the atoms of compact tables (paper section 3).
+
+An assignment encodes a set of possible values for one table cell:
+
+``exact(v)``
+    exactly the value ``v`` — a span, or a scalar cast from one;
+``contain(s)``
+    every value that is the span ``s`` itself or a (token-aligned)
+    sub-span of it.
+
+``V(m(s))`` — the set of values an assignment encodes — is what all the
+possible-worlds machinery is defined over.  For ``contain`` it is
+quadratic in the token count, so enumeration is always explicit and
+capped; operators that cannot afford it fall back to assignment-level
+reasoning.
+"""
+
+from repro.text.span import Span
+from repro.text.tokenize import parse_number
+
+__all__ = [
+    "Assignment",
+    "Exact",
+    "Contain",
+    "value_key",
+    "value_text",
+    "value_number",
+    "values_equal",
+]
+
+
+def value_key(value):
+    """A hashable canonical key for a cell value.
+
+    Spans key by (doc, start, end); numbers by their float value so an
+    ``exact`` cast from the span "92" equals the scalar 92.
+    """
+    if isinstance(value, Span):
+        return ("span", value.doc.doc_id, value.start, value.end)
+    if isinstance(value, bool):
+        return ("str", str(value))
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    return ("str", str(value))
+
+
+def value_text(value):
+    """The textual content of a value."""
+    if isinstance(value, Span):
+        return value.text
+    return str(value)
+
+
+def value_number(value):
+    """The numeric content of a value, or ``None``."""
+    if isinstance(value, Span):
+        return value.numeric_value
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    return parse_number(str(value))
+
+
+def values_equal(left, right):
+    return value_key(left) == value_key(right)
+
+
+class Assignment:
+    """Base class; use :class:`Exact` or :class:`Contain`."""
+
+    __slots__ = ()
+
+    def enumerate_values(self, limit=None):
+        """``(values, complete)`` — up to ``limit`` encoded values and
+
+        whether the enumeration covered everything.
+        """
+        raise NotImplementedError
+
+    def value_count(self):
+        """How many values the assignment encodes."""
+        raise NotImplementedError
+
+    def encodes(self, value):
+        """Membership test for ``V(self)``."""
+        raise NotImplementedError
+
+    @property
+    def anchor_span(self):
+        """The span the assignment is anchored on, or ``None`` for
+
+        scalar exacts.  Used by Refine-based constraint application.
+        """
+        raise NotImplementedError
+
+
+class Exact(Assignment):
+    """``exact(v)``: exactly one value (paper: ``exact("92")`` = 92)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def enumerate_values(self, limit=None):
+        return [self.value], True
+
+    def value_count(self):
+        return 1
+
+    def encodes(self, value):
+        return values_equal(self.value, value)
+
+    @property
+    def anchor_span(self):
+        return self.value if isinstance(self.value, Span) else None
+
+    def __eq__(self, other):
+        return isinstance(other, Exact) and value_key(self.value) == value_key(other.value)
+
+    def __hash__(self):
+        return hash(("exact", value_key(self.value)))
+
+    def __repr__(self):
+        if isinstance(self.value, Span):
+            return "exact(%r)" % (self.value.text,)
+        return "exact(%r)" % (self.value,)
+
+
+class Contain(Assignment):
+    """``contain(s)``: ``s`` and all its token-aligned sub-spans."""
+
+    __slots__ = ("span",)
+
+    def __init__(self, span):
+        if not isinstance(span, Span):
+            raise TypeError("contain() takes a Span, got %r" % (span,))
+        self.span = span
+
+    def enumerate_values(self, limit=None):
+        total = self.span.count_token_aligned_subspans()
+        if limit is not None and total > limit:
+            return self.span.token_aligned_subspans(max_count=limit), False
+        return self.span.token_aligned_subspans(), True
+
+    def value_count(self):
+        return self.span.count_token_aligned_subspans()
+
+    def encodes(self, value):
+        return isinstance(value, Span) and self.span.contains(value)
+
+    @property
+    def anchor_span(self):
+        return self.span
+
+    def __eq__(self, other):
+        return isinstance(other, Contain) and self.span == other.span
+
+    def __hash__(self):
+        return hash(("contain", value_key(self.span)))
+
+    def __repr__(self):
+        return "contain(%r)" % (self.span.text,)

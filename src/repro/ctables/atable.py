@@ -1,0 +1,90 @@
+"""A-tables: approximate tables with explicit value sets (section 3).
+
+An a-tuple holds, per attribute, the multiset of its possible values;
+a ``?`` marks a maybe a-tuple.  A-tables are the paper's baseline
+representation (after [19]); compact tables condense them.  We keep
+them because the ψ/BAnnotate operator is defined over a-tables and
+because tests use them as the bridge to possible-worlds semantics.
+"""
+
+from repro.ctables.assignments import value_key
+
+__all__ = ["ATuple", "ATable"]
+
+
+class ATuple:
+    """A tuple of value multisets, optionally maybe."""
+
+    __slots__ = ("cells", "maybe")
+
+    def __init__(self, cells, maybe=False):
+        normalised = []
+        for cell in cells:
+            values = list(cell)
+            if not values:
+                raise ValueError("a-tuple cell must be non-empty")
+            normalised.append(tuple(values))
+        self.cells = tuple(normalised)
+        self.maybe = bool(maybe)
+
+    def __len__(self):
+        return len(self.cells)
+
+    def __repr__(self):
+        suffix = " ?" if self.maybe else ""
+        return "(%s)%s" % (
+            ", ".join("{%s}" % ", ".join(map(repr, c)) for c in self.cells),
+            suffix,
+        )
+
+    def world_options(self):
+        """All concrete tuples this a-tuple can become, as value-key
+
+        tuples; prepends ``None`` when the tuple is maybe (absent).
+        """
+        import itertools
+
+        options = []
+        if self.maybe:
+            options.append(None)
+        deduped = [
+            list({value_key(v): v for v in cell}.values()) for cell in self.cells
+        ]
+        for combo in itertools.product(*deduped):
+            options.append(tuple(value_key(v) for v in combo))
+        return options
+
+
+class ATable:
+    """A named-attribute multiset of a-tuples."""
+
+    __slots__ = ("attrs", "tuples")
+
+    def __init__(self, attrs, tuples=()):
+        self.attrs = tuple(attrs)
+        self.tuples = []
+        for t in tuples:
+            self.add(t)
+
+    def add(self, atuple):
+        if len(atuple) != len(self.attrs):
+            raise ValueError(
+                "a-tuple arity %d does not match attrs %r" % (len(atuple), self.attrs)
+            )
+        self.tuples.append(atuple)
+        return self
+
+    def attr_index(self, name):
+        try:
+            return self.attrs.index(name)
+        except ValueError:
+            raise KeyError("no attribute %r in %r" % (name, self.attrs))
+
+    def __len__(self):
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __repr__(self):
+        return "ATable(%r, %d tuples)" % (list(self.attrs), len(self.tuples))

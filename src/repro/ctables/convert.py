@@ -1,0 +1,82 @@
+"""Conversion between compact tables and a-tables (section 3).
+
+Compact → a-table is the paper's two-step recipe: repeatedly expand
+expansion cells (each expansion value becomes its own tuple, inheriting
+the maybe flag), then replace each remaining cell's assignments with
+the value set they encode.  The expansion step can be exponential, so
+it is always capped; callers that cannot afford the conversion reason
+at the assignment level instead.
+"""
+
+import itertools
+
+from repro.ctables.assignments import Exact, value_key
+from repro.ctables.atable import ATable, ATuple
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.errors import EnumerationLimitError
+
+__all__ = ["compact_to_atable", "atable_to_compact", "expand_expansion_cells"]
+
+DEFAULT_VALUE_LIMIT = 10_000
+
+
+def _cell_values(cell, limit):
+    values, complete = cell.enumerate_values(limit)
+    if not complete:
+        raise EnumerationLimitError(
+            "cell encodes more than %d values; raise the limit or use "
+            "assignment-level operators" % (limit,)
+        )
+    return values
+
+
+def expand_expansion_cells(compact_tuple, value_limit=DEFAULT_VALUE_LIMIT):
+    """The set of expansion-free compact tuples a tuple stands for.
+
+    Mirrors section 3: replace each expansion cell with one
+    ``exact(v)`` per encoded value, cross-producting over multiple
+    expansion cells; maybe flags are inherited.
+    """
+    expansion_indexes = [
+        i for i, cell in enumerate(compact_tuple.cells) if cell.is_expansion
+    ]
+    if not expansion_indexes:
+        return [compact_tuple]
+    per_index_values = []
+    for i in expansion_indexes:
+        per_index_values.append(_cell_values(compact_tuple.cells[i], value_limit))
+    out = []
+    for combo in itertools.product(*per_index_values):
+        cells = list(compact_tuple.cells)
+        for i, value in zip(expansion_indexes, combo):
+            cells[i] = Cell((Exact(value),))
+        out.append(CompactTuple(cells, maybe=compact_tuple.maybe))
+        if len(out) > value_limit:
+            raise EnumerationLimitError(
+                "expansion produced more than %d tuples" % (value_limit,)
+            )
+    return out
+
+
+def compact_to_atable(ctable, value_limit=DEFAULT_VALUE_LIMIT):
+    """Convert a compact table to the a-table it represents."""
+    atable = ATable(ctable.attrs)
+    for compact_tuple in ctable:
+        for flat in expand_expansion_cells(compact_tuple, value_limit):
+            cells = [_cell_values(cell, value_limit) for cell in flat.cells]
+            if any(not values for values in cells):
+                continue  # an empty cell means the tuple vanished
+            atable.add(ATuple(cells, maybe=flat.maybe))
+    return atable
+
+
+def atable_to_compact(atable):
+    """Represent an a-table as a compact table of ``exact`` choices."""
+    ctable = CompactTable(atable.attrs)
+    for atuple in atable:
+        cells = []
+        for values in atuple.cells:
+            deduped = list({value_key(v): v for v in values}.values())
+            cells.append(Cell(tuple(Exact(v) for v in deduped)))
+        ctable.add(CompactTuple(cells, maybe=atuple.maybe))
+    return ctable

@@ -1,0 +1,148 @@
+"""Diffing compact tables across refinement iterations.
+
+The paper's loop is "execute, *examine the result*, refine".  A diff of
+consecutive results is what the developer actually examines: which
+tuples disappeared, which appeared, which cells narrowed.  Tuples are
+matched by their *key cells* (single-valued exact cells — typically the
+document / group key the ψ operator produced).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ctables.assignments import Exact, value_key, value_text
+
+__all__ = ["TableDiff", "diff_tables"]
+
+
+@dataclass
+class TableDiff:
+    """What changed from ``before`` to ``after``."""
+
+    added_keys: list = field(default_factory=list)
+    removed_keys: list = field(default_factory=list)
+    narrowed: list = field(default_factory=list)   # (key, attr, before_n, after_n)
+    widened: list = field(default_factory=list)    # (key, attr, before_n, after_n)
+    maybe_changed: list = field(default_factory=list)  # (key, before, after)
+    unmatched: int = 0  # tuples without a usable key on either side
+
+    @property
+    def is_empty(self):
+        return not (
+            self.added_keys
+            or self.removed_keys
+            or self.narrowed
+            or self.widened
+            or self.maybe_changed
+        )
+
+    def summary(self):
+        parts = []
+        if self.removed_keys:
+            parts.append("-%d tuples" % len(self.removed_keys))
+        if self.added_keys:
+            parts.append("+%d tuples" % len(self.added_keys))
+        if self.narrowed:
+            parts.append("%d cells narrowed" % len(self.narrowed))
+        if self.widened:
+            parts.append("%d cells widened" % len(self.widened))
+        if self.maybe_changed:
+            parts.append("%d maybe flips" % len(self.maybe_changed))
+        return ", ".join(parts) or "no change"
+
+    def report(self, max_rows=8):
+        lines = [self.summary()]
+        for key in self.removed_keys[:max_rows]:
+            lines.append("  - %s" % (key,))
+        for key in self.added_keys[:max_rows]:
+            lines.append("  + %s" % (key,))
+        for key, attr, before_n, after_n in self.narrowed[:max_rows]:
+            lines.append("  ~ %s.%s: %d -> %d values" % (key, attr, before_n, after_n))
+        return "\n".join(lines)
+
+
+def _is_keylike(cell):
+    return (
+        not cell.is_expansion
+        and len(cell.assignments) == 1
+        and isinstance(cell.assignments[0], Exact)
+    )
+
+
+def _keylike_attrs(table):
+    """Attributes whose cell is a single exact value in *every* tuple."""
+    keylike = set(table.attrs)
+    for t in table:
+        for attr, cell in zip(table.attrs, t.cells):
+            if attr in keylike and not _is_keylike(cell):
+                keylike.discard(attr)
+    return keylike
+
+
+def diff_tables(before, after):
+    """Diff two compact tables with the same attributes.
+
+    Tuples are matched on the *common key attributes* — those that hold
+    a single exact value in every tuple of both tables (for ψ outputs
+    that is exactly the group key).  Tables with no common key attribute
+    cannot be matched tuple-wise; everything counts as unmatched.
+    """
+    if tuple(before.attrs) != tuple(after.attrs):
+        raise ValueError(
+            "cannot diff tables with different attrs: %r vs %r"
+            % (before.attrs, after.attrs)
+        )
+    diff = TableDiff()
+    key_attrs = [
+        attr
+        for attr in before.attrs
+        if attr in (_keylike_attrs(before) & _keylike_attrs(after))
+    ]
+    if not key_attrs:
+        diff.unmatched = len(before.tuples) + len(after.tuples)
+        return diff
+    key_indexes = [before.attrs.index(a) for a in key_attrs]
+
+    def tuple_key(t):
+        identity = []
+        display = []
+        for attr, i in zip(key_attrs, key_indexes):
+            value = t.cells[i].assignments[0].value
+            identity.append(value_key(value))
+            text = value_text(value)
+            if len(text) > 40:
+                text = text[:37] + "..."
+            display.append("%s=%s" % (attr, text))
+        return tuple(identity), "(%s)" % ", ".join(display)
+
+    def index(table):
+        out = {}
+        for t in table:
+            identity, display = tuple_key(t)
+            out[identity] = (t, display)
+        return out
+
+    before_index = index(before)
+    after_index = index(after)
+
+    for identity, (_, display) in before_index.items():
+        if identity not in after_index:
+            diff.removed_keys.append(display)
+    for identity, (_, display) in after_index.items():
+        if identity not in before_index:
+            diff.added_keys.append(display)
+
+    for identity in before_index.keys() & after_index.keys():
+        before_tuple, display = before_index[identity]
+        after_tuple, _ = after_index[identity]
+        if before_tuple.maybe != after_tuple.maybe:
+            diff.maybe_changed.append((display, before_tuple.maybe, after_tuple.maybe))
+        for attr, cell_before, cell_after in zip(
+            before.attrs, before_tuple.cells, after_tuple.cells
+        ):
+            count_before = cell_before.value_count()
+            count_after = cell_after.value_count()
+            if count_after < count_before:
+                diff.narrowed.append((display, attr, count_before, count_after))
+            elif count_after > count_before:
+                diff.widened.append((display, attr, count_before, count_after))
+    return diff

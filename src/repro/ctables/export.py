@@ -1,0 +1,114 @@
+"""Exporting compact tables and execution results.
+
+Downstream users of a best-effort IE system need the approximate
+results *out* of the engine: as plain Python structures, JSON, or CSV.
+Exports preserve the approximation structure — each cell reports its
+assignments (kind + text + offsets), expansion flags, and maybe flags —
+or can flatten to "best guess" rows (one value per cell) for quick
+spreadsheeting.
+"""
+
+import csv
+import io
+import json
+
+from repro.ctables.assignments import Contain, Exact, value_text
+from repro.text.span import Span
+
+__all__ = [
+    "assignment_to_dict",
+    "cell_to_dict",
+    "table_to_dicts",
+    "table_to_json",
+    "table_to_csv",
+    "result_to_dict",
+]
+
+
+def _span_to_dict(span):
+    return {
+        "doc": span.doc.doc_id,
+        "start": span.start,
+        "end": span.end,
+        "text": span.text,
+    }
+
+
+def assignment_to_dict(assignment):
+    """One assignment as a plain dict."""
+    if isinstance(assignment, Exact):
+        value = assignment.value
+        if isinstance(value, Span):
+            return {"kind": "exact", "span": _span_to_dict(value)}
+        return {"kind": "exact", "value": value}
+    if isinstance(assignment, Contain):
+        return {"kind": "contain", "span": _span_to_dict(assignment.span)}
+    raise TypeError("not an assignment: %r" % (assignment,))
+
+
+def cell_to_dict(cell):
+    return {
+        "expansion": cell.is_expansion,
+        "assignments": [assignment_to_dict(a) for a in cell.assignments],
+    }
+
+
+def table_to_dicts(table):
+    """The full structure-preserving export."""
+    return {
+        "attrs": list(table.attrs),
+        "tuples": [
+            {
+                "maybe": t.maybe,
+                "cells": {
+                    attr: cell_to_dict(cell)
+                    for attr, cell in zip(table.attrs, t.cells)
+                },
+            }
+            for t in table
+        ],
+    }
+
+
+def table_to_json(table, indent=None):
+    return json.dumps(table_to_dicts(table), indent=indent, ensure_ascii=False)
+
+
+def _best_guess(cell):
+    """A single representative value text for a cell.
+
+    Prefers exact assignments (first, deterministically); falls back to
+    the anchor span of a contain family.
+    """
+    for assignment in cell.assignments:
+        if isinstance(assignment, Exact):
+            return value_text(assignment.value)
+    for assignment in cell.assignments:
+        if isinstance(assignment, Contain):
+            return assignment.span.text
+    return ""
+
+
+def table_to_csv(table, include_maybe_column=True):
+    """Flatten to one best-guess row per compact tuple."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = list(table.attrs)
+    if include_maybe_column:
+        header.append("maybe")
+    writer.writerow(header)
+    for t in table:
+        row = [_best_guess(cell) for cell in t.cells]
+        if include_maybe_column:
+            row.append("?" if t.maybe else "")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def result_to_dict(result):
+    """Export an :class:`~repro.processor.executor.ExecutionResult`."""
+    return {
+        "summary": result.summary(),
+        "reuse": dict(result.reuse_summary),
+        "tables": {name: table_to_dicts(t) for name, t in result.tables.items()},
+    }

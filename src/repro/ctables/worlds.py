@@ -1,0 +1,51 @@
+"""Possible-worlds enumeration (used as the reference semantics).
+
+A compact table / a-table *represents* a set of possible relations.
+These enumerators materialise that set for bounded inputs so tests can
+check, world by world, that the approximate query processor's output is
+a superset of the exact answer (the paper's superset semantics, section
+4).  They are deliberately naive and capped — correctness oracles, not
+production paths.
+"""
+
+import itertools
+
+from repro.ctables.convert import compact_to_atable
+from repro.errors import EnumerationLimitError
+
+__all__ = ["atable_worlds", "compact_worlds", "world_of_exact_tuples"]
+
+DEFAULT_MAX_WORLDS = 200_000
+
+
+def atable_worlds(atable, max_worlds=DEFAULT_MAX_WORLDS):
+    """The set of possible relations of an a-table.
+
+    Each world is a frozenset of concrete tuples (tuples of value
+    keys).  Duplicate worlds are collapsed; the paper's possible
+    relations are compared setwise, which is what the tests need.
+    """
+    per_tuple_options = [atuple.world_options() for atuple in atable]
+    count = 1
+    for options in per_tuple_options:
+        count *= len(options)
+        if count > max_worlds:
+            raise EnumerationLimitError(
+                "a-table represents more than %d worlds" % (max_worlds,)
+            )
+    worlds = set()
+    for combo in itertools.product(*per_tuple_options):
+        worlds.add(frozenset(t for t in combo if t is not None))
+    return worlds
+
+
+def compact_worlds(ctable, max_worlds=DEFAULT_MAX_WORLDS, value_limit=10_000):
+    """The set of possible relations of a compact table."""
+    return atable_worlds(compact_to_atable(ctable, value_limit), max_worlds)
+
+
+def world_of_exact_tuples(rows):
+    """Build a world (frozenset of value-key tuples) from concrete rows."""
+    from repro.ctables.assignments import value_key
+
+    return frozenset(tuple(value_key(v) for v in row) for row in rows)

@@ -1,0 +1,21 @@
+"""Synthetic corpora with ground truth (substitute for crawled pages)."""
+
+from repro.datagen.base import Record, build_record, find_span
+from repro.datagen.books import BOOK_TABLE_SIZES, generate_books
+from repro.datagen.dblife import DBLIFE_DEFAULT_PAGES, generate_dblife
+from repro.datagen.dblp import DBLP_TABLE_SIZES, generate_dblp
+from repro.datagen.movies import MOVIE_TABLE_SIZES, generate_movies
+
+__all__ = [
+    "BOOK_TABLE_SIZES",
+    "DBLIFE_DEFAULT_PAGES",
+    "DBLP_TABLE_SIZES",
+    "MOVIE_TABLE_SIZES",
+    "Record",
+    "build_record",
+    "find_span",
+    "generate_books",
+    "generate_dblife",
+    "generate_dblp",
+    "generate_movies",
+]

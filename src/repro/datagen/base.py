@@ -1,0 +1,88 @@
+"""Shared plumbing for the synthetic page generators.
+
+Each generator emits :class:`Record` objects: one document (a page
+fragment describing one entity, as in the paper's experimental setup)
+plus the ground-truth value and span of every attribute.  Spans are
+located *after* HTML parsing, by searching the flattened text with the
+surrounding context the generator knows it emitted — so ground truth
+always refers to real offsets in the document the engine sees.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+from repro.text.html_parser import parse_html
+from repro.text.span import Span
+
+__all__ = ["Record", "build_record", "find_span", "corpus_tag"]
+
+
+def corpus_tag(seed, sizes):
+    """A short deterministic tag for one generation run.
+
+    Document ids embed it so two corpora generated with different
+    parameters can never collide — id collisions would poison every
+    doc-id-keyed cache (token memoisation, the executor's reuse cache).
+    """
+    import zlib
+
+    blob = repr((seed, sorted(dict(sizes).items()))).encode()
+    return "%06x" % (zlib.crc32(blob) & 0xFFFFFF)
+
+
+@dataclass
+class Record:
+    """One record document with its ground truth."""
+
+    doc: object
+    values: dict = field(default_factory=dict)  # attr -> scalar value
+    spans: dict = field(default_factory=dict)   # attr -> Span
+    html: str = ""                              # the source markup
+
+    def value(self, attr):
+        return self.values.get(attr)
+
+    def span(self, attr):
+        return self.spans.get(attr)
+
+
+def find_span(doc, text, after=None):
+    """The span of ``text`` in ``doc``, optionally anchored by context.
+
+    ``after`` is literal text that must immediately precede the match
+    (whitespace-tolerant).  Raises if the span cannot be located —
+    silent ground-truth gaps would corrupt every experiment downstream.
+    """
+    if after is not None:
+        pattern = re.escape(after) + r"\s*(" + re.escape(text) + r")"
+        match = re.search(pattern, doc.text)
+        if match is None:
+            raise ValueError(
+                "ground truth %r (after %r) not found in %s" % (text, after, doc.doc_id)
+            )
+        return Span(doc, match.start(1), match.end(1))
+    match = re.search(re.escape(text), doc.text)
+    if match is None:
+        raise ValueError("ground truth %r not found in %s" % (text, doc.doc_id))
+    return Span(doc, match.start(), match.end())
+
+
+def build_record(doc_id, html, truths, meta=None):
+    """Parse ``html`` and resolve ground truth.
+
+    ``truths`` maps attribute name to ``(value, text, after)`` — the
+    scalar value, the exact text to locate, and optional anchoring
+    context.  A ``None`` entry records an attribute that this record
+    genuinely lacks (e.g. journalYear of a conference paper).
+    """
+    doc = parse_html(doc_id, html, meta=meta)
+    record = Record(doc, html=html)
+    for attr, truth in truths.items():
+        if truth is None:
+            record.values[attr] = None
+            record.spans[attr] = None
+            continue
+        value, text, after = truth
+        record.values[attr] = value
+        record.spans[attr] = find_span(doc, text, after)
+    return record

@@ -1,0 +1,125 @@
+"""The Books domain (paper Table 1: Amazon / Barnes & Noble searches).
+
+Search-result pages divided into one record per book.  Barnes records
+carry a single "Our Price: $..." figure plus numeric distractors (ISBN,
+year, savings percentage) so the initial approximate program for T7
+over-matches heavily.  Amazon records carry three labelled prices
+("List: $", "New: $", "Used: $") for T8's equality/ordering filters.
+A planted overlap of titles sold on both sites, with correlated but
+different prices, drives the T9 cross-site comparison join.
+"""
+
+import random
+
+from repro.datagen.base import build_record, corpus_tag
+from repro.datagen.vocab import book_title, person_name, unique_choices
+
+__all__ = ["generate_books", "BOOK_TABLE_SIZES"]
+
+BOOK_TABLE_SIZES = {"Amazon": 2490, "Barnes": 5000}
+
+
+def _price(rng, lo=8.0, hi=260.0):
+    return round(rng.uniform(lo, hi), 2)
+
+
+def _isbn(rng):
+    return "%010d" % rng.randint(10 ** 9, 10 ** 10 - 1)
+
+
+def generate_books(sizes=None, seed=0, overlap=120):
+    """Generate the two book tables as ``{name: [Record]}``."""
+    sizes = dict(BOOK_TABLE_SIZES, **(sizes or {}))
+    tag = corpus_tag(seed, sizes)
+    rng = random.Random(seed + 2)
+    overlap = min(overlap, sizes["Amazon"], sizes["Barnes"])
+    total = sizes["Amazon"] + sizes["Barnes"] - overlap
+    titles = unique_choices(rng, book_title, total)
+    shared = titles[:overlap]
+    amazon_only = titles[overlap : sizes["Amazon"]]
+    barnes_only = titles[sizes["Amazon"] :]
+
+    shared_prices = {title: _price(rng) for title in shared}
+
+    amazon = []
+    for i, title in enumerate(shared + amazon_only, start=1):
+        base = shared_prices.get(title)
+        amazon.append(_amazon_record(rng, "amazon-%s" % tag, i, title, base))
+    barnes = []
+    for i, title in enumerate(shared + barnes_only, start=1):
+        base = shared_prices.get(title)
+        barnes.append(_barnes_record(rng, "barnes-%s" % tag, i, title, base))
+    rng.shuffle(amazon)
+    rng.shuffle(barnes)
+    return {"Amazon": amazon, "Barnes": barnes}
+
+
+def _amazon_record(rng, prefix, index, title, base_price):
+    list_price = base_price if base_price is not None else _price(rng)
+    # T8 plants records where list == new and used < new
+    if rng.random() < 0.25:
+        new_price = list_price
+        used_price = round(list_price * rng.uniform(0.3, 0.8), 2)
+    else:
+        new_price = round(list_price * rng.uniform(0.75, 0.97), 2)
+        used_price = round(list_price * rng.uniform(0.2, 1.1), 2)
+    author = person_name(rng)
+    year = rng.randint(1995, 2007)
+    html = (
+        "<div><p><a href='#'><b>{title}</b></a></p>"
+        "<p>by {author} ({year})</p>"
+        "<p>List: ${lp} New: ${np} Used: ${up}</p>"
+        "<p>ISBN: {isbn}. Usually ships in 2 days.</p></div>"
+    ).format(
+        title=title,
+        author=author,
+        year=year,
+        lp="%.2f" % list_price,
+        np="%.2f" % new_price,
+        up="%.2f" % used_price,
+        isbn=_isbn(rng),
+    )
+    return build_record(
+        "%s-%05d" % (prefix, index),
+        html,
+        {
+            "title": (title, title, None),
+            "listPrice": (list_price, "%.2f" % list_price, "List: $"),
+            "newPrice": (new_price, "%.2f" % new_price, "New: $"),
+            "usedPrice": (used_price, "%.2f" % used_price, "Used: $"),
+        },
+        meta={"table": "Amazon"},
+    )
+
+
+def _barnes_record(rng, prefix, index, title, base_price):
+    if base_price is not None:
+        # correlated with Amazon's list price: sometimes above, sometimes below
+        price = round(base_price * rng.uniform(0.85, 1.25), 2)
+    else:
+        price = _price(rng)
+    author = person_name(rng)
+    year = rng.randint(1995, 2007)
+    save_pct = rng.randint(5, 40)
+    html = (
+        "<div><p><a href='#'><b>{title}</b></a></p>"
+        "<p>by {author} ({year})</p>"
+        "<p>Our Price: <b>${price}</b>. You save {save}%.</p>"
+        "<p>ISBN: {isbn}. In stock.</p></div>"
+    ).format(
+        title=title,
+        author=author,
+        year=year,
+        price="%.2f" % price,
+        save=save_pct,
+        isbn=_isbn(rng),
+    )
+    return build_record(
+        "%s-%05d" % (prefix, index),
+        html,
+        {
+            "title": (title, title, None),
+            "price": (price, "%.2f" % price, "Our Price: $"),
+        },
+        meta={"table": "Barnes"},
+    )

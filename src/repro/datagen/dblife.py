@@ -1,0 +1,143 @@
+"""The DBLife domain (paper section 6.3).
+
+A heterogeneous snapshot of database-community Web pages: conference
+homepages (with panels, chairs, accepted papers), project pages (with
+member lists), and personal homepages (pure noise for the IE tasks).
+The paper's snapshot was 10,007 crawled pages; we default to a few
+hundred generated ones — same heterogeneity, laptop-scale (recorded as
+a deviation in EXPERIMENTS.md).
+
+Ground truth covers the three Table 6 tasks:
+
+* **Panel**  — (person, conference) pairs where the person is a panelist;
+* **Project** — (person, project) membership pairs;
+* **Chair**  — (person, type, conference) chair triples.
+"""
+
+import random
+
+from repro.datagen.base import build_record, corpus_tag, find_span
+from repro.datagen.vocab import TECH_TERMS, person_name
+
+__all__ = ["generate_dblife", "DBLIFE_DEFAULT_PAGES"]
+
+DBLIFE_DEFAULT_PAGES = {"conference": 120, "project": 100, "homepage": 80}
+
+_CHAIR_TYPES = ("PC", "General", "Demo", "Industrial")
+_CONF_NAMES = ("SIGMOD", "VLDB", "ICDE", "PODS", "EDBT", "CIKM", "SSDBM", "WEBDB")
+
+
+def generate_dblife(pages=None, seed=0):
+    """Generate the snapshot.
+
+    Returns ``(records, truth_rows)`` where ``records`` is the list of
+    page records (one table, ``docs``) and ``truth_rows`` maps task
+    name ('panel' / 'project' / 'chair') to the correct answer rows
+    (as text tuples).
+    """
+    pages = dict(DBLIFE_DEFAULT_PAGES, **(pages or {}))
+    tag = corpus_tag(seed, pages)
+    rng = random.Random(seed + 3)
+    records = []
+    truth_rows = {"panel": [], "project": [], "chair": []}
+
+    for i in range(pages["conference"]):
+        record, panel_rows, chair_rows = _conference_page(rng, "conf-%s" % tag, i)
+        records.append(record)
+        truth_rows["panel"].extend(panel_rows)
+        truth_rows["chair"].extend(chair_rows)
+    for i in range(pages["project"]):
+        record, member_rows = _project_page(rng, "proj-%s" % tag, i)
+        records.append(record)
+        truth_rows["project"].extend(member_rows)
+    for i in range(pages["homepage"]):
+        records.append(_homepage(rng, "home-%s" % tag, i))
+    return records, truth_rows
+
+
+def _conference_page(rng, prefix, index):
+    conf = "%s %d" % (rng.choice(_CONF_NAMES), rng.randint(1999, 2008))
+    has_panel = rng.random() < 0.6
+    panelists = (
+        [person_name(rng) for _ in range(rng.randint(2, 5))] if has_panel else []
+    )
+    chairs = [
+        (rng.choice(_CHAIR_TYPES), person_name(rng))
+        for _ in range(rng.randint(1, 3))
+    ]
+    papers = [
+        "%s over %s Streams" % (rng.choice(TECH_TERMS), rng.choice(TECH_TERMS))
+        for _ in range(rng.randint(2, 5))
+    ]
+    parts = [
+        "<html><title>%s: International Conference on Data Management</title><body>" % conf,
+        "<h2>Organization</h2><ul>",
+    ]
+    for chair_type, person in chairs:
+        parts.append("<li>%s Chair: %s</li>" % (chair_type, person))
+    parts.append("</ul>")
+    if has_panel:
+        parts.append("<h2>Panel Discussion</h2><ul>")
+        for person in panelists:
+            parts.append("<li>%s (panelist)</li>" % person)
+        parts.append("</ul>")
+    parts.append("<h2>Accepted Papers</h2><ul>")
+    for paper in papers:
+        parts.append("<li>%s</li>" % paper)
+    parts.append("</ul></body></html>")
+
+    truths = {"conference": (conf, conf, None)}
+    record = build_record(
+        "%s-%04d" % (prefix, index), "".join(parts), truths, meta={"kind": "conference"}
+    )
+    # resolve per-person ground-truth spans after parsing
+    panel_spans = [find_span(record.doc, p) for p in panelists]
+    chair_spans = [find_span(record.doc, p, after="Chair:") for _, p in chairs]
+    record.values["panelists"] = panelists
+    record.spans["panelists"] = panel_spans
+    record.values["chairs"] = chairs
+    record.spans["chairs"] = chair_spans
+    panel_rows = [(p, conf) for p in panelists]
+    chair_rows = [(p, t, conf) for t, p in chairs]
+    return record, panel_rows, chair_rows
+
+
+def _project_page(rng, prefix, index):
+    project = "%s%s" % (rng.choice(TECH_TERMS), rng.choice(("Base", "Lab", "Hub", "DB")))
+    members = [person_name(rng) for _ in range(rng.randint(2, 6))]
+    funding = rng.randint(100, 900)
+    parts = [
+        "<html><title>%s Project</title><body>" % project,
+        "<p>%s is a research project on %s management.</p>"
+        % (project, rng.choice(TECH_TERMS).lower()),
+        "<h2>Project Members</h2><ul>",
+    ]
+    for member in members:
+        parts.append("<li>%s</li>" % member)
+    parts.append("</ul><h2>Funding</h2><p>Supported by grant IIS-%07d ($%dK).</p>" % (
+        rng.randint(10 ** 6, 10 ** 7 - 1), funding,
+    ))
+    parts.append("</body></html>")
+    record = build_record(
+        "%s-%04d" % (prefix, index),
+        "".join(parts),
+        {"project": (project + " Project", project + " Project", None)},
+        meta={"kind": "project"},
+    )
+    record.values["members"] = members
+    record.spans["members"] = [find_span(record.doc, m) for m in members]
+    return record, [(m, project + " Project") for m in members]
+
+
+def _homepage(rng, prefix, index):
+    owner = person_name(rng)
+    interests = ", ".join(rng.choice(TECH_TERMS).lower() for _ in range(3))
+    html = (
+        "<html><title>Home page of {owner}</title><body>"
+        "<p>I am a researcher interested in {interests}.</p>"
+        "<h2>Teaching</h2><p>CS {num}: Introduction to Databases.</p>"
+        "</body></html>"
+    ).format(owner=owner, interests=interests, num=rng.randint(100, 799))
+    return build_record(
+        "%s-%04d" % (prefix, index), html, {}, meta={"kind": "homepage"}
+    )

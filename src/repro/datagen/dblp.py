@@ -1,0 +1,163 @@
+"""The DBLP domain (paper Table 1: Garcia-Molina / SIGMOD / ICDE / VLDB).
+
+Publication-list pages divided into one record per publication:
+
+* **GarciaMolina** — mixed journal and conference publications; journal
+  records carry a "... Journal, <year>." venue line (T4 extracts the
+  journal year);
+* **VLDB** — records with page ranges "pp. <first>-<last>." (T5 finds
+  short papers);
+* **SIGMOD** / **ICDE** — records with "by <authors>" lines, with a
+  planted set of authors who publish in both venues (T6's similarity
+  join on author lists).
+"""
+
+import random
+
+from repro.datagen.base import build_record, corpus_tag
+from repro.datagen.vocab import paper_title, person_name, unique_choices
+
+__all__ = ["generate_dblp", "DBLP_TABLE_SIZES"]
+
+DBLP_TABLE_SIZES = {
+    "GarciaMolina": 312,
+    "VLDB": 2136,
+    "SIGMOD": 1787,
+    "ICDE": 1798,
+}
+
+_JOURNALS = (
+    "TODS",
+    "VLDB",
+    "TKDE",
+    "Information Systems",
+    "Data Engineering",
+)
+_CONFERENCES = ("SIGMOD", "VLDB", "ICDE", "PODS", "EDBT", "KDD")
+
+
+def generate_dblp(sizes=None, seed=0, shared_author_teams=60):
+    """Generate the four DBLP tables as ``{name: [Record]}``."""
+    sizes = dict(DBLP_TABLE_SIZES, **(sizes or {}))
+    tag = corpus_tag(seed, sizes)
+    rng = random.Random(seed + 1)
+    total = sum(sizes.values())
+    titles = unique_choices(rng, paper_title, total)
+    cursor = 0
+
+    def next_title():
+        nonlocal cursor
+        title = titles[cursor]
+        cursor += 1
+        return title
+
+    tables = {}
+    tables["GarciaMolina"] = [
+        _gm_record(rng, "gm-%s" % tag, i, next_title())
+        for i in range(1, sizes["GarciaMolina"] + 1)
+    ]
+    tables["VLDB"] = [
+        _vldb_record(rng, "vldb-%s" % tag, i, next_title())
+        for i in range(1, sizes["VLDB"] + 1)
+    ]
+    # author teams planted in exactly one SIGMOD and one ICDE pub each,
+    # so T6's ground truth is a clean one-to-one match set
+    teams = [
+        ", ".join(person_name(rng, with_middle=True) for _ in range(rng.randint(2, 4)))
+        for _ in range(shared_author_teams)
+    ]
+    tables["SIGMOD"] = _venue_table(rng, "sigmod-%s" % tag, sizes["SIGMOD"], next_title, teams)
+    tables["ICDE"] = _venue_table(rng, "icde-%s" % tag, sizes["ICDE"], next_title, teams)
+    return tables
+
+
+def _venue_table(rng, prefix, size, next_title, teams):
+    planted = {}
+    if size:
+        team_count = min(len(teams), size)
+        positions = rng.sample(range(size), team_count)
+        planted = {pos: teams[k] for k, pos in enumerate(positions)}
+    return [
+        _venue_record(rng, prefix, i + 1, next_title(), planted.get(i))
+        for i in range(size)
+    ]
+
+
+def _authors(rng):
+    return ", ".join(
+        person_name(rng, with_middle=True) for _ in range(rng.randint(1, 4))
+    )
+
+
+def _gm_record(rng, prefix, index, title):
+    year = rng.randint(1978, 2006)
+    authors = _authors(rng)
+    is_journal = rng.random() < 0.35
+    if is_journal:
+        venue_line = "In {journal} Journal, {year}.".format(
+            journal=rng.choice(_JOURNALS), year=year
+        )
+        journal_truth = (year, str(year), "Journal,")
+    else:
+        venue_line = "In Proceedings of {conf} {year}.".format(
+            conf=rng.choice(_CONFERENCES), year=year
+        )
+        journal_truth = None
+    html = (
+        "<div><p><b>{title}</b></p>"
+        "<p>{authors}. {venue_line}</p></div>"
+    ).format(title=title, authors=authors, venue_line=venue_line)
+    return build_record(
+        "%s-%04d" % (prefix, index),
+        html,
+        {
+            "title": (title, title, None),
+            "journalYear": journal_truth,
+        },
+        meta={"table": "GarciaMolina", "journal": is_journal},
+    )
+
+
+def _vldb_record(rng, prefix, index, title):
+    year = rng.randint(1975, 2005)
+    first = rng.randint(1, 600)
+    length = rng.choice([rng.randint(1, 4), rng.randint(8, 24)])
+    last = first + length
+    authors = _authors(rng)
+    html = (
+        "<div><p><b>{title}</b></p>"
+        "<p>{authors}. VLDB {year}, pp. {first}-{last}.</p></div>"
+    ).format(title=title, authors=authors, year=year, first=first, last=last)
+    return build_record(
+        "%s-%04d" % (prefix, index),
+        html,
+        {
+            "title": (title, title, None),
+            "firstPage": (first, str(first), "pp."),
+            "lastPage": (last, str(last), "-"),
+        },
+        meta={"table": "VLDB", "pages": length + 1},
+    )
+
+
+def _venue_record(rng, prefix, index, title, planted_team):
+    if planted_team is not None:
+        authors = planted_team
+        shared = True
+    else:
+        authors = _authors(rng)
+        shared = False
+    year = rng.randint(1984, 2005)
+    html = (
+        "<div><p><a href='#'><b>{title}</b></a></p>"
+        "<p>by <i>{authors}</i>, {year}</p></div>"
+    ).format(title=title, authors=authors, year=year)
+    return build_record(
+        "%s-%04d" % (prefix, index),
+        html,
+        {
+            "title": (title, title, None),
+            "authors": (authors, authors, "by"),
+        },
+        meta={"table": prefix.split("-")[0].upper(), "shared_team": shared},
+    )

@@ -1,0 +1,69 @@
+"""Writing generated corpora to disk.
+
+The generators produce in-memory records; this module materialises
+them as directories of ``.html`` files (one per record, exactly the
+markup the record was built from) plus a ``ground_truth.json`` per
+table — so the CLI (``python -m repro run --table name=dir``) and any
+external tool can consume the same corpora the experiments use.
+"""
+
+import json
+import pathlib
+
+__all__ = ["emit_tables", "load_ground_truth"]
+
+
+def _truth_entry(record):
+    entry = {"values": {}, "spans": {}}
+    for attr, value in record.values.items():
+        if isinstance(value, (list, tuple)):
+            continue  # aggregate truths (e.g. panelist lists) are per-task
+        entry["values"][attr] = value
+    for attr, span in record.spans.items():
+        if span is None or isinstance(span, (list, tuple)):
+            continue
+        entry["spans"][attr] = {
+            "start": span.start,
+            "end": span.end,
+            "text": span.text,
+        }
+    return entry
+
+
+def emit_tables(tables, directory):
+    """Write ``{table: [Record]}`` under ``directory``.
+
+    Layout::
+
+        directory/<table>/<doc_id>.html
+        directory/<table>/ground_truth.json
+
+    Returns the list of written file paths.
+    """
+    root = pathlib.Path(directory)
+    written = []
+    for name, records in tables.items():
+        table_dir = root / name
+        table_dir.mkdir(parents=True, exist_ok=True)
+        truth = {}
+        for record in records:
+            if not record.html:
+                raise ValueError(
+                    "record %s has no source HTML to emit" % (record.doc.doc_id,)
+                )
+            path = table_dir / ("%s.html" % record.doc.doc_id)
+            path.write_text(record.html, encoding="utf-8")
+            written.append(path)
+            truth[record.doc.doc_id] = _truth_entry(record)
+        truth_path = table_dir / "ground_truth.json"
+        truth_path.write_text(
+            json.dumps(truth, indent=1, ensure_ascii=False), encoding="utf-8"
+        )
+        written.append(truth_path)
+    return written
+
+
+def load_ground_truth(table_dir):
+    """Read a table's ``ground_truth.json`` back as a dict."""
+    path = pathlib.Path(table_dir) / "ground_truth.json"
+    return json.loads(path.read_text(encoding="utf-8"))

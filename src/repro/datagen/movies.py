@@ -1,0 +1,132 @@
+"""The Movies domain (paper Table 1: IMDB / Ebert / Prasanna lists).
+
+Three "top movies" pages, each divided into one record per movie, with
+the formatting quirks the tasks rely on: IMDB titles are bold
+hyperlinks with a vote count behind a "Votes:" label; Ebert titles are
+italic with the year in parentheses; Prasanna entries are hyperlinked
+list items.  A configurable core of movies appears on all three lists
+(with small title variations) so the T3 three-way similarity join has
+real answers.
+"""
+
+import random
+
+from repro.datagen.base import build_record, corpus_tag
+from repro.datagen.vocab import movie_title, unique_choices
+
+__all__ = ["generate_movies", "MOVIE_TABLE_SIZES"]
+
+#: Default sizes, matching the paper's Table 1 / Table 3 scenarios.
+MOVIE_TABLE_SIZES = {"IMDB": 250, "Ebert": 242, "Prasanna": 517}
+
+
+def _variant(rng, title):
+    """A slightly different rendering of a shared movie title.
+
+    Variations stay within the similarity threshold of the tasks'
+    ``similar`` p-function (dropping a leading article, one extra
+    token), as cross-site title renderings do in practice.
+    """
+    roll = rng.random()
+    if roll < 0.6:
+        return title
+    if roll < 0.8 and title.startswith("The "):
+        return title[4:]
+    if roll < 0.9:
+        return title + " Remastered"
+    return title
+
+
+def generate_movies(sizes=None, seed=0, overlap=40):
+    """Generate the three movie tables.
+
+    Returns ``{"IMDB": [Record], "Ebert": [...], "Prasanna": [...]}``.
+    ``overlap`` movies are planted on all three lists.
+    """
+    sizes = dict(MOVIE_TABLE_SIZES, **(sizes or {}))
+    tag = corpus_tag(seed, sizes)
+    rng = random.Random(seed)
+    total_needed = sum(sizes.values())
+    titles = unique_choices(rng, movie_title, total_needed + overlap)
+    shared = [(t, rng.randint(1935, 2005)) for t in titles[:overlap]]
+    cursor = overlap
+
+    def take(count):
+        nonlocal cursor
+        out = [(t, rng.randint(1935, 2005)) for t in titles[cursor : cursor + count]]
+        cursor += count
+        return out
+
+    tables = {}
+    for name, size in sizes.items():
+        shared_here = min(overlap, size)
+        movies = [( _variant(rng, t), y) for t, y in shared[:shared_here]]
+        movies += take(max(0, size - shared_here))
+        rng.shuffle(movies)
+        builder = {"IMDB": _imdb_record, "Ebert": _ebert_record, "Prasanna": _prasanna_record}[name]
+        prefix = "%s-%s" % (name.lower(), tag)
+        tables[name] = [
+            builder(rng, prefix, rank, title, year)
+            for rank, (title, year) in enumerate(movies, start=1)
+        ]
+    return tables
+
+
+def _imdb_record(rng, prefix, rank, title, year):
+    rating = round(rng.uniform(7.0, 9.3), 1)
+    votes = rng.choice(
+        [rng.randint(800, 24_000), rng.randint(26_000, 400_000)]
+    )
+    votes_text = "{:,}".format(votes)
+    html = (
+        "<div><p>{rank}. <a href='#'><b>{title}</b></a> <i>({year})</i></p>"
+        "<p>Rating: {rating} out of 10. Votes: {votes}</p></div>"
+    ).format(rank=rank, title=title, year=year, rating=rating, votes=votes_text)
+    return build_record(
+        "%s-%04d" % (prefix, rank),
+        html,
+        {
+            "title": (title, title, None),
+            "year": (year, str(year), "("),
+            "votes": (votes, votes_text, "Votes:"),
+        },
+        meta={"table": "IMDB", "rank": rank},
+    )
+
+
+def _ebert_record(rng, prefix, rank, title, year):
+    comments = (
+        "A luminous, unhurried masterpiece.",
+        "Still astonishing on every viewing.",
+        "The rare sequel that deepens the original.",
+        "Flawed but unforgettable.",
+        "A triumph of mood over plot.",
+    )
+    html = (
+        "<div><p>{rank}. <i>{title}</i> ({year})</p>"
+        "<p>{comment}</p></div>"
+    ).format(rank=rank, title=title, year=year, comment=rng.choice(comments))
+    return build_record(
+        "%s-%04d" % (prefix, rank),
+        html,
+        {
+            "title": (title, title, None),
+            "year": (year, str(year), "("),
+        },
+        meta={"table": "Ebert", "rank": rank},
+    )
+
+
+def _prasanna_record(rng, prefix, rank, title, year):
+    html = (
+        "<ul><li><a href='#'>{title}</a> ({year})</li></ul>"
+    ).format(title=title, year=year)
+    return build_record(
+        "%s-%04d" % (prefix, rank),
+        html,
+        {
+            "title": (title, title, None),
+            "year": (year, str(year), "("),
+        },
+        meta={"table": "Prasanna", "rank": rank},
+    )

@@ -1,0 +1,92 @@
+"""Offset-preserving noise injection.
+
+Real crawled pages are messier than clean generator output.  This
+module perturbs record documents *without moving any ground-truth
+offsets*: characters are substituted in place (same length) and only in
+regions that touch neither a truth span nor a markup region — so the
+same `Record` ground truth stays valid and the whole experiment stack
+can be re-run on noisy corpora (robustness tests do exactly that).
+"""
+
+import random
+
+from repro.datagen.base import Record
+from repro.text.document import Document
+
+__all__ = ["noisy_record", "noisy_tables"]
+
+_SUBSTITUTABLE = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _protected_intervals(record):
+    doc = record.doc
+    intervals = []
+    for spans in record.spans.values():
+        if spans is None:
+            continue
+        if not isinstance(spans, (list, tuple)):
+            spans = [spans]
+        for span in spans:
+            if span is not None:
+                intervals.append((span.start, span.end))
+    for kind_intervals in doc.regions.values():
+        intervals.extend(kind_intervals)
+    for label in doc.labels:
+        intervals.append((label.start, label.end))
+    return intervals
+
+
+def _is_protected(position, intervals, pad=1):
+    for start, end in intervals:
+        if start - pad <= position < end + pad:
+            return True
+    return False
+
+
+def noisy_record(record, rate=0.02, seed=0):
+    """A copy of ``record`` with in-place character substitutions.
+
+    ``rate`` is the per-character substitution probability over
+    unprotected lowercase letters.  Ground-truth spans, markup regions,
+    and labels (± one guard character) are never touched, and the text
+    length never changes, so every offset in the record stays valid.
+    """
+    rng = random.Random((seed, record.doc.doc_id).__repr__())
+    doc = record.doc
+    protected = _protected_intervals(record)
+    chars = list(doc.text)
+    for i, ch in enumerate(chars):
+        if ch not in _SUBSTITUTABLE:
+            continue
+        if _is_protected(i, protected):
+            continue
+        if rng.random() < rate:
+            chars[i] = rng.choice(_SUBSTITUTABLE)
+    noisy_doc = Document(
+        doc.doc_id,
+        "".join(chars),
+        regions={k: list(v) for k, v in doc.regions.items()},
+        labels=list(doc.labels),
+        meta=dict(doc.meta),
+    )
+    from repro.text.span import Span
+
+    new_spans = {}
+    for attr, span in record.spans.items():
+        if span is None:
+            new_spans[attr] = None
+        elif isinstance(span, (list, tuple)):
+            new_spans[attr] = [
+                None if s is None else Span(noisy_doc, s.start, s.end) for s in span
+            ]
+        else:
+            new_spans[attr] = Span(noisy_doc, span.start, span.end)
+    return Record(noisy_doc, dict(record.values), new_spans, html=record.html)
+
+
+def noisy_tables(tables, rate=0.02, seed=0):
+    """Apply :func:`noisy_record` to every record of every table."""
+    return {
+        name: [noisy_record(r, rate=rate, seed=seed) for r in records]
+        for name, records in tables.items()
+    }

@@ -1,0 +1,131 @@
+"""Word pools for the synthetic page generators.
+
+Everything is generated from these pools with a seeded RNG, so corpora
+are deterministic, reasonably diverse, and free of real-world text.
+"""
+
+import random
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "TITLE_ADJECTIVES",
+    "TITLE_NOUNS",
+    "TECH_TERMS",
+    "CITIES",
+    "person_name",
+    "movie_title",
+    "book_title",
+    "paper_title",
+    "unique_choices",
+]
+
+FIRST_NAMES = (
+    "Alice Robert Carol David Erin Frank Grace Henry Irene James Karen Louis "
+    "Maria Nathan Olivia Peter Quinn Rachel Samuel Teresa Ulrich Victor Wendy "
+    "Xavier Yvonne Zachary Anna Boris Clara Dmitri Elena Felix Gina Hugo "
+    "Ingrid Jorge Keiko Lars Mona Nils"
+).split()
+
+LAST_NAMES = (
+    "Anderson Baker Chen Dawson Evans Fischer Gupta Hoffman Ivanov Johnson "
+    "Kim Larson Miller Novak Olsen Patel Quentin Rossi Schmidt Tanaka "
+    "Ullman Vogel Watson Xu Yang Zhang Abbott Burke Castillo Dunn Ellis "
+    "Ferrara Goldman Hayes Iyer Jensen Kowalski Lindqvist Moreau Nakamura"
+).split()
+
+TITLE_ADJECTIVES = (
+    "Silent Crimson Hidden Broken Golden Distant Burning Frozen Midnight "
+    "Scarlet Electric Savage Gentle Hollow Iron Lonely Painted Quiet Rising "
+    "Shattered Velvet Wandering Winter Ancient Bitter Clever Daring Eternal "
+    "Fearless Glorious"
+).split()
+
+TITLE_NOUNS = (
+    "River Garden Empire Shadow Horizon Letter Voyage Kingdom Mirror Station "
+    "Harvest Fortress Lantern Meadow Orchard Passage Quarry Reef Summit "
+    "Tides Valley Willow Archive Beacon Canyon Delta Ember Falcon Glacier "
+    "Harbor"
+).split()
+
+TECH_TERMS = (
+    "Query Index Stream Schema Join Transaction Cache Cluster Graph Ranking "
+    "Sampling Provenance Workflow Crawler Wrapper Extraction Integration "
+    "Optimization Replication Partitioning Privacy Mining Warehouse Sensor "
+    "Skyline Sketch Lineage Mediator Ontology Annotation"
+).split()
+
+CITIES = (
+    "Champaign Madison Seattle Austin Boulder Ithaca Berkeley Cambridge "
+    "Princeton Evanston Tucson Raleigh Columbus Annarbor Lafayette"
+).split()
+
+
+def person_name(rng, with_middle=False):
+    """A generated person name, optionally with a middle initial."""
+    first = rng.choice(FIRST_NAMES)
+    last = rng.choice(LAST_NAMES)
+    if with_middle and rng.random() < 0.3:
+        middle = rng.choice("ABCDEFGHJKLMNPRST")
+        return "%s %s. %s" % (first, middle, last)
+    return "%s %s" % (first, last)
+
+
+def movie_title(rng):
+    pattern = rng.random()
+    adjective = rng.choice(TITLE_ADJECTIVES)
+    noun = rng.choice(TITLE_NOUNS)
+    if pattern < 0.4:
+        return "The %s %s" % (adjective, noun)
+    if pattern < 0.7:
+        return "%s %s" % (adjective, noun)
+    return "%s of the %s %s" % (rng.choice(TITLE_NOUNS), adjective, noun)
+
+
+def book_title(rng):
+    pattern = rng.random()
+    term = rng.choice(TECH_TERMS)
+    other = rng.choice(TECH_TERMS)
+    if pattern < 0.4:
+        return "Database %s in Practice" % (term,)
+    if pattern < 0.7:
+        return "%s and %s Systems" % (term, other)
+    return "Foundations of %s %s" % (term, other)
+
+
+def paper_title(rng):
+    first = rng.choice(TECH_TERMS)
+    second = rng.choice(TECH_TERMS)
+    adjective = rng.choice(TITLE_ADJECTIVES)
+    pattern = rng.random()
+    if pattern < 0.4:
+        return "Efficient %s for %s Processing" % (first, second)
+    if pattern < 0.7:
+        return "%s-Aware %s Evaluation" % (first, second)
+    return "On %s %s over %s Data" % (adjective, first, second)
+
+
+def unique_choices(rng, factory, count, max_tries=5):
+    """``count`` distinct values from a generator function.
+
+    After a few collisions a roman-numeral-style suffix disambiguates
+    immediately — the pools are finite, so demanding more values than
+    the pool holds must stay linear, not rejection-sample forever.
+    """
+    seen = set()
+    out = []
+    tries = 0
+    while len(out) < count:
+        value = factory(rng)
+        if value in seen:
+            tries += 1
+            if tries <= max_tries:
+                continue
+            suffix = 2
+            while "%s %d" % (value, suffix) in seen:
+                suffix += 1
+            value = "%s %d" % (value, suffix)
+        tries = 0
+        seen.add(value)
+        out.append(value)
+    return out

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the iFlex reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of the library with a single handler
+while still distinguishing parse errors from semantic ones.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when an Xlog/Alog program fails to parse.
+
+    Carries the line and column of the offending token when known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line %d, column %d: %s" % (line, column or 0, message)
+        super().__init__(message)
+
+
+class SafetyError(ReproError):
+    """Raised when a rule is unsafe (section 2.2.2 of the paper)."""
+
+
+class UnknownPredicateError(ReproError):
+    """Raised when a rule references a predicate with no definition."""
+
+
+class UnknownFeatureError(ReproError):
+    """Raised when a domain constraint names an unregistered feature."""
+
+
+class EvaluationError(ReproError):
+    """Raised when a program cannot be evaluated (bad input bindings,
+
+    non-stratifiable dependencies, unbound input variables, ...).
+    """
+
+
+class EnumerationLimitError(ReproError):
+    """Raised when an operator is asked to enumerate more possible
+
+    values than its cap allows *and* no conservative fallback exists.
+    """

@@ -1,0 +1,64 @@
+"""The paper's experiments: tasks, scenarios, runners, table harness."""
+
+from repro.experiments.artifacts import ArtifactWriter, write_table_artifact
+from repro.experiments.dblife_tasks import build_dblife_tasks, run_dblife_task
+from repro.experiments.report import fmt_minutes, fmt_pct, render_table
+from repro.experiments.runner import IFlexRun, extracted_keys, run_iflex, superset_pct
+from repro.experiments.scenarios import (
+    SCENARIO_SIZES,
+    TABLE4_SCENARIOS,
+    TABLE5_SCENARIOS,
+    scale_factor,
+    scenario_sizes,
+)
+from repro.experiments.tables import (
+    convergence_stat,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.sweeps import alpha_sweep, k_sweep, subset_fraction_sweep
+from repro.experiments.tasks import (
+    SIMILAR_THRESHOLD,
+    TASK_IDS,
+    TASK_SUMMARIES,
+    TaskInstance,
+    build_task,
+)
+
+__all__ = [
+    "ArtifactWriter",
+    "IFlexRun",
+    "alpha_sweep",
+    "k_sweep",
+    "subset_fraction_sweep",
+    "write_table_artifact",
+    "SCENARIO_SIZES",
+    "SIMILAR_THRESHOLD",
+    "TABLE4_SCENARIOS",
+    "TABLE5_SCENARIOS",
+    "TASK_IDS",
+    "TASK_SUMMARIES",
+    "TaskInstance",
+    "build_dblife_tasks",
+    "build_task",
+    "convergence_stat",
+    "extracted_keys",
+    "fmt_minutes",
+    "fmt_pct",
+    "render_table",
+    "run_dblife_task",
+    "run_iflex",
+    "scale_factor",
+    "scenario_sizes",
+    "superset_pct",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+]

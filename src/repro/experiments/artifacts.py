@@ -1,0 +1,79 @@
+"""Persisting experiment outputs ("artifacts").
+
+The benches print their tables; this module also writes them to disk —
+one text rendering plus one machine-readable JSON per table — so a
+reproduction run leaves an auditable record (`results/` by default).
+"""
+
+import json
+import pathlib
+import time
+
+from repro.experiments.report import render_table
+
+__all__ = ["write_table_artifact", "write_json_artifact", "ArtifactWriter"]
+
+
+def write_table_artifact(directory, name, headers, rows, meta=None):
+    """Write ``<name>.txt`` and ``<name>.json`` under ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    text_path = directory / ("%s.txt" % name)
+    text_path.write_text(
+        render_table(headers, rows, title=name) + "\n", encoding="utf-8"
+    )
+    payload = {
+        "name": name,
+        "headers": list(headers),
+        "rows": [list(map(_jsonable, row)) for row in rows],
+        "meta": meta or {},
+    }
+    json_path = directory / ("%s.json" % name)
+    json_path.write_text(
+        json.dumps(payload, indent=1, ensure_ascii=False), encoding="utf-8"
+    )
+    return [text_path, json_path]
+
+
+def write_json_artifact(directory, name, payload):
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / ("%s.json" % name)
+    path.write_text(
+        json.dumps(payload, indent=1, ensure_ascii=False, default=_jsonable),
+        encoding="utf-8",
+    )
+    return path
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class ArtifactWriter:
+    """Collects a run's tables and writes them with one manifest."""
+
+    def __init__(self, directory="results"):
+        self.directory = pathlib.Path(directory)
+        self.written = []
+
+    def table(self, name, headers, rows, meta=None):
+        paths = write_table_artifact(self.directory, name, headers, rows, meta)
+        self.written.extend(paths)
+        return paths
+
+    def json(self, name, payload):
+        path = write_json_artifact(self.directory, name, payload)
+        self.written.append(path)
+        return path
+
+    def finish(self, extra=None):
+        manifest = {
+            "written": [str(p) for p in self.written],
+            "finished_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        }
+        if extra:
+            manifest.update(extra)
+        return self.json("manifest", manifest)

@@ -1,0 +1,236 @@
+"""The three DBLife IE tasks of the paper's Table 6 (section 6.3).
+
+Each task runs the normal refinement session over the heterogeneous
+DBLife snapshot; the Chair task additionally exercises the *cleanup
+procedure* path (section 2.2.4): after convergence, a procedural
+``extractType`` p-predicate is added to pull the chair type out of the
+text to the left of each chair's name — the step that is "cumbersome
+to express declaratively".
+"""
+
+import re
+import time
+from dataclasses import dataclass
+
+from repro.assistant.oracle import GroundTruth, SimulatedDeveloper
+from repro.assistant.session import RefinementSession
+from repro.assistant.strategies import SimulationStrategy
+from repro.baselines.cost_model import CostModel
+from repro.datagen.dblife import generate_dblife
+from repro.processor.executor import IFlexEngine
+from repro.text.corpus import Corpus
+from repro.text.span import Span
+from repro.xlog.ast import PredicateAtom, Rule, Var
+from repro.xlog.program import PPredicate, Program
+
+__all__ = ["DBLifeTask", "build_dblife_tasks", "run_dblife_task"]
+
+
+@dataclass
+class DBLifeTask:
+    name: str
+    description: str
+    corpus: Corpus
+    program: Program
+    truth: GroundTruth
+    correct_rows: list
+    #: modelled human minutes spent writing cleanup code (Table 6's
+    #: parenthesised numbers); zero when no cleanup step exists
+    cleanup_minutes: float = 0.0
+    #: optional post-convergence rewrite adding the cleanup predicate
+    cleanup: object = None
+
+
+def build_dblife_tasks(pages=None, seed=0):
+    """Generate the snapshot and assemble the three tasks."""
+    records, truth_rows = generate_dblife(pages, seed=seed)
+    corpus = Corpus({"docs": [r.doc for r in records]})
+    conference_records = [r for r in records if r.doc.meta.get("kind") == "conference"]
+    project_records = [r for r in records if r.doc.meta.get("kind") == "project"]
+
+    conf_spans = [r.spans["conference"] for r in conference_records]
+    panel_spans = [s for r in conference_records for s in r.spans["panelists"]]
+    chair_spans = [s for r in conference_records for s in r.spans["chairs"]]
+    member_spans = [s for r in project_records for s in r.spans["members"]]
+    project_spans = [r.spans["project"] for r in project_records]
+
+    conf_scripted = {
+        ("extractConference", "y", "starts_with"): r"[A-Z][A-Z]+",
+        ("extractConference", "y", "ends_with"): r"(19\d\d|20\d\d)",
+    }
+
+    panel = DBLifeTask(
+        name="Panel",
+        description="(x, y) where person x is a panelist at conference y",
+        corpus=corpus,
+        program=Program.parse(
+            """
+            R1: onPanel(x, y) :- docs(d), extractPanelists(@d, x),
+                extractConference(@d, y).
+            D1: extractPanelists(@d, x) :- from(@d, x), person_name(x) = yes.
+            D2: extractConference(@d, y) :- from(@d, y).
+            """,
+            extensional=["docs"],
+            query="onPanel",
+        ),
+        truth=GroundTruth(
+            {
+                ("extractPanelists", "x"): panel_spans,
+                ("extractConference", "y"): conf_spans,
+            },
+            answer_rows=truth_rows["panel"],
+            scripted_answers={
+                ("extractPanelists", "x", "prec_label_contains"): "Panel",
+                **{("extractConference", "y", f): v for (_, _, f), v in conf_scripted.items()},
+            },
+        ),
+        correct_rows=truth_rows["panel"],
+        cleanup_minutes=5.0,
+    )
+
+    project = DBLifeTask(
+        name="Project",
+        description="(x, y) where person x works on project y",
+        corpus=corpus,
+        program=Program.parse(
+            """
+            R1: worksOn(x, y) :- docs(d), extractMembers(@d, x),
+                extractProject(@d, y).
+            D1: extractMembers(@d, x) :- from(@d, x), person_name(x) = yes.
+            D2: extractProject(@d, y) :- from(@d, y), in_title(y) = yes.
+            """,
+            extensional=["docs"],
+            query="worksOn",
+        ),
+        truth=GroundTruth(
+            {
+                ("extractMembers", "x"): member_spans,
+                ("extractProject", "y"): project_spans,
+            },
+            answer_rows=truth_rows["project"],
+            scripted_answers={
+                ("extractProject", "y", "ends_with"): r"Project",
+                ("extractProject", "y", "starts_with"): r"[A-Z]",
+            },
+        ),
+        correct_rows=truth_rows["project"],
+        cleanup_minutes=6.0,
+    )
+
+    chair = DBLifeTask(
+        name="Chair",
+        description="(x, t, y): person x is a chair of type t at conference y",
+        corpus=corpus,
+        program=Program.parse(
+            """
+            R1: chairPeople(x, y) :- docs(d), extractChairs(@d, x),
+                extractConference(@d, y).
+            D1: extractChairs(@d, x) :- from(@d, x), person_name(x) = yes.
+            D2: extractConference(@d, y) :- from(@d, y).
+            """,
+            extensional=["docs"],
+            query="chairPeople",
+        ),
+        truth=GroundTruth(
+            {
+                ("extractChairs", "x"): chair_spans,
+                ("extractConference", "y"): conf_spans,
+            },
+            answer_rows=truth_rows["chair"],
+            scripted_answers={
+                **{("extractConference", "y", f): v for (_, _, f), v in conf_scripted.items()},
+            },
+        ),
+        correct_rows=truth_rows["chair"],
+        cleanup_minutes=11.0,
+        cleanup=_add_chair_type_cleanup,
+    )
+    return [panel, project, chair]
+
+
+# ----------------------------------------------------------------------
+# the Chair task's cleanup procedure (section 2.2.4)
+# ----------------------------------------------------------------------
+
+def _extract_type(x):
+    """The chair type word just before the person span ("PC Chair: ...")."""
+    before = x.doc.text[max(0, x.start - 40) : x.start]
+    match = re.search(r"(\w+)\s+Chair:\s*$", before)
+    if match is None:
+        return []
+    start = x.start - len(before) + match.start(1)
+    end = x.start - len(before) + match.end(1)
+    return [(Span(x.doc, start, end),)]
+
+
+def _add_chair_type_cleanup(program):
+    """Rewrite the converged Chair program to emit (x, t, y) triples."""
+    new_rules = []
+    for rule in program.rules:
+        if rule.head.name == "chairPeople":
+            body = rule.body + (
+                PredicateAtom("extractType", (Var("x"), Var("t")), (True, False)),
+            )
+            from repro.xlog.ast import Head, HeadArg
+
+            head = Head(
+                "chair",
+                (HeadArg(Var("x")), HeadArg(Var("t")), HeadArg(Var("y"))),
+            )
+            new_rules.append(Rule(head, body, label=rule.label))
+        else:
+            new_rules.append(rule)
+    return Program(
+        new_rules,
+        extensional=program.extensional,
+        p_predicates={
+            **program.p_predicates,
+            "extractType": PPredicate("extractType", _extract_type, 1, 1),
+        },
+        p_functions=program.p_functions,
+        query="chair",
+    )
+
+
+def run_dblife_task(task, seed=0, alpha=0.1, cost_model=None, strategy=None):
+    """Run one DBLife task end to end; returns a Table 6 row dict."""
+    cost_model = cost_model or CostModel()
+    developer = SimulatedDeveloper(task.truth, alpha=0.0, seed=seed)
+    session = RefinementSession(
+        task.program,
+        task.corpus,
+        developer,
+        strategy=strategy or SimulationStrategy(alpha=alpha),
+        seed=seed,
+    )
+    trace = session.run()
+    final_program = trace.program
+    final_result = trace.final_result
+    cleanup_seconds = 0.0
+    if task.cleanup is not None:
+        final_program = task.cleanup(final_program)
+        start = time.perf_counter()
+        final_result = IFlexEngine(final_program, task.corpus).execute()
+        cleanup_seconds = time.perf_counter() - start
+    # measure the converged program's standalone runtime (Table 6's
+    # "final IE programs took N seconds to run")
+    start = time.perf_counter()
+    IFlexEngine(final_program, task.corpus).execute()
+    runtime_seconds = time.perf_counter() - start
+    minutes = cost_model.iflex_minutes(
+        trace,
+        rule_count=len(task.program.rules),
+        cleanup_minutes=task.cleanup_minutes,
+    ) + cleanup_seconds / 60.0
+    return {
+        "task": task.name,
+        "description": task.description,
+        "iterations": trace.iterations,
+        "questions": trace.questions_asked,
+        "minutes": minutes,
+        "cleanup_minutes": task.cleanup_minutes,
+        "runtime_seconds": runtime_seconds,
+        "result_tuples": final_result.tuple_count,
+        "correct_tuples": len(task.correct_rows),
+        "converged": trace.converged,
+    }

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for the experiment harness."""
+
+__all__ = ["render_table", "fmt_minutes", "fmt_pct"]
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned text table (markdown-ish)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row):
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+def fmt_minutes(minutes):
+    """Minutes formatted like the paper's tables ('—' for DNF)."""
+    if minutes is None:
+        return "—"
+    if minutes < 10:
+        return "%.2f" % minutes
+    return "%d" % round(minutes)
+
+
+def fmt_pct(value):
+    if value == float("inf"):
+        return "inf"
+    return "%d%%" % round(value)

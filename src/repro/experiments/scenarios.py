@@ -1,0 +1,84 @@
+"""The paper's scenario grid (Table 3's 27 scenarios, Table 4/5 picks).
+
+``REPRO_SCALE`` (env var, default 1.0) scales every scenario's
+per-table tuple count, so the full harness can be smoke-run quickly;
+EXPERIMENTS.md records which scale a report was produced at.
+"""
+
+import os
+
+__all__ = [
+    "SCENARIO_SIZES",
+    "TABLE4_SCENARIOS",
+    "TABLE5_SCENARIOS",
+    "scale_factor",
+    "scenario_sizes",
+    "scaled",
+]
+
+#: (small, medium, full) per-table tuple counts; ``None`` = the
+#: domain's natural full size (asymmetric tables keep their defaults).
+SCENARIO_SIZES = {
+    "T1": (10, 100, 250),
+    "T2": (10, 100, 242),
+    "T3": (10, 100, None),
+    "T4": (10, 100, 312),
+    "T5": (100, 500, 2136),
+    "T6": (100, 500, None),
+    "T7": (100, 500, 5000),
+    "T8": (100, 500, 2490),
+    "T9": (100, 500, None),
+}
+
+_FULL_EQUIVALENT = {
+    "T1": 250, "T2": 242, "T3": 338, "T4": 312, "T5": 2136,
+    "T6": 1793, "T7": 5000, "T8": 2490, "T9": 3745,
+}
+
+#: The scenario (per-table size) each task uses in Table 4.
+TABLE4_SCENARIOS = {
+    "T1": 10, "T2": 100, "T3": None, "T4": 10, "T5": 500,
+    "T6": 500, "T7": 500, "T8": 2490, "T9": 100,
+}
+
+#: Table 5 compares strategies at one mid-size scenario per task.
+TABLE5_SCENARIOS = {
+    "T1": 100, "T2": 100, "T3": 100, "T4": 100, "T5": 500,
+    "T6": 500, "T7": 500, "T8": 500, "T9": 500,
+}
+
+
+def scale_factor(default=1.0):
+    """The global size multiplier from ``REPRO_SCALE``."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    value = float(raw)
+    if not 0 < value <= 1:
+        raise ValueError("REPRO_SCALE must be in (0, 1], got %r" % (raw,))
+    return value
+
+
+def scaled(size, scale):
+    """Apply the scale to one per-table size (None = natural full)."""
+    if size is None:
+        if scale >= 1.0:
+            return None
+        return None  # natural full sizes are scaled by the caller via task defaults
+    return max(10, int(round(size * scale)))
+
+
+def scenario_sizes(task_id, scale=None):
+    """The three scenario sizes for a task, scaled.
+
+    A ``None`` entry means "build the task at its natural full size";
+    at reduced scale the full scenario uses the scaled equivalent of
+    the domain's average table size instead.
+    """
+    scale = scale_factor() if scale is None else scale
+    out = []
+    for size in SCENARIO_SIZES[task_id]:
+        if size is None and scale < 1.0:
+            size = _FULL_EQUIVALENT[task_id]
+        out.append(scaled(size, scale))
+    return out

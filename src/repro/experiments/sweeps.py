@@ -1,0 +1,124 @@
+"""Sensitivity sweeps — extension experiments beyond the paper.
+
+The paper fixes three knobs it never varies: the developer's decline
+probability α, the subset-evaluation fraction, and the convergence
+window k.  These sweeps measure how convergence quality and cost move
+with each — the robustness questions a reviewer would ask next.
+"""
+
+from dataclasses import dataclass
+
+from repro.assistant.oracle import SimulatedDeveloper
+from repro.assistant.session import RefinementSession
+from repro.assistant.strategies import SequentialStrategy
+from repro.experiments.runner import superset_pct
+from repro.experiments.tasks import build_task
+
+__all__ = ["SweepPoint", "alpha_sweep", "subset_fraction_sweep", "k_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One sweep setting's outcome."""
+
+    parameter: float
+    superset_pct: float
+    iterations: int
+    questions: int
+    machine_seconds: float
+    converged: bool
+
+    def row(self):
+        return (
+            self.parameter,
+            "%d%%" % round(self.superset_pct),
+            self.iterations,
+            self.questions,
+            "%.2f" % self.machine_seconds,
+            "yes" if self.converged else "no",
+        )
+
+
+def _run(task, seed, alpha=0.0, strategy=None, **session_kwargs):
+    developer = SimulatedDeveloper(task.truth, alpha=alpha, seed=seed)
+    session = RefinementSession(
+        task.program,
+        task.corpus,
+        developer,
+        strategy=strategy or SequentialStrategy(),
+        seed=seed,
+        **session_kwargs,
+    )
+    trace = session.run()
+    return trace
+
+
+def alpha_sweep(task_id="T7", size=150, seed=0, alphas=(0.0, 0.2, 0.4, 0.6, 0.8)):
+    """How robust is convergence to a developer who often declines?
+
+    α is the paper's probability of answering "I don't know"; every
+    declined question burns assistant effort without refining anything.
+    """
+    task = build_task(task_id, size=size, seed=seed)
+    points = []
+    for alpha in alphas:
+        trace = _run(task, seed, alpha=alpha)
+        points.append(
+            SweepPoint(
+                parameter=alpha,
+                superset_pct=superset_pct(
+                    trace.final_result.tuple_count, len(task.correct_rows)
+                ),
+                iterations=trace.iterations,
+                questions=trace.questions_asked,
+                machine_seconds=trace.machine_seconds,
+                converged=trace.converged,
+            )
+        )
+    return task, points
+
+
+def subset_fraction_sweep(
+    task_id="T7", size=400, seed=0, fractions=(0.05, 0.1, 0.3, 1.0)
+):
+    """Cost/quality of iterating over a sample vs the full input."""
+    task = build_task(task_id, size=size, seed=seed)
+    points = []
+    for fraction in fractions:
+        trace = _run(task, seed, subset_fraction=fraction)
+        points.append(
+            SweepPoint(
+                parameter=fraction,
+                superset_pct=superset_pct(
+                    trace.final_result.tuple_count, len(task.correct_rows)
+                ),
+                iterations=trace.iterations,
+                questions=trace.questions_asked,
+                machine_seconds=trace.machine_seconds,
+                converged=trace.converged,
+            )
+        )
+    return task, points
+
+
+def k_sweep(task_id="T5", size=200, seed=0, ks=(2, 3, 4, 5)):
+    """The convergence window: small k risks stopping early, large k
+
+    costs extra confirmation iterations (the paper fixes k = 3)."""
+    task = build_task(task_id, size=size, seed=seed)
+    points = []
+    for k in ks:
+        trace = _run(task, seed, k_convergence=k)
+        points.append(
+            SweepPoint(
+                parameter=k,
+                superset_pct=superset_pct(
+                    trace.final_result.tuple_count, len(task.correct_rows)
+                ),
+                iterations=trace.iterations,
+                questions=trace.questions_asked,
+                machine_seconds=trace.machine_seconds,
+                converged=trace.converged,
+            )
+        )
+    return task, points

@@ -1,0 +1,214 @@
+"""Regenerating every evaluation table of the paper (section 6).
+
+Each ``tableN`` function runs the corresponding experiment and returns
+``(headers, rows, extras)``; benchmarks print them with
+:func:`repro.experiments.report.render_table`.  Absolute minutes come
+from the documented cost model (DESIGN.md); shapes — who wins, by what
+factor, where the methods break down — are the reproduction target.
+"""
+
+from repro.assistant.strategies import SequentialStrategy, SimulationStrategy
+from repro.baselines.cost_model import CostModel
+from repro.baselines.manual import run_manual_baseline
+from repro.baselines.xlog_method import run_xlog_baseline
+from repro.datagen.books import BOOK_TABLE_SIZES
+from repro.datagen.dblp import DBLP_TABLE_SIZES
+from repro.datagen.movies import MOVIE_TABLE_SIZES
+from repro.experiments.dblife_tasks import build_dblife_tasks, run_dblife_task
+from repro.experiments.report import fmt_minutes, fmt_pct
+from repro.experiments.runner import run_iflex
+from repro.experiments.scenarios import (
+    TABLE4_SCENARIOS,
+    TABLE5_SCENARIOS,
+    scale_factor,
+    scenario_sizes,
+)
+from repro.experiments.tasks import TASK_IDS, TASK_SUMMARIES, build_task
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "convergence_stat",
+]
+
+
+def table1():
+    """Table 1: the experiment domains and their table sizes."""
+    headers = ("Domain", "Table", "Description", "Records")
+    rows = []
+    for table, size in MOVIE_TABLE_SIZES.items():
+        rows.append(("Movies", table, "top-movies list (synthetic)", size))
+    for table, size in DBLP_TABLE_SIZES.items():
+        rows.append(("DBLP", table, "publication list (synthetic)", size))
+    for table, size in BOOK_TABLE_SIZES.items():
+        rows.append(("Books", table, "book search results (synthetic)", size))
+    return headers, rows, {}
+
+
+def table2():
+    """Table 2: the nine IE tasks and their initial programs."""
+    headers = ("Task", "Description", "Initial program (query rule)")
+    rows = []
+    for task_id in TASK_IDS:
+        task = build_task(task_id, size=10, seed=0)
+        query_rules = [
+            r for r in task.program.skeleton_rules if r.head.name == task.program.query
+        ]
+        rows.append((task_id, TASK_SUMMARIES[task_id], repr(query_rules[0])))
+    return headers, rows, {}
+
+
+def table3(seed=0, scale=None, alpha=0.1, progress=None):
+    """Table 3: Manual vs Xlog vs iFlex minutes over 27 scenarios."""
+    scale = scale_factor() if scale is None else scale
+    cost_model = CostModel()
+    headers = ("Task", "Tuples/table", "Manual", "Xlog", "iFlex")
+    rows = []
+    runs = []
+    for task_id in TASK_IDS:
+        for size in scenario_sizes(task_id, scale):
+            if progress:
+                progress("table3 %s size=%s" % (task_id, size))
+            task = build_task(task_id, size=size, seed=seed)
+            manual = run_manual_baseline(task, cost_model)
+            xlog = run_xlog_baseline(task, cost_model)
+            run = run_iflex(
+                task,
+                strategy=SimulationStrategy(alpha=alpha),
+                seed=seed,
+                cost_model=cost_model,
+            )
+            runs.append((task, run))
+            iflex_display = fmt_minutes(run.minutes)
+            if task.cleanup_minutes:
+                iflex_display += " (%d)" % round(task.cleanup_minutes)
+            rows.append(
+                (
+                    task_id,
+                    max(task.table_sizes().values()),
+                    manual.display(),
+                    fmt_minutes(xlog.minutes),
+                    iflex_display,
+                )
+            )
+    return headers, rows, {"runs": runs, "scale": scale}
+
+
+def convergence_stat(table3_extras):
+    """The section 6.2 statistic: how many scenarios converged to 100%."""
+    runs = table3_extras["runs"]
+    exact = sum(1 for _, run in runs if round(run.superset_pct) == 100)
+    supersets = sorted(
+        (run.superset_pct for _, run in runs if round(run.superset_pct) != 100),
+        reverse=True,
+    )
+    return {
+        "scenarios": len(runs),
+        "exact": exact,
+        "non_exact_supersets": [round(s) for s in supersets],
+    }
+
+
+def table4(seed=0, scale=None, alpha=0.1, progress=None):
+    """Table 4: per-iteration effects of soliciting domain knowledge."""
+    scale = scale_factor() if scale is None else scale
+    headers = (
+        "Task", "Tuples/table", "Correct", "Tuples per iteration",
+        "Questions", "Time (min)", "Superset",
+    )
+    rows = []
+    traces = {}
+    for task_id in TASK_IDS:
+        size = TABLE4_SCENARIOS[task_id]
+        if size is not None and scale < 1.0:
+            size = max(10, int(round(size * scale)))
+        if progress:
+            progress("table4 %s size=%s" % (task_id, size))
+        task = build_task(task_id, size=size, seed=seed)
+        run = run_iflex(task, strategy=SimulationStrategy(alpha=alpha), seed=seed)
+        series = " ".join(
+            ("[%d]" % r.tuples) if r.mode == "reuse" else str(r.tuples)
+            for r in run.trace.records
+        )
+        rows.append(
+            (
+                task_id,
+                max(task.table_sizes().values()),
+                run.correct_count,
+                series,
+                run.questions,
+                fmt_minutes(run.minutes),
+                fmt_pct(run.superset_pct),
+            )
+        )
+        traces[task_id] = run
+    return headers, rows, {"runs": traces, "scale": scale}
+
+
+def table5(seed=0, scale=None, alpha=0.1, progress=None):
+    """Table 5: Sequential vs Simulation question selection."""
+    scale = scale_factor() if scale is None else scale
+    headers = (
+        "Task", "Tuples/table", "Correct", "Scheme", "Iterations",
+        "Questions", "Time (min)", "Superset",
+    )
+    rows = []
+    runs = []
+    for task_id in TASK_IDS:
+        size = TABLE5_SCENARIOS[task_id]
+        if scale < 1.0:
+            size = max(10, int(round(size * scale)))
+        task = build_task(task_id, size=size, seed=seed)
+        for label, strategy in (
+            ("Seq", SequentialStrategy()),
+            ("Sim", SimulationStrategy(alpha=alpha)),
+        ):
+            if progress:
+                progress("table5 %s %s" % (task_id, label))
+            run = run_iflex(task, strategy=strategy, seed=seed)
+            runs.append((task, label, run))
+            rows.append(
+                (
+                    task_id,
+                    max(task.table_sizes().values()),
+                    run.correct_count,
+                    label,
+                    run.iterations,
+                    run.questions,
+                    fmt_minutes(run.minutes),
+                    fmt_pct(run.superset_pct),
+                )
+            )
+    return headers, rows, {"runs": runs, "scale": scale}
+
+
+def table6(seed=0, pages=None, progress=None):
+    """Table 6: the DBLife tasks (time, runtime, result sizes)."""
+    headers = (
+        "Task", "Description", "Iterations", "Questions",
+        "iFlex (min)", "Runtime (s)", "Result", "Correct",
+    )
+    rows = []
+    results = []
+    for task in build_dblife_tasks(pages=pages, seed=seed):
+        if progress:
+            progress("table6 %s" % task.name)
+        row = run_dblife_task(task, seed=seed)
+        results.append(row)
+        rows.append(
+            (
+                row["task"],
+                row["description"],
+                row["iterations"],
+                row["questions"],
+                "%s (%d)" % (fmt_minutes(row["minutes"]), round(row["cleanup_minutes"])),
+                "%.1f" % row["runtime_seconds"],
+                row["result_tuples"],
+                row["correct_tuples"],
+            )
+        )
+    return headers, rows, {"results": results}

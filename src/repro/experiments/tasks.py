@@ -1,0 +1,464 @@
+"""The nine IE tasks of the paper's Table 2, as runnable task instances.
+
+Each :func:`build_task` call generates the domain corpus at a requested
+size, assembles the *initial* Alog program (skeleton rules + minimal
+description rules, exactly the "underspecified" starting point of
+section 2.2), and computes the ground truth — both the true attribute
+spans (for the simulated developer) and the correct answer rows (for
+scoring superset sizes).
+"""
+
+import collections
+from dataclasses import dataclass, field
+
+from repro.assistant.oracle import GroundTruth
+from repro.datagen.books import generate_books
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.movies import generate_movies
+from repro.processor.library import make_similar, token_set
+from repro.text.corpus import Corpus
+from repro.xlog.program import PFunction, Program
+
+__all__ = ["TaskInstance", "build_task", "TASK_IDS", "TASK_SUMMARIES", "SIMILAR_THRESHOLD"]
+
+TASK_IDS = ("T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9")
+
+#: One-line descriptions, straight from Table 2.
+TASK_SUMMARIES = {
+    "T1": "IMDB top movies with fewer than 25,000 votes",
+    "T2": "Ebert top movies made between 1950 and 1970",
+    "T3": "Movie titles that occur in IMDB, Ebert, and Prasanna's top movies",
+    "T4": "Garcia-Molina journal pubs",
+    "T5": "VLDB short publications of 5 or fewer pages",
+    "T6": "SIGMOD/ICDE pubs sharing authors",
+    "T7": "B&N books with price over $100",
+    "T8": "Amazon books with list = new price and used < new price",
+    "T9": "Books that are cheaper at Amazon than at Barnes",
+}
+
+#: Jaccard threshold used by every ``similar`` p-function (and by the
+#: ground-truth computation, so 100% convergence is achievable).
+SIMILAR_THRESHOLD = 0.55
+
+
+@dataclass
+class TaskInstance:
+    """Everything needed to run one task end to end."""
+
+    task_id: str
+    domain: str
+    description: str
+    corpus: Corpus
+    program: Program
+    truth: GroundTruth
+    key_attr: str
+    records: dict = field(default_factory=dict)
+    #: modelled human minutes of cleanup code, when the paper's run
+    #: needed a cleanup procedure (shown in parentheses in Table 3)
+    cleanup_minutes: float = 0.0
+
+    @property
+    def correct_rows(self):
+        return self.truth.answer_rows
+
+    def table_sizes(self):
+        return {name: self.corpus.size_of(name) for name in self.corpus.table_names()}
+
+
+def _similar_pairs(left_values, right_values, threshold):
+    """Ground-truth similarity join with token blocking."""
+    similar = make_similar(threshold)
+    index = collections.defaultdict(set)
+    for j, right in enumerate(right_values):
+        for token in token_set(right):
+            index[token].add(j)
+    pairs = []
+    for i, left in enumerate(left_values):
+        candidates = set()
+        for token in token_set(left):
+            candidates |= index.get(token, set())
+        for j in sorted(candidates):
+            if similar(left, right_values[j]):
+                pairs.append((i, j))
+    return pairs
+
+
+def _corpus_from(tables):
+    return Corpus({name: [r.doc for r in records] for name, records in tables.items()})
+
+
+def _spans(records, attr):
+    return [r.spans[attr] for r in records if r.spans.get(attr) is not None]
+
+
+def _scale(n, fraction, minimum):
+    return max(minimum, int(round(n * fraction)))
+
+
+# ----------------------------------------------------------------------
+# task builders
+# ----------------------------------------------------------------------
+
+def build_task(task_id, size=None, seed=0):
+    """Build a :class:`TaskInstance` for ``task_id``.
+
+    ``size`` is the per-table tuple count (the paper's Table 3 scenario
+    parameter); ``None`` means the domain's full default size.
+    """
+    builder = _BUILDERS.get(task_id)
+    if builder is None:
+        raise KeyError("unknown task %r (known: %s)" % (task_id, ", ".join(TASK_IDS)))
+    return builder(size, seed)
+
+
+def _movie_tables(size, seed, names):
+    defaults = {"IMDB": 250, "Ebert": 242, "Prasanna": 517}
+    sizes = {n: (size or defaults[n]) for n in names}
+    generated = {n: sizes.get(n, 0) for n in defaults}
+    overlap = _scale(min(sizes.values()), 0.12, 3)
+    return generate_movies(generated, seed=seed, overlap=overlap), sizes
+
+
+def _build_t1(size, seed):
+    tables, sizes = _movie_tables(size, seed, ["IMDB"])
+    records = tables["IMDB"][: sizes["IMDB"]]
+    program = Program.parse(
+        """
+        R1: imdbMovies(x, <title>, <votes>) :- IMDB(x), extractIMDB(@x, title, votes).
+        R2: T1(title) :- imdbMovies(x, title, votes), votes < 25000.
+        D1: extractIMDB(@x, title, votes) :- from(@x, title), from(@x, votes),
+            numeric(votes) = yes.
+        """,
+        extensional=["IMDB"],
+        query="T1",
+    )
+    answers = [(r.values["title"],) for r in records if r.values["votes"] < 25000]
+    truth = GroundTruth(
+        {
+            ("extractIMDB", "title"): _spans(records, "title"),
+            ("extractIMDB", "votes"): _spans(records, "votes"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T1", "Movies", TASK_SUMMARIES["T1"],
+        _corpus_from({"IMDB": records}), program, truth, "title",
+        records={"IMDB": records},
+    )
+
+
+def _build_t2(size, seed):
+    tables, sizes = _movie_tables(size, seed, ["Ebert"])
+    records = tables["Ebert"][: sizes["Ebert"]]
+    program = Program.parse(
+        """
+        R1: ebertMovies(x, <title>, <year>) :- Ebert(x), extractEbert(@x, title, year).
+        R2: T2(title) :- ebertMovies(x, title, year), year >= 1950, year < 1970.
+        D1: extractEbert(@x, title, year) :- from(@x, title), from(@x, year),
+            numeric(year) = yes.
+        """,
+        extensional=["Ebert"],
+        query="T2",
+    )
+    answers = [
+        (r.values["title"],)
+        for r in records
+        if 1950 <= r.values["year"] < 1970
+    ]
+    truth = GroundTruth(
+        {
+            ("extractEbert", "title"): _spans(records, "title"),
+            ("extractEbert", "year"): _spans(records, "year"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T2", "Movies", TASK_SUMMARIES["T2"],
+        _corpus_from({"Ebert": records}), program, truth, "title",
+        records={"Ebert": records},
+    )
+
+
+def _build_t3(size, seed):
+    tables, sizes = _movie_tables(size, seed, ["IMDB", "Ebert", "Prasanna"])
+    records = {n: tables[n][: sizes[n]] for n in ("IMDB", "Ebert", "Prasanna")}
+    program = Program.parse(
+        """
+        R1: imdbT(x, <t1>) :- IMDB(x), extractIMDB(@x, t1).
+        R2: ebertT(y, <t2>) :- Ebert(y), extractEbert(@y, t2).
+        R3: prasT(z, <t3>) :- Prasanna(z), extractPrasanna(@z, t3).
+        R4: T3(t1) :- imdbT(x, t1), ebertT(y, t2), prasT(z, t3),
+            similar(@t1, @t2), similar(@t2, @t3).
+        D1: extractIMDB(@x, t1) :- from(@x, t1).
+        D2: extractEbert(@y, t2) :- from(@y, t2).
+        D3: extractPrasanna(@z, t3) :- from(@z, t3).
+        """,
+        extensional=["IMDB", "Ebert", "Prasanna"],
+        p_functions={"similar": PFunction("similar", make_similar(SIMILAR_THRESHOLD))},
+        query="T3",
+    )
+    imdb_titles = [r.values["title"] for r in records["IMDB"]]
+    ebert_titles = [r.values["title"] for r in records["Ebert"]]
+    pras_titles = [r.values["title"] for r in records["Prasanna"]]
+    ie_pairs = _similar_pairs(imdb_titles, ebert_titles, SIMILAR_THRESHOLD)
+    ep_pairs = _similar_pairs(ebert_titles, pras_titles, SIMILAR_THRESHOLD)
+    ebert_with_pras = {i for i, _ in ep_pairs}
+    answers = sorted(
+        {
+            (imdb_titles[i],)
+            for i, j in ie_pairs
+            if j in ebert_with_pras
+        }
+    )
+    truth = GroundTruth(
+        {
+            ("extractIMDB", "t1"): _spans(records["IMDB"], "title"),
+            ("extractEbert", "t2"): _spans(records["Ebert"], "title"),
+            ("extractPrasanna", "t3"): _spans(records["Prasanna"], "title"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T3", "Movies", TASK_SUMMARIES["T3"],
+        _corpus_from(records), program, truth, "t1",
+        records=records, cleanup_minutes=8.0,
+    )
+
+
+def _dblp_tables(size, seed, names):
+    defaults = {"GarciaMolina": 312, "VLDB": 2136, "SIGMOD": 1787, "ICDE": 1798}
+    sizes = {n: (size or defaults[n]) for n in names}
+    generated = {n: sizes.get(n, 0) for n in defaults}
+    teams = _scale(min(sizes.values()), 0.1, 3)
+    return generate_dblp(generated, seed=seed, shared_author_teams=teams), sizes
+
+
+def _build_t4(size, seed):
+    tables, sizes = _dblp_tables(size, seed, ["GarciaMolina"])
+    records = tables["GarciaMolina"][: sizes["GarciaMolina"]]
+    program = Program.parse(
+        """
+        R1: gmPubs(x, <title>, <jy>) :- GarciaMolina(x),
+            extractPublications(@x, title, jy).
+        R2: T4(title) :- gmPubs(x, title, jy), jy != null.
+        D1: extractPublications(@x, title, jy) :- from(@x, title), from(@x, jy),
+            numeric(jy) = yes.
+        """,
+        extensional=["GarciaMolina"],
+        query="T4",
+    )
+    answers = [(r.values["title"],) for r in records if r.values["journalYear"] is not None]
+    truth = GroundTruth(
+        {
+            ("extractPublications", "title"): _spans(records, "title"),
+            ("extractPublications", "jy"): _spans(records, "journalYear"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T4", "DBLP", TASK_SUMMARIES["T4"],
+        _corpus_from({"GarciaMolina": records}), program, truth, "title",
+        records={"GarciaMolina": records},
+    )
+
+
+def _build_t5(size, seed):
+    tables, sizes = _dblp_tables(size, seed, ["VLDB"])
+    records = tables["VLDB"][: sizes["VLDB"]]
+    program = Program.parse(
+        """
+        R1: vldbPubs(x, <title>, <fp>, <lp>) :- VLDB(x),
+            extractVLDB(@x, title, fp, lp).
+        R2: T5(title) :- vldbPubs(x, title, fp, lp), lp < fp + 5.
+        D1: extractVLDB(@x, title, fp, lp) :- from(@x, title), from(@x, fp),
+            from(@x, lp), numeric(fp) = yes, numeric(lp) = yes.
+        """,
+        extensional=["VLDB"],
+        query="T5",
+    )
+    answers = [
+        (r.values["title"],)
+        for r in records
+        if r.values["lastPage"] < r.values["firstPage"] + 5
+    ]
+    truth = GroundTruth(
+        {
+            ("extractVLDB", "title"): _spans(records, "title"),
+            ("extractVLDB", "fp"): _spans(records, "firstPage"),
+            ("extractVLDB", "lp"): _spans(records, "lastPage"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T5", "DBLP", TASK_SUMMARIES["T5"],
+        _corpus_from({"VLDB": records}), program, truth, "title",
+        records={"VLDB": records},
+    )
+
+
+def _build_t6(size, seed):
+    tables, sizes = _dblp_tables(size, seed, ["SIGMOD", "ICDE"])
+    records = {n: tables[n][: sizes[n]] for n in ("SIGMOD", "ICDE")}
+    program = Program.parse(
+        """
+        R1: sigmodPubs(x, <t1>, <a1>) :- SIGMOD(x), extractSIGMOD(@x, t1, a1).
+        R2: icdePubs(y, <t2>, <a2>) :- ICDE(y), extractICDE(@y, t2, a2).
+        R3: T6(t1) :- sigmodPubs(x, t1, a1), icdePubs(y, t2, a2), similar(@a1, @a2).
+        D1: extractSIGMOD(@x, t1, a1) :- from(@x, t1), from(@x, a1).
+        D2: extractICDE(@y, t2, a2) :- from(@y, t2), from(@y, a2).
+        """,
+        extensional=["SIGMOD", "ICDE"],
+        p_functions={"similar": PFunction("similar", make_similar(SIMILAR_THRESHOLD))},
+        query="T6",
+    )
+    sigmod_authors = [r.values["authors"] for r in records["SIGMOD"]]
+    icde_authors = [r.values["authors"] for r in records["ICDE"]]
+    pairs = _similar_pairs(sigmod_authors, icde_authors, SIMILAR_THRESHOLD)
+    matched = {i for i, _ in pairs}
+    answers = sorted({(records["SIGMOD"][i].values["title"],) for i in matched})
+    truth = GroundTruth(
+        {
+            ("extractSIGMOD", "t1"): _spans(records["SIGMOD"], "title"),
+            ("extractSIGMOD", "a1"): _spans(records["SIGMOD"], "authors"),
+            ("extractICDE", "t2"): _spans(records["ICDE"], "title"),
+            ("extractICDE", "a2"): _spans(records["ICDE"], "authors"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T6", "DBLP", TASK_SUMMARIES["T6"],
+        _corpus_from(records), program, truth, "t1",
+        records=records, cleanup_minutes=8.0,
+    )
+
+
+def _book_tables(size, seed, names):
+    defaults = {"Amazon": 2490, "Barnes": 5000}
+    sizes = {n: (size or defaults[n]) for n in names}
+    generated = {n: sizes.get(n, 0) for n in defaults}
+    overlap = _scale(min(sizes.values()), 0.08, 3)
+    return generate_books(generated, seed=seed, overlap=overlap), sizes
+
+
+def _build_t7(size, seed):
+    tables, sizes = _book_tables(size, seed, ["Barnes"])
+    records = tables["Barnes"][: sizes["Barnes"]]
+    program = Program.parse(
+        """
+        R1: barnesBooks(x, <title>, <price>) :- Barnes(x),
+            extractBarnes(@x, title, price).
+        R2: T7(title) :- barnesBooks(x, title, price), price > 100.
+        D1: extractBarnes(@x, title, price) :- from(@x, title), from(@x, price),
+            numeric(price) = yes.
+        """,
+        extensional=["Barnes"],
+        query="T7",
+    )
+    answers = [(r.values["title"],) for r in records if r.values["price"] > 100]
+    truth = GroundTruth(
+        {
+            ("extractBarnes", "title"): _spans(records, "title"),
+            ("extractBarnes", "price"): _spans(records, "price"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T7", "Books", TASK_SUMMARIES["T7"],
+        _corpus_from({"Barnes": records}), program, truth, "title",
+        records={"Barnes": records},
+    )
+
+
+def _build_t8(size, seed):
+    tables, sizes = _book_tables(size, seed, ["Amazon"])
+    records = tables["Amazon"][: sizes["Amazon"]]
+    program = Program.parse(
+        """
+        R1: amazonBooks(x, <title>, <lp>, <np>, <up>) :- Amazon(x),
+            extractAmazon(@x, title, lp, np, up).
+        R2: T8(title) :- amazonBooks(x, title, lp, np, up), lp = np, up < np.
+        D1: extractAmazon(@x, title, lp, np, up) :- from(@x, title), from(@x, lp),
+            from(@x, np), from(@x, up), numeric(lp) = yes, numeric(np) = yes,
+            numeric(up) = yes.
+        """,
+        extensional=["Amazon"],
+        query="T8",
+    )
+    answers = [
+        (r.values["title"],)
+        for r in records
+        if r.values["listPrice"] == r.values["newPrice"]
+        and r.values["usedPrice"] < r.values["newPrice"]
+    ]
+    truth = GroundTruth(
+        {
+            ("extractAmazon", "title"): _spans(records, "title"),
+            ("extractAmazon", "lp"): _spans(records, "listPrice"),
+            ("extractAmazon", "np"): _spans(records, "newPrice"),
+            ("extractAmazon", "up"): _spans(records, "usedPrice"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T8", "Books", TASK_SUMMARIES["T8"],
+        _corpus_from({"Amazon": records}), program, truth, "title",
+        records={"Amazon": records},
+    )
+
+
+def _build_t9(size, seed):
+    tables, sizes = _book_tables(size, seed, ["Amazon", "Barnes"])
+    records = {n: tables[n][: sizes[n]] for n in ("Amazon", "Barnes")}
+    program = Program.parse(
+        """
+        R1: amazonB(x, <t1>, <np>) :- Amazon(x), extractAmazonPrice(@x, t1, np).
+        R2: barnesB(y, <t2>, <bp>) :- Barnes(y), extractBarnesPrice(@y, t2, bp).
+        R3: T9(t1) :- amazonB(x, t1, np), barnesB(y, t2, bp),
+            similar(@t1, @t2), np < bp.
+        D1: extractAmazonPrice(@x, t1, np) :- from(@x, t1), from(@x, np),
+            numeric(np) = yes.
+        D2: extractBarnesPrice(@y, t2, bp) :- from(@y, t2), from(@y, bp),
+            numeric(bp) = yes.
+        """,
+        extensional=["Amazon", "Barnes"],
+        p_functions={"similar": PFunction("similar", make_similar(SIMILAR_THRESHOLD))},
+        query="T9",
+    )
+    amazon_titles = [r.values["title"] for r in records["Amazon"]]
+    barnes_titles = [r.values["title"] for r in records["Barnes"]]
+    pairs = _similar_pairs(amazon_titles, barnes_titles, SIMILAR_THRESHOLD)
+    answers = sorted(
+        {
+            (amazon_titles[i],)
+            for i, j in pairs
+            if records["Amazon"][i].values["newPrice"]
+            < records["Barnes"][j].values["price"]
+        }
+    )
+    truth = GroundTruth(
+        {
+            ("extractAmazonPrice", "t1"): _spans(records["Amazon"], "title"),
+            ("extractAmazonPrice", "np"): _spans(records["Amazon"], "newPrice"),
+            ("extractBarnesPrice", "t2"): _spans(records["Barnes"], "title"),
+            ("extractBarnesPrice", "bp"): _spans(records["Barnes"], "price"),
+        },
+        answer_rows=answers,
+    )
+    return TaskInstance(
+        "T9", "Books", TASK_SUMMARIES["T9"],
+        _corpus_from(records), program, truth, "t1",
+        records=records, cleanup_minutes=6.0,
+    )
+
+
+_BUILDERS = {
+    "T1": _build_t1,
+    "T2": _build_t2,
+    "T3": _build_t3,
+    "T4": _build_t4,
+    "T5": _build_t5,
+    "T6": _build_t6,
+    "T7": _build_t7,
+    "T8": _build_t8,
+    "T9": _build_t9,
+}

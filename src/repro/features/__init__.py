@@ -1,0 +1,24 @@
+"""Text features with ``Verify`` / ``Refine`` (paper sections 2.2.2, 4.2)."""
+
+from repro.features.base import (
+    BOOLEAN_VALUES,
+    DISTINCT_NO,
+    DISTINCT_YES,
+    Feature,
+    NO,
+    UNKNOWN,
+    YES,
+)
+from repro.features.registry import FeatureRegistry, default_registry
+
+__all__ = [
+    "BOOLEAN_VALUES",
+    "DISTINCT_NO",
+    "DISTINCT_YES",
+    "Feature",
+    "FeatureRegistry",
+    "NO",
+    "UNKNOWN",
+    "YES",
+    "default_registry",
+]

@@ -1,0 +1,254 @@
+"""Context features: where a span sits relative to surrounding text.
+
+Covers the paper's ``preceded-by`` / ``followed-by`` features, the
+"location" question family ("does this attribute lie entirely in the
+first half of the page?"), and the "higher-level" DBLife features
+``prec_label_contains`` and ``prec_label_max_dist`` (section 6.3).
+"""
+
+import collections
+import re
+
+from repro.features.base import Feature, NO, YES, clip_intervals
+from repro.text.span import Span
+
+__all__ = [
+    "PrecededByFeature",
+    "FollowedByFeature",
+    "FirstHalfFeature",
+    "PrecLabelContainsFeature",
+    "PrecLabelMaxDistFeature",
+]
+
+_CONTEXT_WIDTH = 40
+
+
+def _common_suffix(texts):
+    if not texts:
+        return ""
+    shortest = min(texts, key=len)
+    for length in range(len(shortest), 0, -1):
+        suffix = shortest[-length:]
+        if all(t.endswith(suffix) for t in texts):
+            return suffix
+    return ""
+
+
+class PrecededByFeature(Feature):
+    """``preceded_by(a) = s``: text right before the span ends with ``s``
+
+    (ignoring intervening whitespace).
+    """
+
+    name = "preceded_by"
+    parameterized = True
+    question_values = ()
+
+    def verify(self, span, value):
+        before = span.text_before(_CONTEXT_WIDTH + len(value)).rstrip()
+        return before.endswith(value)
+
+    def refine(self, span, value):
+        # A satisfying sub-span starts right after an occurrence of
+        # ``value`` (modulo whitespace).  We emit one ``contain`` per
+        # occurrence, from just after it to the end of the region;
+        # Verify rechecks tighten the start anchor later.
+        text = span.doc.text
+        hints = []
+        if self.verify(span, value):
+            hints.append(("contain", span))
+        for match in re.finditer(re.escape(value), text[span.start : span.end]):
+            start = span.start + match.end()
+            while start < span.end and text[start].isspace():
+                start += 1
+            if start < span.end:
+                hints.append(("contain", Span(span.doc, start, span.end)))
+        return hints
+
+    def candidate_values(self, spans):
+        counter = collections.Counter()
+        for span in spans:
+            before = span.text_before(_CONTEXT_WIDTH).rstrip()
+            if not before:
+                continue
+            # the immediately preceding symbol and the preceding word
+            counter[before[-1]] += 1
+            match = re.search(r"([A-Za-z][A-Za-z&']*:?)\s*$", before)
+            if match:
+                counter[match.group(1)] += 1
+        return [value for value, _ in counter.most_common(3)]
+
+    def infer_parameter(self, true_spans):
+        befores = [s.text_before(_CONTEXT_WIDTH).rstrip() for s in true_spans]
+        if not befores or any(not b for b in befores):
+            return None
+        suffix = _common_suffix(befores).lstrip()
+        if not suffix or suffix.isspace():
+            return None
+        # trim to whole trailing tokens so the answer reads naturally
+        match = re.search(r"(\S+(?:\s+\S+)?)$", suffix)
+        return match.group(1) if match else None
+
+
+class FollowedByFeature(Feature):
+    """``followed_by(a) = s``: text right after the span starts with ``s``."""
+
+    name = "followed_by"
+    parameterized = True
+    question_values = ()
+
+    def verify(self, span, value):
+        after = span.text_after(_CONTEXT_WIDTH + len(value)).lstrip()
+        return after.startswith(value)
+
+    def refine(self, span, value):
+        text = span.doc.text
+        hints = []
+        if self.verify(span, value):
+            hints.append(("contain", span))
+        for match in re.finditer(re.escape(value), text[span.start : span.end]):
+            end = span.start + match.start()
+            while end > span.start and text[end - 1].isspace():
+                end -= 1
+            if end > span.start:
+                hints.append(("contain", Span(span.doc, span.start, end)))
+        return hints
+
+    def candidate_values(self, spans):
+        counter = collections.Counter()
+        for span in spans:
+            after = span.text_after(_CONTEXT_WIDTH).lstrip()
+            if not after:
+                continue
+            counter[after[0]] += 1
+            match = re.match(r"([A-Za-z][A-Za-z&']*:?)", after)
+            if match:
+                counter[match.group(1)] += 1
+        return [value for value, _ in counter.most_common(3)]
+
+    def infer_parameter(self, true_spans):
+        afters = [s.text_after(_CONTEXT_WIDTH).lstrip() for s in true_spans]
+        if not afters or any(not a for a in afters):
+            return None
+        # longest common prefix
+        prefix = afters[0]
+        for after in afters[1:]:
+            while prefix and not after.startswith(prefix):
+                prefix = prefix[:-1]
+        prefix = prefix.rstrip()
+        if not prefix:
+            return None
+        match = re.match(r"(\S+(?:\s+\S+)?)", prefix)
+        return match.group(1) if match else None
+
+
+class FirstHalfFeature(Feature):
+    """``first_half(a) = yes``: the span lies in the first half of the doc."""
+
+    name = "first_half"
+    question_values = (YES, NO)
+
+    def verify(self, span, value):
+        mid = len(span.doc.text) // 2
+        in_first = span.end <= mid
+        if value == YES:
+            return in_first
+        if value == NO:
+            return not in_first
+        raise ValueError("unsupported value %r for first_half" % (value,))
+
+    def refine(self, span, value):
+        mid = len(span.doc.text) // 2
+        if value == YES:
+            clipped = clip_intervals([(span.start, span.end)], 0, mid)
+            return [("contain", Span(span.doc, s, e)) for s, e in clipped]
+        # ``no`` also admits spans straddling the midpoint; stay loose.
+        return [("contain", span)]
+
+
+class PrecLabelContainsFeature(Feature):
+    """``prec_label_contains(a) = s``: the nearest preceding section
+
+    label contains the string ``s`` (case-insensitive).
+    """
+
+    name = "prec_label_contains"
+    parameterized = True
+    question_values = ()
+
+    def verify(self, span, value):
+        label = span.doc.preceding_label(span.start)
+        return label is not None and value.lower() in label.text.lower()
+
+    def refine(self, span, value):
+        doc = span.doc
+        hints = []
+        for index, label in enumerate(doc.labels):
+            if value.lower() not in label.text.lower():
+                continue
+            section_end = (
+                doc.labels[index + 1].start
+                if index + 1 < len(doc.labels)
+                else len(doc.text)
+            )
+            clipped = clip_intervals([(label.end, section_end)], span.start, span.end)
+            hints.extend(("contain", Span(doc, s, e)) for s, e in clipped)
+        return hints
+
+    def candidate_values(self, spans):
+        counter = collections.Counter()
+        for span in spans:
+            label = span.doc.preceding_label(span.start)
+            if label is None:
+                continue
+            for word in re.findall(r"[A-Za-z]{3,}", label.text.lower()):
+                counter[word] += 1
+        return [value for value, _ in counter.most_common(3)]
+
+    def infer_parameter(self, true_spans):
+        word_sets = []
+        for span in true_spans:
+            label = span.doc.preceding_label(span.start)
+            if label is None:
+                return None
+            word_sets.append(set(re.findall(r"[A-Za-z]{3,}", label.text.lower())))
+        common = set.intersection(*word_sets) if word_sets else set()
+        if not common:
+            return None
+        return max(common, key=len)
+
+
+class PrecLabelMaxDistFeature(Feature):
+    """``prec_label_max_dist(a) = n``: the span starts within ``n``
+
+    characters of the end of its preceding label.
+    """
+
+    name = "prec_label_max_dist"
+    parameterized = True
+    question_values = ()
+
+    def verify(self, span, value):
+        label = span.doc.preceding_label(span.start)
+        return label is not None and span.start - label.end <= int(value)
+
+    def refine(self, span, value):
+        # Satisfying spans *start* near a label but may extend far past
+        # it, so no tight ``contain`` exists; keep the region whenever
+        # some satisfying start position falls inside it.
+        doc = span.doc
+        bound = int(value)
+        for label in doc.labels:
+            lo, hi = label.end, label.end + bound
+            if lo < span.end and hi >= span.start:
+                return [("contain", span)]
+        return []
+
+    def infer_parameter(self, true_spans):
+        distances = []
+        for span in true_spans:
+            label = span.doc.preceding_label(span.start)
+            if label is None:
+                return None
+            distances.append(span.start - label.end)
+        return max(distances) if distances else None

@@ -1,0 +1,88 @@
+"""The feature registry.
+
+iFlex ships a rich built-in feature set (section 2.2.3 / 5.1.1) and lets
+developers register more; a registry maps constraint names used in Alog
+programs to :class:`~repro.features.base.Feature` implementations.
+"""
+
+from repro.errors import UnknownFeatureError
+from repro.features.context import (
+    FirstHalfFeature,
+    FollowedByFeature,
+    PrecededByFeature,
+    PrecLabelContainsFeature,
+    PrecLabelMaxDistFeature,
+)
+from repro.features.formatting import REGION_FEATURES, RegionFeature
+from repro.features.syntactic import (
+    CapitalizedFeature,
+    EndsWithFeature,
+    MaxLengthFeature,
+    MinLengthFeature,
+    NumericFeature,
+    PatternFeature,
+    PersonNameFeature,
+    StartsWithFeature,
+)
+from repro.features.value import MaxValueFeature, MinValueFeature
+
+__all__ = ["FeatureRegistry", "default_registry"]
+
+
+class FeatureRegistry:
+    """Name → :class:`Feature` lookup, with registration."""
+
+    def __init__(self, features=()):
+        self._features = {}
+        for feature in features:
+            self.register(feature)
+
+    def register(self, feature):
+        if feature.name is None:
+            raise ValueError("feature has no name: %r" % (feature,))
+        self._features[feature.name] = feature
+        return self
+
+    def get(self, name):
+        feature = self._features.get(name)
+        if feature is None:
+            raise UnknownFeatureError(
+                "no feature named %r (known: %s)"
+                % (name, ", ".join(sorted(self._features)))
+            )
+        return feature
+
+    def __contains__(self, name):
+        return name in self._features
+
+    def names(self):
+        return sorted(self._features)
+
+    def features(self):
+        return [self._features[name] for name in self.names()]
+
+
+def default_registry():
+    """The built-in feature set."""
+    registry = FeatureRegistry()
+    for name, kind in REGION_FEATURES:
+        registry.register(RegionFeature(name, kind))
+    for feature_cls in (
+        NumericFeature,
+        CapitalizedFeature,
+        PatternFeature,
+        StartsWithFeature,
+        EndsWithFeature,
+        MaxLengthFeature,
+        MinLengthFeature,
+        PersonNameFeature,
+        MaxValueFeature,
+        MinValueFeature,
+        PrecededByFeature,
+        FollowedByFeature,
+        FirstHalfFeature,
+        PrecLabelContainsFeature,
+        PrecLabelMaxDistFeature,
+    ):
+        registry.register(feature_cls())
+    return registry

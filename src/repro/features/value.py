@@ -1,0 +1,93 @@
+"""Semantic value features: bounds on the numeric value of a span.
+
+These back the paper's "semantics" questions, e.g. "what is a maximal
+value for price?" (section 5.1.1).
+"""
+
+import math
+
+from repro.features.base import Feature
+from repro.text.span import Span
+from repro.text.tokenize import NUMBER
+
+__all__ = ["MinValueFeature", "MaxValueFeature"]
+
+
+def _round_up_nice(value):
+    """Round up to 1-2 significant digits, as a developer would."""
+    if value <= 0:
+        return value
+    magnitude = 10 ** max(0, int(math.floor(math.log10(value))) - 1)
+    return int(math.ceil(value / magnitude) * magnitude)
+
+
+def _round_down_nice(value):
+    if value <= 0:
+        return value
+    magnitude = 10 ** max(0, int(math.floor(math.log10(value))) - 1)
+    return int(math.floor(value / magnitude) * magnitude)
+
+
+class _ValueBoundFeature(Feature):
+    parameterized = True
+    question_values = ()
+
+    def _ok(self, number, bound):
+        raise NotImplementedError
+
+    def verify(self, span, value):
+        number = span.numeric_value
+        return number is not None and self._ok(number, float(value))
+
+    def refine(self, span, value):
+        bound = float(value)
+        hints = []
+        for token in span.tokens:
+            if token.kind != NUMBER:
+                continue
+            sub = Span(span.doc, token.start, token.end)
+            number = sub.numeric_value
+            if number is not None and self._ok(number, bound):
+                hints.append(("exact", sub))
+        return hints
+
+    def candidate_values(self, spans):
+        numbers = sorted(
+            s.numeric_value for s in spans if s.numeric_value is not None
+        )
+        if not numbers:
+            return []
+        candidates = set()
+        for q in (0.25, 0.5, 0.9):
+            candidates.add(_round_up_nice(numbers[min(len(numbers) - 1, int(q * len(numbers)))]))
+        return sorted(candidates)
+
+
+class MaxValueFeature(_ValueBoundFeature):
+    """``max_value(a) = v``: the span is a number and is at most ``v``."""
+
+    name = "max_value"
+
+    def _ok(self, number, bound):
+        return number <= bound
+
+    def infer_parameter(self, true_spans):
+        numbers = [s.numeric_value for s in true_spans if s.numeric_value is not None]
+        if len(numbers) != len(true_spans) or not numbers:
+            return None
+        return _round_up_nice(max(numbers))
+
+
+class MinValueFeature(_ValueBoundFeature):
+    """``min_value(a) = v``: the span is a number and is at least ``v``."""
+
+    name = "min_value"
+
+    def _ok(self, number, bound):
+        return number >= bound
+
+    def infer_parameter(self, true_spans):
+        numbers = [s.numeric_value for s in true_spans if s.numeric_value is not None]
+        if len(numbers) != len(true_spans) or not numbers:
+            return None
+        return _round_down_nice(min(numbers))

@@ -1,0 +1,26 @@
+"""Approximate query processing over compact tables (paper section 4)."""
+
+from repro.processor.context import ExecConfig, ExecutionContext, ExecutionStats
+from repro.processor.executor import (
+    ExecutionResult,
+    IFlexEngine,
+    RuleCache,
+    evaluation_order,
+)
+from repro.processor.library import jaccard, make_similar, token_set
+from repro.processor.plan import compile_predicate, compile_rule
+
+__all__ = [
+    "ExecConfig",
+    "ExecutionContext",
+    "ExecutionResult",
+    "ExecutionStats",
+    "IFlexEngine",
+    "RuleCache",
+    "compile_predicate",
+    "compile_rule",
+    "evaluation_order",
+    "jaccard",
+    "make_similar",
+    "token_set",
+]

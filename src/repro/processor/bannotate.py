@@ -1,0 +1,108 @@
+"""BAnnotate: the ψ annotation operator's algorithm (section 4.3).
+
+Given a table and a rule's annotations ``(f, A)``:
+
+* attribute annotations ``A`` group the table by the non-annotated
+  (key) attributes and emit one output tuple per distinct key, whose
+  annotated cells are *choice* cells holding every value observed for
+  that key (the paper's index construction, Figure 5);
+* the existence annotation ``f`` then flags every output tuple maybe.
+
+An output tuple for key *n* escapes the maybe flag only when some
+input tuple certainly contributes key *n* in every world: the input
+tuple is not maybe, and each of its key cells either is an expansion
+cell (all values certainly present) or holds a single value.
+
+We work on compact tables directly (the optimisation the paper defers
+to its full version): keys are enumerated — they are typically
+documents, i.e. ``exact`` — while annotated cells are unioned at the
+*assignment* level, so wide ``contain`` families never get expanded.
+"""
+
+import itertools
+
+from repro.ctables.assignments import value_key
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.errors import EnumerationLimitError
+
+__all__ = ["annotate_table"]
+
+
+def annotate_table(source, existence, annotated_attrs, context):
+    """Apply ψ with annotations ``(existence, annotated_attrs)``."""
+    annotated_attrs = tuple(a for a in annotated_attrs if a in source.attrs)
+    if annotated_attrs:
+        source = _apply_attribute_annotations(source, annotated_attrs, context)
+    if not existence:
+        return source
+    table = CompactTable(source.attrs)
+    for t in source:
+        table.add(t.as_maybe())
+    return table
+
+
+def _apply_attribute_annotations(source, annotated_attrs, context):
+    attrs = source.attrs
+    annotated_indexes = [i for i, a in enumerate(attrs) if a in annotated_attrs]
+    key_indexes = [i for i, a in enumerate(attrs) if a not in annotated_attrs]
+    cap = context.config.enum_cap
+
+    index = {}  # key values -> _GroupEntry
+    order = []  # insertion order of keys, for deterministic output
+    for t in source:
+        key_value_lists = []
+        certain_choice_keys = True
+        for i in key_indexes:
+            cell = t.cells[i]
+            values, complete = cell.enumerate_values(cap)
+            if not complete:
+                raise EnumerationLimitError(
+                    "BAnnotate key attribute %r is too approximate to "
+                    "enumerate; constrain it first" % (attrs[i],)
+                )
+            key_value_lists.append(values)
+            if not cell.is_expansion and len(values) > 1:
+                certain_choice_keys = False
+        certain = not t.maybe and certain_choice_keys
+        for combo in itertools.product(*key_value_lists):
+            key = tuple(value_key(v) for v in combo)
+            entry = index.get(key)
+            if entry is None:
+                entry = _GroupEntry(combo)
+                index[key] = entry
+                order.append(key)
+            entry.certain = entry.certain or certain
+            for i in annotated_indexes:
+                for assignment in t.cells[i].assignments:
+                    entry.add(i, assignment)
+
+    table = CompactTable(attrs)
+    for key in order:
+        entry = index[key]
+        cells = [None] * len(attrs)
+        for position, i in enumerate(key_indexes):
+            cells[i] = Cell.exact(entry.key_values[position])
+        for i in annotated_indexes:
+            cells[i] = Cell(entry.assignments_for(i))
+        table.add(CompactTuple(cells, maybe=not entry.certain))
+    context.stats.tuples_built += len(table)
+    return table
+
+
+class _GroupEntry:
+    __slots__ = ("key_values", "certain", "_assignments", "_seen")
+
+    def __init__(self, key_values):
+        self.key_values = key_values
+        self.certain = False
+        self._assignments = {}
+        self._seen = {}
+
+    def add(self, attr_index, assignment):
+        bucket = self._seen.setdefault(attr_index, set())
+        if assignment not in bucket:
+            bucket.add(assignment)
+            self._assignments.setdefault(attr_index, []).append(assignment)
+
+    def assignments_for(self, attr_index):
+        return tuple(self._assignments.get(attr_index, ()))

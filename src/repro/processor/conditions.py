@@ -1,0 +1,368 @@
+"""Three-valued evaluation of selection/join conditions over cells.
+
+A condition over a compact tuple can hold for *some* of the possible
+tuples, for *all* of them, or for none (section 4.1).  Operators use
+the triple ``(some, all, filtered-cells)`` as follows:
+
+* ``not some``  → drop the tuple;
+* ``filtered``  → tighten involved cells to the satisfying values
+  (possible only when the cell is made of ``exact`` assignments);
+* ``not all``   → keep, but the tuple must be flagged maybe **unless**
+  the condition involves a single attribute whose cell is an expansion
+  cell that was fully filtered (each surviving value is its own,
+  certain, tuple).  Claiming certainty anywhere else would remove
+  worlds and break the superset guarantee (see DESIGN.md).
+
+Enumeration of ``contain`` assignments is avoided whenever the
+condition shape allows: ordering comparisons only ever hold for
+numeric values, and equality against a constant only for occurrences
+of that constant — both enumerable in linear time.  The generic
+fallback enumerates up to ``enum_cap`` values and degrades to
+keep-as-maybe beyond it.
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.ctables.assignments import Contain, Exact, value_key, value_number
+from repro.text.span import Span
+from repro.text.tokenize import NUMBER
+from repro.xlog.comparisons import comparison_holds
+
+__all__ = ["ComparisonCondition", "PFunctionCondition", "ConditionResult"]
+
+_ORDERING_OPS = ("<", "<=", ">", ">=")
+
+
+@dataclass
+class ConditionResult:
+    some: bool
+    all: bool
+    #: attr -> replacement Cell, only for cells that were *fully*
+    #: filtered to exactly the satisfying values
+    filtered: dict
+    #: True when an enumeration cap was hit (forces conservative maybe)
+    capped: bool = False
+
+
+class _Side:
+    """One side of a condition: a constant, or an attribute with an
+
+    optional numeric offset (``firstPage + 5``).
+    """
+
+    def __init__(self, attr=None, const=None, offset=0):
+        self.attr = attr
+        self.const = const
+        self.offset = offset
+
+    @property
+    def is_const(self):
+        return self.attr is None
+
+
+def _effective(value, offset):
+    """Apply a side's numeric offset; non-numeric values become null."""
+    if not offset:
+        return value
+    number = value_number(value)
+    return None if number is None else number + offset
+
+
+def _numeric_candidates(assignment):
+    """Values of an assignment that can satisfy a numeric comparison."""
+    if isinstance(assignment, Exact):
+        return [assignment.value]
+    spans = []
+    for token in assignment.span.tokens:
+        if token.kind == NUMBER:
+            spans.append(Span(assignment.span.doc, token.start, token.end))
+    return spans
+
+
+def _occurrence_candidates(assignment, text):
+    """Sub-span values of an assignment whose text equals ``text``."""
+    if isinstance(assignment, Exact):
+        return [assignment.value]
+    span = assignment.span
+    out = []
+    for match in re.finditer(re.escape(text), span.text):
+        out.append(Span(span.doc, span.start + match.start(), span.start + match.end()))
+    return out
+
+
+def _enumerate_side(cell, context, op, other_const):
+    """``(values, complete, exhaustive)`` for one attribute side.
+
+    ``complete`` means every *possibly satisfying* value is included;
+    ``exhaustive`` means every possible value of the cell is included
+    (needed to conclude ``all``).
+    """
+    cap = context.config.enum_cap
+    has_contain = any(isinstance(a, Contain) for a in cell.assignments)
+    if has_contain and op in _ORDERING_OPS:
+        values = []
+        for a in cell.assignments:
+            values.extend(_numeric_candidates(a))
+        context.stats.values_enumerated += len(values)
+        return _dedup(values), True, False
+    if (
+        has_contain
+        and op in ("=",)
+        and other_const is not None
+    ):
+        values = []
+        text = other_const.text if isinstance(other_const, Span) else str(other_const)
+        for a in cell.assignments:
+            values.extend(_occurrence_candidates(a, text))
+            # a numeric constant may also match differently-formatted
+            # numbers ("500,000"); add numeric candidates to be safe
+            if value_number(other_const) is not None:
+                values.extend(_numeric_candidates(a))
+        context.stats.values_enumerated += len(values)
+        return _dedup(values), True, False
+    values, full = cell.enumerate_values(cap)
+    context.stats.values_enumerated += len(values)
+    if not full:
+        context.stats.cap_hits += 1
+    return values, full, full
+
+
+def _dedup(values):
+    return list({value_key(v): v for v in values}.values())
+
+
+def _filterable(cell):
+    return all(isinstance(a, Exact) for a in cell.assignments)
+
+
+def _filtered_cell(cell, keep_values):
+    keep = {value_key(v) for v in keep_values}
+    assignments = [a for a in cell.assignments if value_key(a.value) in keep]
+    return cell.with_assignments(assignments)
+
+
+class ComparisonCondition:
+    """``left op right`` where each side is an attribute or constant."""
+
+    def __init__(self, left, op, right):
+        self.left = left
+        self.op = op
+        self.right = right
+
+    @property
+    def involved(self):
+        return tuple(s.attr for s in (self.left, self.right) if not s.is_const)
+
+    def __repr__(self):
+        def show(side):
+            return side.attr if not side.is_const else repr(side.const)
+
+        return "%s %s %s" % (show(self.left), self.op, show(self.right))
+
+    def _too_wide(self, cells_by_attr, context):
+        """Cheap pre-check: would enumeration blow the pair cap?
+
+        Uses ``value_count`` upper bounds so no values are materialised
+        on the (common, early-iteration) conservative path.  Ordering
+        and equal-to-constant shapes enumerate linearly, so they are
+        exempt.
+        """
+        product = 1
+        for side, other in ((self.left, self.right), (self.right, self.left)):
+            if side.is_const:
+                continue
+            cell = cells_by_attr[side.attr]
+            has_contain = any(isinstance(a, Contain) for a in cell.assignments)
+            if has_contain and (
+                self.op in _ORDERING_OPS
+                or (self.op == "=" and other.is_const)
+            ):
+                # the linear (numeric / occurrence) path; bound by tokens
+                product *= max(
+                    1,
+                    sum(
+                        len(a.anchor_span.tokens) if isinstance(a, Contain) else 1
+                        for a in cell.assignments
+                    ),
+                )
+            else:
+                product *= max(1, cell.value_count())
+        return product > context.config.pair_cap
+
+    def evaluate(self, cells_by_attr, context):
+        if self._too_wide(cells_by_attr, context):
+            context.stats.cap_hits += 1
+            return ConditionResult(some=True, all=False, filtered={}, capped=True)
+        sides = []
+        capped = False
+        exhaustive_all = True
+        for side, other in ((self.left, self.right), (self.right, self.left)):
+            if side.is_const:
+                sides.append(([side.const], True, True))
+                continue
+            other_const = other.const if other.is_const else None
+            cell = cells_by_attr[side.attr]
+            values, complete, exhaustive = _enumerate_side(
+                cell, context, self.op, other_const
+            )
+            if not complete:
+                capped = True
+            exhaustive_all = exhaustive_all and exhaustive
+            sides.append((values, complete, exhaustive))
+        if capped:
+            return ConditionResult(some=True, all=False, filtered={}, capped=True)
+        left_values = sides[0][0]
+        right_values = sides[1][0]
+        if len(left_values) * len(right_values) > context.config.pair_cap:
+            context.stats.cap_hits += 1
+            return ConditionResult(some=True, all=False, filtered={}, capped=True)
+        sat_left, sat_right = set(), set()
+        some = False
+        all_combos_satisfy = bool(left_values) and bool(right_values)
+        left_offset = 0 if self.left.is_const else self.left.offset
+        right_offset = 0 if self.right.is_const else self.right.offset
+        for lv in left_values:
+            for rv in right_values:
+                if comparison_holds(
+                    _effective(lv, left_offset), self.op, _effective(rv, right_offset)
+                ):
+                    some = True
+                    sat_left.add(value_key(lv))
+                    sat_right.add(value_key(rv))
+                else:
+                    all_combos_satisfy = False
+        all_flag = some and all_combos_satisfy and exhaustive_all
+        filtered = {}
+        if some:
+            for side, sat in ((self.left, sat_left), (self.right, sat_right)):
+                if side.is_const:
+                    continue
+                cell = cells_by_attr[side.attr]
+                if _filterable(cell):
+                    keep = [
+                        a.value
+                        for a in cell.assignments
+                        if value_key(a.value) in sat
+                    ]
+                    filtered[side.attr] = _filtered_cell(cell, keep)
+        return ConditionResult(some=some, all=all_flag, filtered=filtered, capped=False)
+
+
+class PFunctionCondition:
+    """A p-function used as a filter, e.g. ``similar(@t1, @t2)``."""
+
+    def __init__(self, name, func, sides):
+        self.name = name
+        self.func = func
+        self.sides = list(sides)  # list of _Side
+
+    @property
+    def involved(self):
+        return tuple(s.attr for s in self.sides if not s.is_const)
+
+    def __repr__(self):
+        return "%s(%s)" % (
+            self.name,
+            ", ".join(s.attr if not s.is_const else repr(s.const) for s in self.sides),
+        )
+
+    def _side_tokens(self, side, cells_by_attr):
+        """Union of token sets over a side's anchor spans / values.
+
+        A superset of the tokens of every value the side can take, so
+        an empty cross-side intersection *proves* a share-a-token
+        similarity function cannot hold.
+        """
+        from repro.processor.library import token_set
+
+        if side.is_const:
+            return token_set(side.const)
+        tokens = set()
+        for assignment in cells_by_attr[side.attr].assignments:
+            span = assignment.anchor_span
+            tokens |= token_set(span if span is not None else assignment.value)
+        return tokens
+
+    def evaluate(self, cells_by_attr, context):
+        import itertools
+
+        # A procedural function needs concrete values.  ``contain``
+        # families are kept approximate — except that for share-a-token
+        # similarity functions an empty token overlap is an exact
+        # refutation, which is what makes one-sided refinements shrink
+        # the result before both sides are exact.
+        has_contain = False
+        for side in self.sides:
+            if side.is_const:
+                continue
+            if any(isinstance(a, Contain) for a in cells_by_attr[side.attr].assignments):
+                has_contain = True
+                break
+        if has_contain:
+            if getattr(self.func, "blockable", False) and len(self.sides) == 2:
+                left_tokens = self._side_tokens(self.sides[0], cells_by_attr)
+                if left_tokens:
+                    right_tokens = self._side_tokens(self.sides[1], cells_by_attr)
+                    if not (left_tokens & right_tokens):
+                        return ConditionResult(some=False, all=False, filtered={})
+            context.stats.cap_hits += 1
+            return ConditionResult(some=True, all=False, filtered={}, capped=True)
+        product = 1
+        for side in self.sides:
+            if side.is_const:
+                continue
+            product *= max(1, cells_by_attr[side.attr].value_count())
+        if product > context.config.pair_cap:
+            context.stats.cap_hits += 1
+            return ConditionResult(some=True, all=False, filtered={}, capped=True)
+
+        per_side = []
+        capped = False
+        for side in self.sides:
+            if side.is_const:
+                per_side.append(([side.const], True))
+                continue
+            cell = cells_by_attr[side.attr]
+            values, full = cell.enumerate_values(context.config.enum_cap)
+            context.stats.values_enumerated += len(values)
+            if not full:
+                context.stats.cap_hits += 1
+                capped = True
+            per_side.append((values, full))
+        if capped:
+            return ConditionResult(some=True, all=False, filtered={}, capped=True)
+        combo_count = 1
+        for values, _ in per_side:
+            combo_count *= len(values)
+        if combo_count > context.config.pair_cap:
+            context.stats.cap_hits += 1
+            return ConditionResult(some=True, all=False, filtered={}, capped=True)
+        combos = itertools.product(*[values for values, _ in per_side])
+        sat_per_side = [set() for _ in per_side]
+        some = False
+        all_flag = True
+        for combo in combos:
+            if bool(self.func(*combo)):
+                some = True
+                for sat, v in zip(sat_per_side, combo):
+                    sat.add(value_key(v))
+            else:
+                all_flag = False
+        filtered = {}
+        if some:
+            for side, sat in zip(self.sides, sat_per_side):
+                if side.is_const:
+                    continue
+                cell = cells_by_attr[side.attr]
+                if _filterable(cell):
+                    keep = [a.value for a in cell.assignments if value_key(a.value) in sat]
+                    filtered[side.attr] = _filtered_cell(cell, keep)
+        return ConditionResult(
+            some=some, all=some and all_flag, filtered=filtered, capped=False
+        )
+
+
+def make_side(attr=None, const=None, offset=0):
+    """Factory used by the plan compiler."""
+    return _Side(attr=attr, const=const, offset=offset)

@@ -1,0 +1,70 @@
+"""Execution context and configuration for the approximate processor."""
+
+from dataclasses import dataclass
+
+from repro.features.registry import default_registry
+
+__all__ = ["ExecConfig", "ExecutionContext", "ExecutionStats"]
+
+
+@dataclass
+class ExecConfig:
+    """Caps and switches for approximate execution.
+
+    enum_cap:
+        Maximum values enumerated out of one cell when a comparison /
+        p-function / ψ needs concrete values.  Hitting the cap degrades
+        the operator to a conservative keep-as-maybe (superset-safe).
+    ppredicate_cap:
+        Maximum possible tuples a cleanup p-predicate is invoked over
+        per compact tuple (section 4.1).
+    blocking_joins:
+        Enable token-blocking for similarity joins (the paper's
+        approximate-string-join optimisation lives in its full version;
+        token blocking is the standard equivalent).
+    """
+
+    enum_cap: int = 2_000
+    #: Maximum value *combinations* one condition will test on a single
+    #: tuple; beyond it the condition degrades to keep-as-maybe.
+    pair_cap: int = 1_000
+    ppredicate_cap: int = 5_000
+    blocking_joins: bool = True
+
+
+@dataclass
+class ExecutionStats:
+    """Counters the benchmarks and the assistant report on."""
+
+    verify_calls: int = 0
+    refine_calls: int = 0
+    tuples_built: int = 0
+    values_enumerated: int = 0
+    cap_hits: int = 0
+    ppredicate_calls: int = 0
+
+    def merge(self, other):
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class ExecutionContext:
+    """Everything operators need while a plan runs."""
+
+    def __init__(self, program, corpus, features=None, config=None):
+        self.program = program
+        self.corpus = corpus
+        self.features = features or default_registry()
+        self.config = config or ExecConfig()
+        self.stats = ExecutionStats()
+        #: name -> CompactTable for already-evaluated intensional preds
+        self.relations = {}
+
+    def feature(self, name):
+        return self.features.get(name)
+
+    def p_function(self, name):
+        return self.program.p_functions[name]
+
+    def p_predicate(self, name):
+        return self.program.p_predicates[name]

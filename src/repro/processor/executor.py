@@ -1,0 +1,298 @@
+"""The approximate program executor ("stitching" + reuse, §4 and §5.2).
+
+:class:`IFlexEngine` evaluates an Alog program over a corpus: it
+unfolds description rules, compiles one plan per intensional predicate,
+executes them bottom-up over compact tables, and returns the query
+predicate's table.
+
+Cross-iteration **reuse** (section 5.2) is keyed on a per-predicate
+fingerprint.  When a refinement only *adds* domain constraints to a
+predicate's rules — the common case during assistant-driven iteration —
+the new constraints are applied directly to the cached table (domain
+constraints commute, section 4.2) instead of re-extracting from
+scratch; anything downstream re-executes against the updated table.
+"""
+
+import logging
+import time
+from dataclasses import dataclass, field
+
+from repro.alog.unfold import unfold_program
+from repro.errors import EvaluationError
+from repro.processor.context import ExecConfig, ExecutionContext
+from repro.processor.operators import apply_constraint_to_table
+from repro.processor.plan import compile_predicate
+from repro.xlog.ast import ConstraintAtom, PredicateAtom, Rule
+
+__all__ = ["IFlexEngine", "ExecutionResult", "RuleCache", "evaluation_order"]
+
+logger = logging.getLogger("repro.processor")
+
+
+def evaluation_order(program):
+    """Topological order of the intensional predicates."""
+    deps = {}
+    for rule in program.skeleton_rules:
+        deps.setdefault(rule.head.name, set())
+        for atom in rule.body_atoms(PredicateAtom):
+            if atom.name == rule.head.name:
+                raise EvaluationError("recursive predicate %r" % (atom.name,))
+            if atom.name in program.intensional:
+                deps[rule.head.name].add(atom.name)
+    order = []
+    visiting = set()
+
+    def visit(name):
+        if name in order:
+            return
+        if name in visiting:
+            raise EvaluationError("recursive dependency through %r" % (name,))
+        visiting.add(name)
+        for dep in sorted(deps.get(name, ())):
+            visit(dep)
+        visiting.discard(name)
+        order.append(name)
+
+    for name in sorted(deps):
+        visit(name)
+    return order
+
+
+@dataclass
+class ExecutionResult:
+    """What one program execution produced."""
+
+    query_table: object
+    tables: dict
+    stats: object
+    elapsed: float
+    reuse_summary: dict = field(default_factory=dict)
+
+    @property
+    def tuple_count(self):
+        return self.query_table.tuple_count()
+
+    @property
+    def assignment_count(self):
+        return self.query_table.assignment_count()
+
+    def summary(self):
+        return {
+            "tuples": self.tuple_count,
+            "assignments": self.assignment_count,
+            "maybe": self.query_table.maybe_count(),
+            "elapsed_s": self.elapsed,
+        }
+
+
+@dataclass
+class _Fingerprint:
+    bases: tuple          # per-rule repr with constraints stripped
+    constraints: tuple    # per-rule sorted (attr, feature, value-repr)
+    upstream: tuple       # tokens of referenced intensional tables
+    corpus_sig: object
+
+    @property
+    def token(self):
+        return hash((self.bases, self.constraints, self.upstream, self.corpus_sig))
+
+
+@dataclass
+class _CacheEntry:
+    fingerprint: _Fingerprint
+    table: object
+
+
+class RuleCache:
+    """Per-predicate compact-table cache for cross-iteration reuse."""
+
+    def __init__(self):
+        self._entries = {}
+        self.full_hits = 0
+        self.incremental_hits = 0
+        self.misses = 0
+
+    def get(self, name):
+        return self._entries.get(name)
+
+    def put(self, name, fingerprint, table):
+        self._entries[name] = _CacheEntry(fingerprint, table)
+
+    def __len__(self):
+        return len(self._entries)
+
+
+def _split_rule(rule):
+    """``(base_repr, constraints)`` — constraints in body order."""
+    body = tuple(a for a in rule.body if not isinstance(a, ConstraintAtom))
+    constraints = tuple(
+        (a.var.name, a.feature, repr(a.value))
+        for a in rule.body
+        if isinstance(a, ConstraintAtom)
+    )
+    return repr(Rule(rule.head, body)), constraints
+
+
+class IFlexEngine:
+    """Approximate executor for one program over one corpus."""
+
+    def __init__(self, program, corpus, features=None, config=None):
+        self.program = program
+        self.corpus = corpus
+        self.features = features
+        self.config = config or ExecConfig()
+        self.unfolded = unfold_program(program)
+        self.order = evaluation_order(self.unfolded)
+
+    # ------------------------------------------------------------------
+    def execute(self, cache=None):
+        """Run the program; returns an :class:`ExecutionResult`."""
+        start = time.perf_counter()
+        context = ExecutionContext(self.unfolded, self.corpus, self.features, self.config)
+        tokens = {}
+        reuse_summary = {}
+        for name in self.order:
+            fingerprint = self._fingerprint(name, tokens)
+            table = None
+            if cache is not None:
+                entry = cache.get(name)
+                if entry is not None:
+                    if entry.fingerprint.token == fingerprint.token:
+                        table = entry.table
+                        cache.full_hits += 1
+                        reuse_summary[name] = "full"
+                    else:
+                        table = self._incremental(name, entry, fingerprint, context)
+                        if table is not None:
+                            cache.incremental_hits += 1
+                            reuse_summary[name] = "incremental"
+            if table is None:
+                table = compile_predicate(name, self.unfolded).execute(context)
+                reuse_summary[name] = reuse_summary.get(name, "computed")
+                if cache is not None:
+                    cache.misses += 1
+            context.relations[name] = table
+            tokens[name] = fingerprint.token
+            if cache is not None:
+                cache.put(name, fingerprint, table)
+            logger.debug(
+                "%s: %d tuples, %d assignments (%s)",
+                name,
+                table.tuple_count(),
+                table.assignment_count(),
+                reuse_summary.get(name, "computed"),
+            )
+        elapsed = time.perf_counter() - start
+        return ExecutionResult(
+            query_table=context.relations[self.unfolded.query],
+            tables=dict(context.relations),
+            stats=context.stats,
+            elapsed=elapsed,
+            reuse_summary=reuse_summary,
+        )
+
+    def explain(self):
+        """The compiled plan for every predicate, as text."""
+        parts = []
+        for name in self.order:
+            plan = compile_predicate(name, self.unfolded)
+            parts.append("%s:\n%s" % (name, plan.explain(1)))
+        return "\n".join(parts)
+
+    def explain_analyze(self):
+        """Execute with operator-level tracing; returns
+
+        ``(ExecutionResult, report_text)`` — EXPLAIN ANALYZE for plans.
+        """
+        from repro.processor.tracing import trace_plan
+
+        start = time.perf_counter()
+        context = ExecutionContext(self.unfolded, self.corpus, self.features, self.config)
+        reports = []
+        for name in self.order:
+            traced = trace_plan(compile_predicate(name, self.unfolded))
+            context.relations[name] = traced.execute(context)
+            reports.append("%s:\n%s" % (name, traced.report()))
+        elapsed = time.perf_counter() - start
+        result = ExecutionResult(
+            query_table=context.relations[self.unfolded.query],
+            tables=dict(context.relations),
+            stats=context.stats,
+            elapsed=elapsed,
+        )
+        return result, "\n\n".join(reports)
+
+    # ------------------------------------------------------------------
+    def _fingerprint(self, name, tokens):
+        rules = self.unfolded.rules_for(name)
+        bases = []
+        constraints = []
+        upstream = []
+        for rule in rules:
+            base, cons = _split_rule(rule)
+            bases.append(base)
+            constraints.append(cons)
+            for atom in rule.body_atoms(PredicateAtom):
+                if atom.name in self.unfolded.intensional:
+                    upstream.append((atom.name, tokens[atom.name]))
+        return _Fingerprint(
+            bases=tuple(bases),
+            constraints=tuple(constraints),
+            upstream=tuple(sorted(set(upstream))),
+            corpus_sig=self.corpus.signature,
+        )
+
+    def _incremental(self, name, entry, fingerprint, context):
+        """Apply added-constraint deltas to a cached table, or None."""
+        old, new = entry.fingerprint, fingerprint
+        if (
+            old.bases != new.bases
+            or old.upstream != new.upstream
+            or old.corpus_sig != new.corpus_sig
+            or len(old.constraints) != len(new.constraints)
+        ):
+            return None
+        rules = self.unfolded.rules_for(name)
+        if len(rules) != 1:
+            # a multi-rule head unions tables from several rules; one
+            # rule's new constraint must not filter another rule's
+            # tuples, so fall back to a full recompute
+            return None
+        annotated = set(rules[0].annotations[1])
+        table = entry.table
+        table_attrs = set(table.attrs)
+        deltas = []
+        for old_cons, new_cons in zip(old.constraints, new.constraints):
+            old_list = list(old_cons)
+            for item in old_list:
+                if item not in new_cons:
+                    return None  # a constraint was removed: no reuse
+            remaining = list(new_cons)
+            for item in old_list:
+                remaining.remove(item)
+            for attr, feature, value_repr in remaining:
+                if attr not in table_attrs:
+                    return None  # constrained attr was projected away
+                priors = [
+                    (f, _unrepr(v)) for a, f, v in old_list if a == attr
+                ]
+                deltas.append((attr, feature, _unrepr(value_repr), priors))
+        for attr, feature, value, priors in deltas:
+            table = apply_constraint_to_table(
+                table,
+                attr,
+                feature,
+                value,
+                priors,
+                context,
+                # constraints commute past psi for annotated attributes
+                mark_maybe=attr not in annotated,
+            )
+        return table
+
+
+def _unrepr(value_repr):
+    """Recover a constraint value from its repr (str/int/float only)."""
+    import ast
+
+    return ast.literal_eval(value_repr)

@@ -1,0 +1,72 @@
+"""Built-in p-functions.
+
+The paper's programs use an ``approxMatch`` / ``similar`` string
+similarity p-function (TF/IDF there; token Jaccard here — see
+DESIGN.md's substitution table).  Functions marked ``blockable`` let
+:class:`~repro.processor.operators.JoinOp` prune candidate pairs with
+a shared-token index, our stand-in for the approximate-string-join
+optimisation of the paper's full version.
+"""
+
+import re
+
+from repro.ctables.assignments import value_text
+
+__all__ = ["make_similar", "token_set", "jaccard"]
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+_STOPWORDS = frozenset(
+    "a an and for in of on or the to with hs high school".split()
+)
+
+
+_TOKEN_CACHE = {}
+_TOKEN_CACHE_MAX = 500_000
+
+
+def token_set(value, drop_stopwords=True):
+    """Lower-cased alphanumeric tokens of a value's text (memoised).
+
+    Similarity joins call this millions of times on the same spans;
+    the cache keys on the value's canonical key.
+    """
+    from repro.ctables.assignments import value_key
+
+    cache_key = (value_key(value), drop_stopwords)
+    cached = _TOKEN_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    tokens = frozenset(t.lower() for t in _WORD_RE.findall(value_text(value)))
+    if drop_stopwords:
+        tokens = frozenset(t for t in tokens if t not in _STOPWORDS) or tokens
+    if len(_TOKEN_CACHE) >= _TOKEN_CACHE_MAX:
+        _TOKEN_CACHE.clear()
+    _TOKEN_CACHE[cache_key] = tokens
+    return tokens
+
+
+def jaccard(left, right):
+    """Token Jaccard similarity of two values."""
+    left_tokens = token_set(left)
+    right_tokens = token_set(right)
+    if not left_tokens or not right_tokens:
+        return 0.0
+    intersection = len(left_tokens & right_tokens)
+    union = len(left_tokens | right_tokens)
+    return intersection / union
+
+
+def make_similar(threshold=0.6):
+    """A ``similar(a, b)`` p-function at a given Jaccard threshold.
+
+    Any pair it accepts shares at least one token, so token blocking
+    is an exact (not lossy) pre-filter.
+    """
+
+    def similar(left, right):
+        return jaccard(left, right) >= threshold
+
+    similar.blockable = True
+    similar.threshold = threshold
+    return similar

@@ -1,0 +1,270 @@
+"""Compiling unfolded Alog rules into operator plans (section 4, Fig 4).
+
+For one rule the compiler:
+
+1. creates a scan fragment per relational atom (extensional or
+   intensional);
+2. attaches ``from`` generators, domain-constraint selections and
+   single-fragment conditions to the fragment that owns their
+   variables, as early as possible;
+3. joins fragments — preferring pairs connected by a deferred
+   condition — pushing the remaining conditions into the join;
+4. projects onto the head variables and appends the ψ annotation
+   operator carrying the rule's ``(f, A)``.
+
+Stitching (Figure 4.c) happens in the executor: intensional scans read
+the compact tables of already-evaluated rules.
+"""
+
+from repro.errors import EvaluationError
+from repro.processor.conditions import (
+    ComparisonCondition,
+    PFunctionCondition,
+    make_side,
+)
+from repro.processor.operators import (
+    AnnotateOp,
+    ConditionSelect,
+    ConstraintSelect,
+    FromOp,
+    JoinOp,
+    PPredicateOp,
+    ProjectOp,
+    ScanExtensional,
+    ScanIntensional,
+    UnionOp,
+)
+from repro.xlog.ast import (
+    Arith,
+    ComparisonAtom,
+    ConstraintAtom,
+    Const,
+    PredicateAtom,
+    Var,
+)
+
+__all__ = ["compile_rule", "compile_predicate"]
+
+
+class _Fragment:
+    """A plan fragment plus the set of attrs it provides."""
+
+    def __init__(self, op):
+        self.op = op
+
+    @property
+    def attrs(self):
+        return set(self.op.attrs)
+
+
+def _term_side(term):
+    if isinstance(term, Var):
+        return make_side(attr=term.name)
+    if isinstance(term, Const):
+        return make_side(const=term.value)
+    if isinstance(term, Arith):
+        return make_side(attr=term.var.name, offset=term.offset)
+    raise EvaluationError("unexpected term %r" % (term,))
+
+
+def _condition_for(atom, program):
+    if isinstance(atom, ComparisonAtom):
+        return ComparisonCondition(_term_side(atom.left), atom.op, _term_side(atom.right))
+    # p-function atom
+    spec = program.p_functions[atom.name]
+    return PFunctionCondition(atom.name, spec.func, [_term_side(a) for a in atom.args])
+
+
+def compile_rule(rule, program):
+    """Compile one unfolded rule into an operator tree."""
+    fragments = []
+    pending = []  # atoms not yet placed
+    constraint_history = {}  # attr -> [(feature, value), ...] applied so far
+
+    for atom in rule.body:
+        if isinstance(atom, PredicateAtom):
+            kind = program.atom_kind(atom)
+            if kind == "extensional":
+                if len(atom.args) != 1 or not isinstance(atom.args[0], Var):
+                    raise EvaluationError(
+                        "extensional atom %r must have one variable" % (atom,)
+                    )
+                fragments.append(_Fragment(ScanExtensional(atom.name, atom.args[0].name)))
+            elif kind == "intensional":
+                names = []
+                for arg in atom.args:
+                    if not isinstance(arg, Var):
+                        raise EvaluationError(
+                            "constants in intensional atoms are not supported: %r"
+                            % (atom,)
+                        )
+                    names.append(arg.name)
+                if len(set(names)) != len(names):
+                    raise EvaluationError("repeated variable in atom %r" % (atom,))
+                fragments.append(_Fragment(ScanIntensional(atom.name, names)))
+            else:
+                pending.append(atom)
+        else:
+            pending.append(atom)
+
+    if not fragments:
+        raise EvaluationError(
+            "rule %r has no extensional or intensional atom to drive it"
+            % (rule.label or rule.head.name,)
+        )
+
+    def attrs_of(atom):
+        if isinstance(atom, ConstraintAtom):
+            return {atom.var.name}
+        if isinstance(atom, ComparisonAtom):
+            return {v.name for v in atom.variables}
+        return {a.name for a in atom.args if isinstance(a, Var)}
+
+    def owner(names):
+        """The single fragment providing all ``names``, else None."""
+        for fragment in fragments:
+            if names <= fragment.attrs:
+                return fragment
+        return None
+
+    progress = True
+    while pending and progress:
+        progress = False
+        for atom in list(pending):
+            placed = self_place(
+                atom, program, fragments, owner, attrs_of, constraint_history
+            )
+            if placed:
+                pending.remove(atom)
+                progress = True
+        if pending and not progress:
+            if len(fragments) < 2:
+                raise EvaluationError(
+                    "cannot place atoms %r (unbound inputs?)" % (pending,)
+                )
+            _merge_fragments(fragments, pending, program, attrs_of)
+            progress = True
+
+    while len(fragments) > 1:
+        _merge_fragments(fragments, pending, program, attrs_of)
+    if pending:
+        raise EvaluationError("unplaced atoms after join: %r" % (pending,))
+
+    root = fragments[0].op
+    head_names = [v.name for v in rule.head.variables]
+    missing = [n for n in head_names if n not in set(root.attrs)]
+    if missing:
+        raise EvaluationError(
+            "head variables %r not produced by rule body %r" % (missing, rule)
+        )
+    root = ProjectOp(root, head_names)
+    existence, annotated = rule.annotations
+    root = AnnotateOp(root, existence, annotated)
+    return root
+
+
+def self_place(atom, program, fragments, owner, attrs_of, constraint_history):
+    """Try to attach ``atom`` to a single fragment; True on success."""
+    if isinstance(atom, ConstraintAtom):
+        fragment = owner({atom.var.name})
+        if fragment is None:
+            return False
+        priors = tuple(constraint_history.get(atom.var.name, ()))
+        fragment.op = ConstraintSelect(
+            fragment.op, atom.var.name, atom.feature, atom.value, priors
+        )
+        constraint_history.setdefault(atom.var.name, []).append(
+            (atom.feature, atom.value)
+        )
+        return True
+    if isinstance(atom, ComparisonAtom):
+        names = attrs_of(atom)
+        fragment = owner(names)
+        if fragment is None:
+            return False
+        fragment.op = ConditionSelect(fragment.op, _condition_for(atom, program))
+        return True
+    # PredicateAtom: from / p_function / p_predicate (incl. IE procedures)
+    kind = program.atom_kind(atom)
+    if kind == "from":
+        source, out = atom.args
+        if not isinstance(source, Var) or not isinstance(out, Var):
+            raise EvaluationError("from() arguments must be variables: %r" % (atom,))
+        fragment = owner({source.name})
+        if fragment is None:
+            return False
+        if out.name in fragment.attrs:
+            raise EvaluationError("from() output %r already bound" % (out.name,))
+        fragment.op = FromOp(fragment.op, source.name, out.name)
+        return True
+    if kind == "p_function":
+        names = attrs_of(atom)
+        fragment = owner(names)
+        if fragment is None:
+            return False
+        fragment.op = ConditionSelect(fragment.op, _condition_for(atom, program))
+        return True
+    if kind in ("p_predicate", "ie"):
+        spec = program.p_predicates.get(atom.name)
+        if spec is None:
+            raise EvaluationError(
+                "IE predicate %r has neither description rules (it should "
+                "have been unfolded) nor a procedure" % (atom.name,)
+            )
+        input_names = set()
+        for arg in atom.input_args:
+            if isinstance(arg, Var):
+                input_names.add(arg.name)
+        fragment = owner(input_names) if input_names else fragments[0]
+        if fragment is None:
+            return False
+        input_attrs = [a.name for a in atom.input_args]
+        output_attrs = [a.name for a in atom.output_args]
+        fragment.op = PPredicateOp(fragment.op, atom.name, spec, input_attrs, output_attrs)
+        return True
+    raise EvaluationError("cannot place atom %r" % (atom,))
+
+
+def _merge_fragments(fragments, pending, program, attrs_of):
+    """Join two fragments, preferring a pair linked by a condition."""
+    best = None
+    for i in range(len(fragments)):
+        for j in range(i + 1, len(fragments)):
+            combined = fragments[i].attrs | fragments[j].attrs
+            linked = [
+                atom
+                for atom in pending
+                if isinstance(atom, (ComparisonAtom, PredicateAtom))
+                and not isinstance(atom, ConstraintAtom)
+                and attrs_of(atom)
+                and attrs_of(atom) <= combined
+                and _is_condition_atom(atom, program)
+            ]
+            score = (len(linked), -len(combined))
+            if best is None or score > best[0]:
+                best = (score, i, j, linked)
+    _, i, j, linked = best
+    conditions = [_condition_for(atom, program) for atom in linked]
+    join = JoinOp(fragments[i].op, fragments[j].op, conditions)
+    for atom in linked:
+        pending.remove(atom)
+    merged = _Fragment(join)
+    for index in sorted((i, j), reverse=True):
+        del fragments[index]
+    fragments.append(merged)
+
+
+def _is_condition_atom(atom, program):
+    if isinstance(atom, ComparisonAtom):
+        return True
+    if isinstance(atom, PredicateAtom):
+        return program.atom_kind(atom) == "p_function"
+    return False
+
+
+def compile_predicate(name, program):
+    """Compile all rules for one intensional predicate, unioned."""
+    plans = [compile_rule(rule, program) for rule in program.rules_for(name)]
+    if len(plans) == 1:
+        return plans[0]
+    return UnionOp(plans)

@@ -1,0 +1,100 @@
+"""Operator-level execution tracing (EXPLAIN ANALYZE).
+
+Wraps a compiled plan so each operator records its output cardinality
+and wall time.  Used by ``IFlexEngine.explain_analyze`` and by the
+benchmarks to attribute cost inside a plan.
+"""
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["TracedPlan", "OperatorTrace", "trace_plan"]
+
+
+@dataclass
+class OperatorTrace:
+    """One operator's measurements for one execution."""
+
+    describe: str
+    depth: int
+    elapsed: float = 0.0
+    out_tuples: int = 0
+    out_assignments: int = 0
+    maybe_tuples: int = 0
+
+    def row(self):
+        return (
+            "%s%s" % ("  " * self.depth, self.describe),
+            "%.1f ms" % (self.elapsed * 1000.0),
+            self.out_tuples,
+            self.out_assignments,
+            self.maybe_tuples,
+        )
+
+
+class TracedPlan:
+    """A plan decorator measuring every operator in the tree."""
+
+    def __init__(self, operator, depth=0):
+        self._operator = operator
+        self.attrs = operator.attrs
+        self.trace = OperatorTrace(operator.describe(), depth)
+        self._children = [
+            TracedPlan(child, depth + 1) for child in operator.children()
+        ]
+        # rebind the wrapped operator's children to the traced versions
+        self._rebind_children()
+
+    def _rebind_children(self):
+        op = self._operator
+        traced = {id(t._operator): t for t in self._children}
+        for attr_name in ("child", "left", "right"):
+            child = getattr(op, attr_name, None)
+            if child is not None and id(child) in traced:
+                setattr(op, attr_name, traced[id(child)])
+        if getattr(op, "_children", None):
+            op._children = [
+                traced.get(id(c), c) for c in op._children
+            ]
+
+    # -- Operator protocol -------------------------------------------------
+    def children(self):
+        return list(self._children)
+
+    def describe(self):
+        return self._operator.describe()
+
+    def explain(self, depth=0):
+        return self._operator.explain(depth)
+
+    def execute(self, context):
+        start = time.perf_counter()
+        table = self._operator.execute(context)
+        total = time.perf_counter() - start
+        # subtract child time so elapsed is *self* time
+        child_time = sum(t.trace.elapsed for t in self._children)
+        self.trace.elapsed = max(0.0, total - child_time)
+        self.trace.out_tuples = len(table)
+        self.trace.out_assignments = table.assignment_count()
+        self.trace.maybe_tuples = table.maybe_count()
+        return table
+
+    # -- reporting ----------------------------------------------------------
+    def collect(self):
+        out = [self.trace]
+        for child in self._children:
+            out.extend(child.collect())
+        return out
+
+    def report(self):
+        from repro.experiments.report import render_table
+
+        rows = [t.row() for t in self.collect()]
+        return render_table(
+            ("operator", "self time", "tuples", "assignments", "maybe"), rows
+        )
+
+
+def trace_plan(operator):
+    """Wrap a compiled plan for measurement."""
+    return TracedPlan(operator)

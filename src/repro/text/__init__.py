@@ -1,0 +1,20 @@
+"""Text substrate: documents, spans, tokens, HTML parsing, corpora."""
+
+from repro.text.corpus import Corpus
+from repro.text.document import Document, Label, REGION_KINDS
+from repro.text.html_parser import parse_html
+from repro.text.span import Span, doc_span
+from repro.text.tokenize import Token, parse_number, tokenize
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "Label",
+    "REGION_KINDS",
+    "Span",
+    "Token",
+    "doc_span",
+    "parse_html",
+    "parse_number",
+    "tokenize",
+]

@@ -1,0 +1,108 @@
+"""Corpora: named extensional tables of documents.
+
+An Xlog/Alog program's extensional predicates (``housePages(x)``,
+``IMDB(x)``, ...) are backed by tables of documents.  Following the
+paper's experimental setup (section 6), each page is divided into
+*records* and each record is stored as one document in a table, so
+"number of tuples per table" equals the number of record documents.
+"""
+
+import random
+
+__all__ = ["Corpus"]
+
+
+class Corpus:
+    """A set of named document tables.
+
+    >>> corpus = Corpus()
+    >>> corpus.add_table("housePages", [doc1, doc2])   # doctest: +SKIP
+    """
+
+    def __init__(self, tables=None):
+        self._tables = {}
+        for name, docs in (tables or {}).items():
+            self.add_table(name, docs)
+
+    @property
+    def signature(self):
+        """A hashable fingerprint of the corpus contents (doc ids per
+
+        table) — what the executor's reuse cache keys on.
+        """
+        return tuple(
+            (name, tuple(d.doc_id for d in self._tables[name]))
+            for name in self.table_names()
+        )
+
+    def add_table(self, name, documents):
+        documents = list(documents)
+        seen = set()
+        for doc in documents:
+            if doc.doc_id in seen:
+                raise ValueError("duplicate doc_id %r in table %r" % (doc.doc_id, name))
+            seen.add(doc.doc_id)
+        self._tables[name] = documents
+        return self
+
+    def table(self, name):
+        if name not in self._tables:
+            raise KeyError("no extensional table named %r" % (name,))
+        return self._tables[name]
+
+    def table_names(self):
+        return sorted(self._tables)
+
+    def __contains__(self, name):
+        return name in self._tables
+
+    def __len__(self):
+        return len(self._tables)
+
+    def size_of(self, name):
+        return len(self.table(name))
+
+    def sample(self, fraction, seed=0):
+        """A new corpus with each table randomly down-sampled.
+
+        Used by *subset evaluation* (section 5.2): the assistant
+        simulates candidate refinements over 5-30% of the input.  At
+        least one document per non-empty table is retained, and the
+        sample is deterministic in ``seed``.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1], got %r" % (fraction,))
+        sampled = Corpus()
+        for name in self.table_names():
+            docs = self._tables[name]
+            if not docs:
+                sampled.add_table(name, [])
+                continue
+            count = max(1, round(len(docs) * fraction))
+            rng = random.Random((seed, name).__hash__())
+            picked = sorted(rng.sample(range(len(docs)), min(count, len(docs))))
+            sampled.add_table(name, [docs[i] for i in picked])
+        return sampled
+
+    def restrict(self, name, count, seed=0):
+        """A new corpus with table ``name`` cut to ``count`` documents.
+
+        Used to build the paper's Table 3 scenarios ("10 / 100 / all
+        tuples per table") by sampling the input pages.
+        """
+        out = Corpus()
+        for table_name in self.table_names():
+            docs = self._tables[table_name]
+            if table_name == name and count < len(docs):
+                rng = random.Random((seed, table_name).__hash__())
+                picked = sorted(rng.sample(range(len(docs)), count))
+                docs = [docs[i] for i in picked]
+            out.add_table(table_name, docs)
+        return out
+
+    def restrict_all(self, count, seed=0):
+        """Restrict every table to at most ``count`` documents."""
+        out = self
+        for name in self.table_names():
+            out = out.restrict(name, count, seed=seed)
+        return out

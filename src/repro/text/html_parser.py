@@ -1,0 +1,156 @@
+"""Conversion of (simple) HTML pages into :class:`Document` objects.
+
+The paper's corpora are crawled Web pages; iFlex's features reason about
+presentation (bold, italics, hyperlinks, lists, section labels).  This
+module flattens HTML into plain text while recording, as character
+intervals, where each presentation construct occurred.
+
+The parser is built on :mod:`html.parser` from the standard library and
+understands the constructs our page generators (and most simple pages)
+use:
+
+========================  =============================
+HTML                      document model
+========================  =============================
+``<b>``, ``<strong>``     ``bold`` region
+``<i>``, ``<em>``         ``italic`` region
+``<u>``                   ``underline`` region
+``<a>``                   ``hyperlink`` region
+``<title>``, ``<h1>``     ``title`` region
+``<li>``                  ``list_item`` region
+``<h2>``-``<h5>``         section :class:`Label`
+block tags                newline in the text
+========================  =============================
+"""
+
+import re
+from html.parser import HTMLParser
+
+from repro.text.document import Document, Label
+
+__all__ = ["parse_html", "HtmlDocumentBuilder"]
+
+_REGION_TAGS = {
+    "b": "bold",
+    "strong": "bold",
+    "i": "italic",
+    "em": "italic",
+    "u": "underline",
+    "a": "hyperlink",
+    "title": "title",
+    "h1": "title",
+    "li": "list_item",
+}
+
+_LABEL_TAGS = {"h2", "h3", "h4", "h5"}
+
+_BLOCK_TAGS = {
+    "p",
+    "div",
+    "br",
+    "li",
+    "tr",
+    "ul",
+    "ol",
+    "table",
+    "title",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "hr",
+    "body",
+    "html",
+    "head",
+}
+
+_WS_RE = re.compile(r"\s+")
+
+
+class HtmlDocumentBuilder(HTMLParser):
+    """Stream HTML in, collect text / regions / labels."""
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self._parts = []
+        self._length = 0
+        self._open = []  # stack of (tag, kind_or_None, start_offset)
+        self._regions = {}
+        self._labels = []
+
+    # -- text assembly -------------------------------------------------
+    def _last_char(self):
+        for part in reversed(self._parts):
+            if part:
+                return part[-1]
+        return "\n"
+
+    def _append(self, text):
+        if not text:
+            return
+        self._parts.append(text)
+        self._length += len(text)
+
+    def _ensure_newline(self):
+        if self._last_char() != "\n":
+            self._append("\n")
+
+    def handle_data(self, data):
+        chunk = _WS_RE.sub(" ", data)
+        if chunk == " ":
+            if self._last_char() not in " \n":
+                self._append(" ")
+            return
+        if chunk.startswith(" ") and self._last_char() in " \n":
+            chunk = chunk.lstrip(" ")
+        self._append(chunk)
+
+    # -- tags ------------------------------------------------------------
+    def handle_starttag(self, tag, attrs):
+        if tag in _BLOCK_TAGS:
+            self._ensure_newline()
+        if tag == "br" or tag == "hr":
+            return
+        kind = _REGION_TAGS.get(tag)
+        if kind is not None or tag in _LABEL_TAGS:
+            self._open.append((tag, kind, self._length))
+
+    def handle_endtag(self, tag):
+        # pop the innermost matching open tag, tolerating stray closes
+        for index in range(len(self._open) - 1, -1, -1):
+            open_tag, kind, start = self._open[index]
+            if open_tag != tag:
+                continue
+            del self._open[index]
+            end = self._length
+            # trim trailing whitespace out of the region
+            text = "".join(self._parts)[start:end]
+            stripped = text.rstrip()
+            end = start + len(stripped)
+            lead = len(stripped) - len(stripped.lstrip())
+            start += lead
+            if end > start:
+                if kind is not None:
+                    self._regions.setdefault(kind, []).append((start, end))
+                if tag in _LABEL_TAGS:
+                    self._labels.append(Label(stripped.strip(), start, end))
+            break
+        if tag in _BLOCK_TAGS:
+            self._ensure_newline()
+
+    # -- result ------------------------------------------------------------
+    def build(self, doc_id, meta=None):
+        """Finish parsing and return the :class:`Document`."""
+        text = "".join(self._parts)
+        labels = sorted(self._labels, key=lambda label: label.start)
+        return Document(doc_id, text, regions=self._regions, labels=labels, meta=meta)
+
+
+def parse_html(doc_id, html, meta=None):
+    """Parse an HTML string into a :class:`Document`."""
+    builder = HtmlDocumentBuilder()
+    builder.feed(html)
+    builder.close()
+    return builder.build(doc_id, meta=meta)

@@ -1,0 +1,37 @@
+"""The Xlog / Alog declarative IE language: AST, parser, precise engine."""
+
+from repro.xlog.ast import (
+    ComparisonAtom,
+    ConstraintAtom,
+    Const,
+    Head,
+    HeadArg,
+    NULL,
+    PredicateAtom,
+    Rule,
+    Var,
+)
+from repro.xlog.comparisons import comparison_holds
+from repro.xlog.engine import XlogEngine
+from repro.xlog.parser import parse_rule, parse_rules
+from repro.xlog.program import FROM_PREDICATE, PFunction, PPredicate, Program
+
+__all__ = [
+    "ComparisonAtom",
+    "ConstraintAtom",
+    "Const",
+    "FROM_PREDICATE",
+    "Head",
+    "HeadArg",
+    "NULL",
+    "PFunction",
+    "PPredicate",
+    "PredicateAtom",
+    "Program",
+    "Rule",
+    "Var",
+    "XlogEngine",
+    "comparison_holds",
+    "parse_rule",
+    "parse_rules",
+]

@@ -1,0 +1,249 @@
+"""Abstract syntax for Xlog / Alog programs (paper section 2).
+
+An Alog program is a list of rules ``head :- body``.  Heads may carry
+the two approximation annotations of section 2.2.3:
+
+* ``head(...)?`` — *existence* annotation: every tuple the rule
+  produces may or may not exist;
+* ``head(x, <p>)`` — *attribute* annotation on ``p``: group by the
+  non-annotated attributes and choose one value of ``p`` per group.
+
+Body atoms come in four syntactic kinds; which relational atoms are
+extensional, intensional, p-predicates, or IE predicates is resolved
+against declarations in :mod:`repro.xlog.program`.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "Var",
+    "Const",
+    "Arith",
+    "NULL",
+    "HeadArg",
+    "Head",
+    "PredicateAtom",
+    "ConstraintAtom",
+    "ComparisonAtom",
+    "Rule",
+    "COMPARISON_OPS",
+]
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Var:
+    """A rule variable."""
+
+    name: str
+
+    def __repr__(self):
+        return self.name
+
+
+def format_value(value):
+    """Format a constant so the parser can read it back.
+
+    Strings are double-quoted (the only string syntax the lexer
+    accepts); numbers print plainly; None prints as ``null``.
+    """
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return '"%s"' % escaped
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term (number or string).  ``NULL`` is the null const."""
+
+    value: object
+
+    def __repr__(self):
+        return format_value(self.value)
+
+
+#: The ``null`` keyword (used e.g. in ``journalYear != null``).
+NULL = Const(None)
+
+
+@dataclass(frozen=True)
+class Arith:
+    """A variable offset by a numeric constant: ``firstPage + 5``.
+
+    Only this shape is supported — it is all the paper's task programs
+    need (T5: ``lastPage < firstPage + 5``).
+    """
+
+    var: Var
+    op: str  # '+' or '-'
+    const: Const
+
+    def __post_init__(self):
+        if self.op not in ("+", "-"):
+            raise ValueError("bad arithmetic operator %r" % (self.op,))
+
+    @property
+    def offset(self):
+        value = self.const.value
+        return value if self.op == "+" else -value
+
+    def __repr__(self):
+        return "%r %s %r" % (self.var, self.op, self.const)
+
+
+@dataclass(frozen=True)
+class HeadArg:
+    """One argument position of a rule head.
+
+    ``is_input`` marks ``@x`` arguments — the bound inputs of an IE
+    predicate's description rule (the paper's overlined variables).
+    ``annotated`` marks ``<x>`` attribute-annotation arguments.
+    """
+
+    var: Var
+    is_input: bool = False
+    annotated: bool = False
+
+    def __repr__(self):
+        if self.is_input:
+            return "@%s" % self.var.name
+        if self.annotated:
+            return "<%s>" % self.var.name
+        return self.var.name
+
+
+@dataclass(frozen=True)
+class Head:
+    """A rule head: predicate name, arguments, existence flag."""
+
+    name: str
+    args: Tuple[HeadArg, ...]
+    existence: bool = False
+
+    @property
+    def variables(self):
+        return [a.var for a in self.args]
+
+    @property
+    def input_vars(self):
+        return [a.var for a in self.args if a.is_input]
+
+    @property
+    def output_vars(self):
+        return [a.var for a in self.args if not a.is_input]
+
+    @property
+    def annotated_vars(self):
+        return [a.var for a in self.args if a.annotated]
+
+    @property
+    def attr_names(self):
+        return [a.var.name for a in self.args]
+
+    def __repr__(self):
+        suffix = "?" if self.existence else ""
+        return "%s(%s)%s" % (self.name, ", ".join(map(repr, self.args)), suffix)
+
+
+@dataclass(frozen=True)
+class PredicateAtom:
+    """A relational body atom ``p(t1, ..., tn)``.
+
+    ``input_flags[i]`` is True when argument ``i`` was written ``@t`` —
+    meaningful for p-predicates, p-functions, and the built-in
+    ``from``; ignored for ordinary relations.
+    """
+
+    name: str
+    args: Tuple[object, ...]  # Var | Const
+    input_flags: Tuple[bool, ...] = None
+
+    def __post_init__(self):
+        if self.input_flags is None:
+            object.__setattr__(self, "input_flags", tuple(False for _ in self.args))
+        if len(self.input_flags) != len(self.args):
+            raise ValueError("input_flags arity mismatch in %r" % (self.name,))
+
+    @property
+    def variables(self):
+        return [a for a in self.args if isinstance(a, Var)]
+
+    @property
+    def input_args(self):
+        return [a for a, flag in zip(self.args, self.input_flags) if flag]
+
+    @property
+    def output_args(self):
+        return [a for a, flag in zip(self.args, self.input_flags) if not flag]
+
+    def __repr__(self):
+        parts = []
+        for arg, flag in zip(self.args, self.input_flags):
+            parts.append(("@%s" if flag else "%s") % (arg,))
+        return "%s(%s)" % (self.name, ", ".join(parts))
+
+
+@dataclass(frozen=True)
+class ConstraintAtom:
+    """A domain constraint ``feature(a) = value`` (section 2.2.2)."""
+
+    feature: str
+    var: Var
+    value: object  # str feature value, or scalar parameter
+
+    def __repr__(self):
+        return "%s(%s) = %s" % (self.feature, self.var, format_value(self.value))
+
+
+@dataclass(frozen=True)
+class ComparisonAtom:
+    """A comparison ``t1 op t2`` with ``op`` in :data:`COMPARISON_OPS`."""
+
+    left: object  # Var | Const
+    op: str
+    right: object
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError("bad comparison operator %r" % (self.op,))
+
+    @property
+    def variables(self):
+        out = []
+        for term in (self.left, self.right):
+            if isinstance(term, Var):
+                out.append(term)
+            elif isinstance(term, Arith):
+                out.append(term.var)
+        return out
+
+    def __repr__(self):
+        return "%r %s %r" % (self.left, self.op, self.right)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``.  ``label`` is an optional display name (R1, S4...)."""
+
+    head: Head
+    body: Tuple[object, ...]
+    label: str = ""
+
+    @property
+    def annotations(self):
+        """The paper's ``(f, A)`` pair for this rule."""
+        return (self.head.existence, tuple(v.name for v in self.head.annotated_vars))
+
+    def body_atoms(self, kind=None):
+        if kind is None:
+            return list(self.body)
+        return [a for a in self.body if isinstance(a, kind)]
+
+    def __repr__(self):
+        prefix = "%s: " % self.label if self.label else ""
+        return "%s%r :- %s" % (prefix, self.head, ", ".join(map(repr, self.body)))

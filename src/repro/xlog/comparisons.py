@@ -1,0 +1,48 @@
+"""Comparison semantics shared by the precise and approximate engines.
+
+Values may be spans, scalars, or ``None`` (the ``null`` constant).
+Comparisons coerce numerically whenever both sides have a numeric
+reading (so the span "25,000" compares equal to the scalar 25000), and
+fall back to text comparison otherwise.
+"""
+
+from repro.ctables.assignments import value_number, value_text
+
+__all__ = ["comparison_holds"]
+
+
+def comparison_holds(left, op, right):
+    """Evaluate ``left op right`` over concrete values."""
+    if left is None or right is None:
+        both_null = left is None and right is None
+        if op == "=":
+            return both_null
+        if op == "!=":
+            return not both_null
+        return False  # ordering against null never holds
+    left_num = value_number(left)
+    right_num = value_number(right)
+    numeric = left_num is not None and right_num is not None
+    if op == "=":
+        if numeric:
+            return left_num == right_num
+        return value_text(left) == value_text(right)
+    if op == "!=":
+        if numeric:
+            return left_num != right_num
+        return value_text(left) != value_text(right)
+    # Ordering is numeric-only by design: a lexicographic order over
+    # arbitrary extracted spans is never what an IE filter means, and
+    # numeric-only ordering is what lets the approximate processor
+    # enumerate just the numeric candidates of a contain family.
+    if not numeric:
+        return False
+    if op == "<":
+        return left_num < right_num
+    if op == "<=":
+        return left_num <= right_num
+    if op == ">":
+        return left_num > right_num
+    if op == ">=":
+        return left_num >= right_num
+    raise ValueError("unknown comparison operator %r" % (op,))

@@ -1,0 +1,96 @@
+"""Tokeniser for the Xlog / Alog concrete syntax.
+
+The syntax is Datalog-like::
+
+    R1: houses(x, p, a, h) :- housePages(x), extractHouses(@x, p, a, h).
+    S4: extractHouses(@x, p, a, h) :- from(@x, p), numeric(p) = yes.
+    S1: houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(@x, p, a, h).
+    S2: schools(s)? :- schoolPages(y), extractSchools(@y, s).
+
+``@x`` marks input (overlined) variables, ``<p>`` an attribute
+annotation, a trailing ``?`` on the head an existence annotation, and
+an optional leading ``LABEL:`` names the rule.  Rules end with ``.``
+(the final period may be omitted).  ``%`` starts a comment to the end
+of the line.
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize_program"]
+
+#: token kinds
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+SYMBOL = "symbol"
+EOF = "eof"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<symbol>:-|<=|>=|!=|[()<>=@?,.:+\-])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return "%s(%r)" % (self.kind, self.value)
+
+
+def _unescape(raw):
+    out = []
+    i = 1
+    while i < len(raw) - 1:
+        ch = raw[i]
+        if ch == "\\" and i + 1 < len(raw) - 1:
+            nxt = raw[i + 1]
+            out.append({"n": "\n", "t": "\t"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize_program(source):
+    """Tokenise ``source``; returns a list ending with an EOF token."""
+    tokens = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError("unexpected character %r" % source[pos], line, column)
+        kind = match.lastgroup
+        text = match.group()
+        column = pos - line_start + 1
+        if kind == "ws" or kind == "comment":
+            pass
+        elif kind == "string":
+            tokens.append(Token(STRING, _unescape(text), line, column))
+        else:
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token(EOF, "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,227 @@
+"""Recursive-descent parser for the Xlog / Alog concrete syntax.
+
+See :mod:`repro.xlog.lexer` for the grammar sketch.  The parser is
+purely syntactic: it does not know which predicates are extensional,
+procedural, or IE predicates — that resolution happens when rules are
+assembled into a :class:`repro.xlog.program.Program`.
+"""
+
+from repro.errors import ParseError
+from repro.xlog.ast import (
+    Arith,
+    ComparisonAtom,
+    ConstraintAtom,
+    Const,
+    Head,
+    HeadArg,
+    NULL,
+    PredicateAtom,
+    Rule,
+    Var,
+)
+from repro.xlog.lexer import EOF, IDENT, NUMBER, STRING, SYMBOL, tokenize_program
+
+__all__ = ["parse_rules", "parse_rule"]
+
+_COMPARISON_SYMBOLS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, source):
+        self.tokens = tokenize_program(source)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self):
+        token = self.peek()
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise ParseError(
+                "expected %r, found %r" % (want, token.value or "<eof>"),
+                token.line,
+                token.column,
+            )
+        return self.next()
+
+    def at_symbol(self, value, offset=0):
+        token = self.peek(offset)
+        return token.kind == SYMBOL and token.value == value
+
+    def error(self, message):
+        token = self.peek()
+        raise ParseError(message, token.line, token.column)
+
+    # -- grammar ----------------------------------------------------------
+    def parse_program(self):
+        rules = []
+        while self.peek().kind != EOF:
+            rules.append(self.parse_rule())
+            if self.at_symbol("."):
+                self.next()
+        return rules
+
+    def parse_rule(self):
+        label = ""
+        if (
+            self.peek().kind == IDENT
+            and self.at_symbol(":", 1)
+        ):
+            label = self.next().value
+            self.next()  # ':'
+        head = self.parse_head()
+        body = []
+        if self.at_symbol(":-"):
+            self.next()
+            body.append(self.parse_atom())
+            while self.at_symbol(","):
+                self.next()
+                body.append(self.parse_atom())
+        return Rule(head, tuple(body), label=label)
+
+    def parse_head(self):
+        name = self.expect(IDENT).value
+        self.expect(SYMBOL, "(")
+        args = [self.parse_head_arg()]
+        while self.at_symbol(","):
+            self.next()
+            args.append(self.parse_head_arg())
+        self.expect(SYMBOL, ")")
+        existence = False
+        if self.at_symbol("?"):
+            self.next()
+            existence = True
+        return Head(name, tuple(args), existence=existence)
+
+    def parse_head_arg(self):
+        if self.at_symbol("@"):
+            self.next()
+            return HeadArg(Var(self.expect(IDENT).value), is_input=True)
+        if self.at_symbol("<"):
+            self.next()
+            var = Var(self.expect(IDENT).value)
+            self.expect(SYMBOL, ">")
+            return HeadArg(var, annotated=True)
+        return HeadArg(Var(self.expect(IDENT).value))
+
+    def parse_atom(self):
+        token = self.peek()
+        if token.kind == IDENT and self.at_symbol("(", 1):
+            return self.parse_predicate_or_constraint()
+        left = self.parse_term()
+        op = self.parse_comparison_op()
+        right = self.parse_term()
+        return ComparisonAtom(left, op, right)
+
+    def parse_predicate_or_constraint(self):
+        name = self.expect(IDENT).value
+        self.expect(SYMBOL, "(")
+        args = []
+        flags = []
+        while True:
+            if self.at_symbol("@"):
+                self.next()
+                args.append(Var(self.expect(IDENT).value))
+                flags.append(True)
+            else:
+                token = self.peek()
+                if token.kind == IDENT:
+                    self.next()
+                    args.append(NULL if token.value == "null" else Var(token.value))
+                    flags.append(False)
+                elif token.kind == NUMBER:
+                    self.next()
+                    args.append(Const(_number(token.value)))
+                    flags.append(False)
+                elif token.kind == STRING:
+                    self.next()
+                    args.append(Const(token.value))
+                    flags.append(False)
+                else:
+                    self.error("expected predicate argument")
+            if self.at_symbol(","):
+                self.next()
+                continue
+            break
+        self.expect(SYMBOL, ")")
+        if self.at_symbol("="):
+            # ``feature(a) = value`` — a domain constraint
+            self.next()
+            if len(args) != 1 or not isinstance(args[0], Var):
+                self.error(
+                    "domain constraint %r must have exactly one variable argument"
+                    % (name,)
+                )
+            return ConstraintAtom(name, args[0], self.parse_constraint_value())
+        return PredicateAtom(name, tuple(args), tuple(flags))
+
+    def parse_constraint_value(self):
+        token = self.peek()
+        if token.kind == IDENT:
+            self.next()
+            return token.value
+        if token.kind == NUMBER:
+            self.next()
+            return _number(token.value)
+        if token.kind == STRING:
+            self.next()
+            return token.value
+        self.error("expected a constraint value")
+
+    def parse_term(self):
+        token = self.peek()
+        if token.kind == IDENT:
+            self.next()
+            if token.value == "null":
+                return NULL
+            var = Var(token.value)
+            # optional arithmetic offset: ``firstPage + 5``
+            if (
+                self.peek().kind == SYMBOL
+                and self.peek().value in ("+", "-")
+                and self.peek(1).kind == NUMBER
+            ):
+                op = self.next().value
+                const = Const(_number(self.next().value))
+                return Arith(var, op, const)
+            return var
+        if token.kind == NUMBER:
+            self.next()
+            return Const(_number(token.value))
+        if token.kind == STRING:
+            self.next()
+            return Const(token.value)
+        self.error("expected a term")
+
+    def parse_comparison_op(self):
+        token = self.peek()
+        if token.kind == SYMBOL and token.value in _COMPARISON_SYMBOLS:
+            self.next()
+            return token.value
+        self.error("expected a comparison operator")
+
+
+def _number(text):
+    return float(text) if "." in text else int(text)
+
+
+def parse_rules(source):
+    """Parse a whole program source into a list of :class:`Rule`."""
+    return _Parser(source).parse_program()
+
+
+def parse_rule(source):
+    """Parse a single rule."""
+    rules = parse_rules(source)
+    if len(rules) != 1:
+        raise ParseError("expected exactly one rule, found %d" % len(rules))
+    return rules[0]

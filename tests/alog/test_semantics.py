@@ -1,0 +1,108 @@
+"""Reference possible-worlds semantics tests (Definitions 1 & 2)."""
+
+import pytest
+
+from repro.alog.semantics import (
+    annotate_relation,
+    powerset_relations,
+    program_possible_relations,
+    rule_possible_relations,
+)
+from repro.ctables.assignments import value_key
+from repro.errors import EnumerationLimitError
+from repro.text import Corpus, Document
+from repro.xlog.parser import parse_rule
+from repro.xlog.program import Program
+
+
+def freeze(rows):
+    return frozenset(tuple(value_key(v) for v in row) for row in rows)
+
+
+class TestExistenceAnnotation:
+    def test_powerset(self):
+        base = {freeze([(1,), (2,)])}
+        worlds = powerset_relations(base)
+        assert len(worlds) == 4
+        assert frozenset() in worlds
+
+    def test_definition1_via_annotate(self):
+        worlds = annotate_relation([(1,), (2,)], (True, ()))
+        assert len(worlds) == 4
+
+    def test_cap(self):
+        rows = [(i,) for i in range(40)]
+        with pytest.raises(EnumerationLimitError):
+            annotate_relation(rows, (True, ()), max_worlds=1000)
+
+
+class TestAttributeAnnotation:
+    def test_definition2_grouping(self):
+        # rows (x, v): x is key, v annotated -> one v per x
+        rows = [("a", 1), ("a", 2), ("b", 3)]
+        worlds = annotate_relation(rows, (False, (1,)))
+        assert len(worlds) == 2
+        expected = {
+            freeze([("a", 1), ("b", 3)]),
+            freeze([("a", 2), ("b", 3)]),
+        }
+        assert worlds == expected
+
+    def test_multiple_annotated_attributes(self):
+        rows = [("k", 1, "x"), ("k", 2, "y")]
+        worlds = annotate_relation(rows, (False, (1, 2)))
+        # 2 choices for attr1 x 2 for attr2
+        assert len(worlds) == 4
+
+    def test_no_annotation_is_identity(self):
+        rows = [(1, 2)]
+        assert annotate_relation(rows, (False, ())) == {freeze(rows)}
+
+    def test_existence_after_attribute(self):
+        rows = [("a", 1), ("a", 2)]
+        worlds = annotate_relation(rows, (True, (1,)))
+        # choose one of two values, then any subset of the 1-row relation
+        assert frozenset() in worlds
+        assert len(worlds) == 3  # {}, {(a,1)}, {(a,2)}
+
+
+class TestRulePossibleRelations:
+    def test_annotated_rule(self):
+        rule = parse_rule("houses(x, <p>) :- base(x), ie(@x, p).")
+        rows = [("x1", 1), ("x1", 2)]
+        worlds = rule_possible_relations(rule, rows)
+        assert len(worlds) == 2
+
+
+class TestProgramPossibleRelations:
+    def test_example_23_houses(self):
+        doc = Document("x1", "Sqft: 2750 Price: 351,000")
+        corpus = Corpus({"housePages": [doc]})
+        program = Program.parse(
+            """
+            houses(x, <p>) :- housePages(x), extractP(@x, p).
+            extractP(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["housePages"],
+            query="houses",
+        )
+        worlds = program_possible_relations(program, corpus)
+        # one tuple per document, p one of the two numbers
+        assert len(worlds) == 2
+        sizes = {len(w) for w in worlds}
+        assert sizes == {1}
+
+    def test_existence_program(self):
+        doc = Document("y1", "alpha beta")
+        corpus = Corpus({"pages": [doc]})
+        program = Program.parse(
+            """
+            schools(s)? :- pages(y), extractS(@y, s).
+            extractS(@y, s) :- from(@y, s).
+            """,
+            extensional=["pages"],
+            query="schools",
+        )
+        worlds = program_possible_relations(program, corpus)
+        # 3 sub-spans -> powerset of 3 tuples
+        assert len(worlds) == 8

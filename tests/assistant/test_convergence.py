@@ -1,0 +1,44 @@
+"""Convergence monitor tests (k-stable counts, section 5.1)."""
+
+import pytest
+
+from repro.assistant.convergence import ConvergenceMonitor
+
+
+class TestConvergenceMonitor:
+    def test_not_converged_before_k(self):
+        monitor = ConvergenceMonitor(k=3)
+        assert not monitor.observe(10, 100)
+        assert not monitor.observe(10, 100)
+
+    def test_converged_after_k_identical(self):
+        monitor = ConvergenceMonitor(k=3)
+        monitor.observe(10, 100)
+        monitor.observe(10, 100)
+        assert monitor.observe(10, 100)
+
+    def test_any_component_change_resets(self):
+        monitor = ConvergenceMonitor(k=3)
+        monitor.observe(10, 100)
+        monitor.observe(10, 99)  # assignments changed
+        assert not monitor.observe(10, 99)
+        assert monitor.observe(10, 99)
+
+    def test_triple_signal(self):
+        monitor = ConvergenceMonitor(k=2)
+        monitor.observe(5, 50, 500)
+        assert monitor.observe(5, 50, 500)
+        monitor.reset()
+        monitor.observe(5, 50, 500)
+        assert not monitor.observe(5, 50, 499)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(k=1)
+
+    def test_reset(self):
+        monitor = ConvergenceMonitor(k=2)
+        monitor.observe(1, 1)
+        monitor.reset()
+        assert monitor.history == []
+        assert not monitor.converged

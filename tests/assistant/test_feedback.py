@@ -1,0 +1,119 @@
+"""Markup-example feedback tests (paper section 5.1.1)."""
+
+import pytest
+
+from repro.assistant.feedback import eliminate_by_examples
+from repro.assistant.oracle import GroundTruth, SimulatedDeveloper
+from repro.assistant.questions import Question
+from repro.assistant.session import RefinementSession
+from repro.assistant.strategies import SimulationStrategy
+from repro.features.registry import default_registry
+from repro.text.corpus import Corpus
+from repro.text.html_parser import parse_html
+from repro.text.span import Span
+from repro.xlog.program import Program
+
+REGISTRY = default_registry()
+
+
+@pytest.fixture
+def doc():
+    return parse_html("f", "<p>Price: <b>$42.00</b> plain text</p>")
+
+
+def bold_span(doc):
+    start, end = doc.regions_of("bold")[0]
+    return Span(doc, start, end)
+
+
+class TestEliminateByExamples:
+    def test_bold_example_eliminates_no(self, doc):
+        # the paper's example verbatim: a bold sample means "no" is out
+        feature = REGISTRY.get("bold_font")
+        values = eliminate_by_examples(
+            feature, ["yes", "no", "distinct_yes"], [bold_span(doc)]
+        )
+        assert "no" not in values
+        assert "yes" in values
+
+    def test_non_bold_example_eliminates_yes(self, doc):
+        feature = REGISTRY.get("bold_font")
+        plain = Span(doc, 0, 5)
+        values = eliminate_by_examples(
+            feature, ["yes", "no", "distinct_yes"], [plain]
+        )
+        assert values == ["no"]
+
+    def test_non_distinct_example_eliminates_distinct(self, doc):
+        feature = REGISTRY.get("bold_font")
+        b = bold_span(doc)
+        inner = b.sub(b.start + 1, b.end)  # bold but not the whole region
+        values = eliminate_by_examples(
+            feature, ["yes", "no", "distinct_yes"], [inner]
+        )
+        assert values == ["yes"]
+
+    def test_no_examples_is_identity(self, doc):
+        feature = REGISTRY.get("bold_font")
+        values = ["yes", "no"]
+        assert eliminate_by_examples(feature, values, []) == values
+
+    def test_parameterized_untouched(self, doc):
+        feature = REGISTRY.get("preceded_by")
+        assert eliminate_by_examples(feature, ["$"], [bold_span(doc)]) == ["$"]
+
+    def test_contradictory_examples_keep_all(self, doc):
+        feature = REGISTRY.get("bold_font")
+        values = eliminate_by_examples(
+            feature, ["yes", "no"], [bold_span(doc), Span(doc, 0, 5)]
+        )
+        assert values == ["yes", "no"]
+
+
+class TestSessionIntegration:
+    def make_session(self):
+        docs, spans = [], []
+        for i in range(6):
+            page = parse_html(
+                "m%d" % i, "<p><b>Item %d</b> Votes: %d</p>" % (i, 500 * (i + 1))
+            )
+            start = page.text.index("Votes:") + 7
+            spans.append(Span(page, start, len(page.text.rstrip())))
+            docs.append(page)
+        corpus = Corpus({"base": docs})
+        program = Program.parse(
+            """
+            rows(x, <t>, <v>) :- base(x), ie(@x, t, v).
+            q(t) :- rows(x, t, v), v > 1200.
+            ie(@x, t, v) :- from(@x, t), from(@x, v), numeric(v) = yes.
+            """,
+            extensional=["base"],
+            query="q",
+        )
+        truth = GroundTruth({("ie", "v"): spans, ("ie", "t"): []})
+        developer = SimulatedDeveloper(truth, seed=2)
+        return RefinementSession(
+            program, corpus, developer, strategy=SimulationStrategy(), seed=2
+        )
+
+    def test_collect_examples(self):
+        session = self.make_session()
+        count = session.collect_examples()
+        assert count == 1  # only v has true spans
+        assert session.example_spans("ie", "v")
+
+    def test_examples_shrink_simulated_values(self):
+        session = self.make_session()
+        session._execute_subset()
+        session.collect_examples()
+        strategy = session.strategy
+        weighted = strategy._weighted_values(session, Question("ie", "v", "bold_font"))
+        values = {v for v, _ in weighted}
+        # the example votes span is not bold: yes/distinct eliminated
+        assert values == {"no"}
+
+    def test_session_with_examples_still_converges(self):
+        session = self.make_session()
+        session.collect_examples()
+        trace = session.run()
+        assert trace.final_result.tuple_count == 4  # votes > 1200: items 2..5

@@ -1,0 +1,125 @@
+"""Session save/resume tests."""
+
+import json
+
+import pytest
+
+from repro.assistant.oracle import GroundTruth, SimulatedDeveloper
+from repro.assistant.persistence import (
+    resume_session,
+    save_session,
+    trace_report,
+    trace_to_dict,
+)
+from repro.assistant.session import RefinementSession
+from repro.assistant.strategies import SequentialStrategy
+from repro.text.corpus import Corpus
+from repro.text.html_parser import parse_html
+from repro.text.span import Span
+from repro.xlog.program import Program
+
+
+@pytest.fixture
+def setup():
+    docs, spans = [], []
+    for i in range(8):
+        doc = parse_html(
+            "p%d" % i, "<p><b>Row %d</b> Price: $%d.00</p>" % (i, 50 + 20 * i)
+        )
+        start = doc.text.index("$") + 1
+        spans.append(Span(doc, start, start + len("%d.00" % (50 + 20 * i))))
+        docs.append(doc)
+    corpus = Corpus({"base": docs})
+    program = Program.parse(
+        """
+        rows(x, <t>, <p>) :- base(x), ie(@x, t, p).
+        q(t) :- rows(x, t, p), p > 100.
+        ie(@x, t, p) :- from(@x, t), from(@x, p), numeric(p) = yes.
+        """,
+        extensional=["base"],
+        query="q",
+    )
+    truth = GroundTruth({("ie", "p"): spans})
+    return corpus, program, truth
+
+
+class TestSaveResume:
+    def test_round_trip_preserves_state(self, setup, tmp_path):
+        corpus, program, truth = setup
+        developer = SimulatedDeveloper(truth, seed=3)
+        session = RefinementSession(
+            program, corpus, developer, strategy=SequentialStrategy(), seed=3,
+            max_iterations=2,
+        )
+        session.collect_examples()
+        session.run()  # partial (2 iterations)
+        path = save_session(session, tmp_path / "session.json")
+
+        resumed = resume_session(
+            path, corpus, SimulatedDeveloper(truth, seed=3),
+            strategy=SequentialStrategy(), seed=3,
+        )
+        assert resumed.asked == session.asked
+        assert resumed.program.source() == session.program.source()
+        assert resumed.example_spans("ie", "p")
+
+    def test_resumed_session_continues_to_convergence(self, setup, tmp_path):
+        corpus, program, truth = setup
+        developer = SimulatedDeveloper(truth, seed=3)
+        first = RefinementSession(
+            program, corpus, developer, strategy=SequentialStrategy(), seed=3,
+            max_iterations=2,
+        )
+        first.run()
+        path = save_session(first, tmp_path / "s.json")
+        resumed = resume_session(
+            path, corpus, SimulatedDeveloper(truth, seed=3),
+            strategy=SequentialStrategy(), seed=3,
+        )
+        trace = resumed.run()
+        correct = sum(1 for i in range(8) if 50 + 20 * i > 100)
+        assert trace.final_result.tuple_count == correct
+        # no question repeats across the two halves
+        keys = [q.key() for r in trace.records for q, _ in r.questions]
+        assert not (set(keys) & first.asked)
+
+    def test_stale_examples_skipped(self, setup, tmp_path):
+        corpus, program, truth = setup
+        developer = SimulatedDeveloper(truth, seed=3)
+        session = RefinementSession(program, corpus, developer, seed=3)
+        session.collect_examples()
+        path = save_session(session, tmp_path / "s.json")
+        other_corpus = Corpus(
+            {"base": [parse_html("zz", "<p>different Price: $5.00</p>")]}
+        )
+        resumed = resume_session(
+            path, other_corpus, SimulatedDeveloper(truth, seed=3), seed=3
+        )
+        assert resumed.example_spans("ie", "p") == []
+
+
+class TestTraceSerialisation:
+    def test_trace_to_dict_and_report(self, setup, tmp_path):
+        corpus, program, truth = setup
+        developer = SimulatedDeveloper(truth, seed=3)
+        session = RefinementSession(
+            program, corpus, developer, strategy=SequentialStrategy(), seed=3
+        )
+        trace = session.run()
+        payload = trace_to_dict(trace)
+        json.dumps(payload)
+        assert payload["converged"] == trace.converged
+        assert len(payload["iterations"]) == len(trace.records)
+        report = trace_report(trace)
+        assert "questions" in report and "[" in report
+
+    def test_save_with_trace(self, setup, tmp_path):
+        corpus, program, truth = setup
+        developer = SimulatedDeveloper(truth, seed=3)
+        session = RefinementSession(
+            program, corpus, developer, strategy=SequentialStrategy(), seed=3
+        )
+        trace = session.run()
+        path = save_session(session, tmp_path / "full.json", trace=trace)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["trace"]["final_tuples"] == trace.final_result.tuple_count

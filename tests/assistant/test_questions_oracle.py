@@ -1,0 +1,107 @@
+"""Question space and simulated-developer tests."""
+
+import pytest
+
+from repro.assistant.oracle import GroundTruth, SimulatedDeveloper
+from repro.assistant.questions import Question, question_space
+from repro.features.registry import default_registry
+from repro.text.html_parser import parse_html
+from repro.text.span import Span
+from repro.xlog.program import Program
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def program():
+    return Program.parse(
+        """
+        q(x, p) :- base(x), ie(@x, p).
+        ie(@x, p) :- from(@x, p), numeric(p) = yes.
+        """,
+        extensional=["base"],
+    )
+
+
+class TestQuestionSpace:
+    def test_space_covers_features(self, program, registry):
+        questions = question_space(program, registry)
+        names = {q.feature_name for q in questions}
+        assert "bold_font" in names
+        assert "preceded_by" in names
+
+    def test_constrained_feature_excluded(self, program, registry):
+        questions = question_space(program, registry)
+        assert not any(
+            q.feature_name == "numeric" and q.attribute == "p" for q in questions
+        )
+
+    def test_asked_questions_excluded(self, program, registry):
+        q = Question("ie", "p", "bold_font")
+        questions = question_space(program, registry, asked={q.key()})
+        assert q not in questions
+
+    def test_question_text(self, registry):
+        q = Question("ie", "price", "bold_font")
+        assert "bold" in q.text(registry)
+
+
+class TestSimulatedDeveloper:
+    def make_truth(self):
+        doc = parse_html("d", "<p>Price: <b>$351,000</b> in 2005</p>")
+        price_start = doc.text.index("351")
+        price = Span(doc, price_start, price_start + 7)
+        return GroundTruth(
+            {("ie", "p"): [price]},
+            scripted_answers={("ie", "p", "pattern"): r"\d[\d,]*"},
+        )
+
+    def test_boolean_yes(self, registry):
+        dev = SimulatedDeveloper(self.make_truth())
+        answer = dev.answer(Question("ie", "p", "bold_font"), registry)
+        assert answer in ("yes", "distinct_yes")
+
+    def test_boolean_no(self, registry):
+        dev = SimulatedDeveloper(self.make_truth())
+        assert dev.answer(Question("ie", "p", "italic_font"), registry) == "no"
+
+    def test_parameterized_inference(self, registry):
+        dev = SimulatedDeveloper(self.make_truth())
+        answer = dev.answer(Question("ie", "p", "preceded_by"), registry)
+        assert answer.endswith("$")
+
+    def test_scripted_answer_wins(self, registry):
+        dev = SimulatedDeveloper(self.make_truth())
+        assert dev.answer(Question("ie", "p", "pattern"), registry) == r"\d[\d,]*"
+
+    def test_unknown_attribute_declines(self, registry):
+        dev = SimulatedDeveloper(self.make_truth())
+        assert dev.answer(Question("ie", "zz", "bold_font"), registry) is None
+
+    def test_alpha_declines(self, registry):
+        dev = SimulatedDeveloper(self.make_truth(), alpha=1.0, seed=4)
+        assert dev.answer(Question("ie", "p", "bold_font"), registry) is None
+
+    def test_counters(self, registry):
+        dev = SimulatedDeveloper(self.make_truth())
+        dev.answer(Question("ie", "p", "bold_font"), registry)
+        dev.answer(Question("ie", "zz", "bold_font"), registry)
+        assert dev.questions_seen == 2
+        assert dev.questions_answered == 1
+
+    def test_mixed_evidence_declines(self, registry):
+        doc = parse_html("d2", "<p><b>bold one</b> and plain two</p>")
+        bold = Span(doc, 0, 8)
+        plain_start = doc.text.index("plain")
+        plain = Span(doc, plain_start, plain_start + 5)
+        truth = GroundTruth({("ie", "p"): [bold, plain]})
+        dev = SimulatedDeveloper(truth)
+        assert dev.answer(Question("ie", "p", "bold_font"), registry) is None
+
+    def test_restrict_to_docs(self, registry):
+        truth = self.make_truth()
+        restricted = truth.restrict_to_docs(["other-doc"])
+        assert restricted.true_spans("ie", "p") == []

@@ -1,0 +1,120 @@
+"""Baseline method tests: cost model, extractors, Xlog/Manual runs."""
+
+import pytest
+
+from repro.baselines.cost_model import CostModel, MANUAL_SECONDS_PER_RECORD
+from repro.baselines.extractors import (
+    amazon_extractor,
+    barnes_extractor,
+    gm_extractor,
+    imdb_extractor,
+    vldb_extractor,
+)
+from repro.baselines.manual import run_manual_baseline
+from repro.baselines.xlog_method import precise_program, run_xlog_baseline
+from repro.ctables.assignments import value_text
+from repro.datagen.books import generate_books
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.movies import generate_movies
+from repro.experiments.tasks import TASK_IDS, build_task
+from repro.text.span import doc_span
+
+
+class TestCostModel:
+    def test_xlog_structural_formula(self):
+        model = CostModel()
+        # T8's shape: 1 predicate, 4 attributes, no join -> ~42 minutes
+        assert 38 <= model.xlog_minutes(4, 1, 0) <= 46
+        # T6/T9 shape: 2 predicates, 4 attributes, 1 join -> ~55-60
+        assert 52 <= model.xlog_minutes(4, 2, 1) <= 62
+
+    def test_manual_linear_and_dnf(self):
+        model = CostModel()
+        small = model.manual_minutes("T9", 100)
+        large = model.manual_minutes("T9", 5000)
+        assert small is not None
+        assert large is None  # DNF past the budget
+
+    def test_manual_rates_cover_all_tasks(self):
+        assert set(MANUAL_SECONDS_PER_RECORD) == set(TASK_IDS)
+
+    def test_iflex_minutes_composition(self):
+        class FakeTrace:
+            questions_asked = 6
+            machine_seconds = 30.0
+            iterations = 4
+
+        model = CostModel()
+        minutes = model.iflex_minutes(FakeTrace(), rule_count=3, cleanup_minutes=8.0)
+        expected = (
+            3 * model.rule_minutes
+            + 6 * model.question_seconds / 60
+            + 4 * model.inspection_seconds_per_iteration / 60
+            + 0.5
+            + 8.0
+        )
+        assert abs(minutes - expected) < 1e-9
+
+
+class TestExtractors:
+    def test_imdb(self):
+        record = generate_movies({"IMDB": 3, "Ebert": 0, "Prasanna": 0}, seed=2)["IMDB"][0]
+        (title, year, votes), = imdb_extractor(doc_span(record.doc))
+        assert title.text == record.value("title")
+        assert votes.numeric_value == record.value("votes")
+
+    def test_gm_journal_detection(self):
+        records = generate_dblp(
+            {"GarciaMolina": 20, "VLDB": 0, "SIGMOD": 0, "ICDE": 0}, seed=2
+        )["GarciaMolina"]
+        for record in records:
+            (title, jy), = gm_extractor(doc_span(record.doc))
+            if record.doc.meta["journal"]:
+                assert jy.numeric_value == record.value("journalYear")
+            else:
+                assert jy is None
+
+    def test_vldb_pages(self):
+        record = generate_dblp(
+            {"GarciaMolina": 0, "VLDB": 3, "SIGMOD": 0, "ICDE": 0}, seed=2
+        )["VLDB"][0]
+        (title, first, last), = vldb_extractor(doc_span(record.doc))
+        assert first.numeric_value == record.value("firstPage")
+        assert last.numeric_value == record.value("lastPage")
+
+    def test_amazon_and_barnes(self):
+        tables = generate_books({"Amazon": 3, "Barnes": 3}, seed=2)
+        (t, lp, np_, up), = amazon_extractor(doc_span(tables["Amazon"][0].doc))
+        assert lp.numeric_value == tables["Amazon"][0].value("listPrice")
+        (t2, price), = barnes_extractor(doc_span(tables["Barnes"][0].doc))
+        assert price.numeric_value == tables["Barnes"][0].value("price")
+
+
+class TestXlogBaseline:
+    @pytest.mark.parametrize("task_id", TASK_IDS)
+    def test_precise_program_matches_truth(self, task_id):
+        task = build_task(task_id, size=30, seed=3)
+        outcome = run_xlog_baseline(task)
+        correct = {value_text(row[0]) for row in task.correct_rows}
+        assert outcome.row_keys == correct, task_id
+
+    def test_minutes_flat_in_size(self):
+        small = run_xlog_baseline(build_task("T7", size=20, seed=3))
+        large = run_xlog_baseline(build_task("T7", size=200, seed=3))
+        assert abs(small.minutes - large.minutes) < 2.0
+
+    def test_precise_program_structure(self):
+        task = build_task("T9", size=15, seed=3)
+        program = precise_program(task)
+        assert set(program.p_predicates) == {"extractAmazonPrice", "extractBarnesPrice"}
+
+
+class TestManualBaseline:
+    def test_scales_with_records(self):
+        small = run_manual_baseline(build_task("T7", size=20, seed=3))
+        large = run_manual_baseline(build_task("T7", size=200, seed=3))
+        assert large.minutes > small.minutes
+
+    def test_display_dnf(self):
+        outcome = run_manual_baseline(build_task("T9", size=3000, seed=3))
+        assert outcome.display() == "—"

@@ -1,0 +1,82 @@
+"""Shared fixtures: small documents and the paper's running example."""
+
+import pytest
+
+from repro.text import Corpus, parse_html
+
+
+@pytest.fixture
+def simple_doc():
+    """A small page with every markup kind the features consult."""
+    return parse_html(
+        "doc1",
+        "<html><title>Top Movies 2005</title><body>"
+        "<p>Price: <b>$351,000</b> and <i>cozy</i>.</p>"
+        "<h2>Schools</h2>"
+        "<ul><li><a href='#'>Basktall HS</a>, Champaign</li>"
+        "<li><u>Hoover</u>, Akron</li></ul>"
+        "</body></html>",
+    )
+
+
+@pytest.fixture
+def house_pages():
+    """The two house pages of the paper's Figure 1."""
+    x1 = parse_html(
+        "x1",
+        "<p>Cozy house on quiet street. 5146 Windsor Ave., Champaign. "
+        "Sqft: 2750. Price: <b>$351,000</b>. High school: Vanhise High.</p>",
+    )
+    x2 = parse_html(
+        "x2",
+        "<p>Amazing house in great location. 3112 Stonecreek Blvd., Cherry Hills. "
+        "Sqft: 4700. Price: <b>$619,000</b>. High school: Basktall HS.</p>",
+    )
+    return [x1, x2]
+
+
+@pytest.fixture
+def school_pages():
+    """The two school pages of the paper's Figure 1."""
+    y1 = parse_html(
+        "y1",
+        "<p>Top High Schools (page 1): <b>Basktall</b>, Cherry Hills; "
+        "<b>Franklin</b>, Robeson; <b>Vanhise</b>, Champaign</p>",
+    )
+    y2 = parse_html(
+        "y2",
+        "<p>Top High Schools (page 2): <b>Hoover</b>, Akron; "
+        "<b>Ossage</b>, Lynneville</p>",
+    )
+    return [y1, y2]
+
+
+@pytest.fixture
+def figure1_corpus(house_pages, school_pages):
+    return Corpus({"housePages": house_pages, "schoolPages": school_pages})
+
+
+#: The Alog program of Figure 2 (skeleton + description rules +
+#: annotations), in this library's concrete syntax.
+FIGURE2_SOURCE = """
+S1: houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(@x, p, a, h).
+S2: schools(s)? :- schoolPages(y), extractSchools(@y, s).
+S3: Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500,
+    approxMatch(@h, @s).
+S4: extractHouses(@x, p, a, h) :- from(@x, p), from(@x, a), from(@x, h),
+    numeric(p) = yes, numeric(a) = yes.
+S5: extractSchools(@y, s) :- from(@y, s), bold_font(s) = yes.
+"""
+
+
+@pytest.fixture
+def figure2_program():
+    from repro.processor import make_similar
+    from repro.xlog import PFunction, Program
+
+    return Program.parse(
+        FIGURE2_SOURCE,
+        extensional=["housePages", "schoolPages"],
+        p_functions={"approxMatch": PFunction("approxMatch", make_similar(0.4))},
+        query="Q",
+    )

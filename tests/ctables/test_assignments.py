@@ -1,0 +1,112 @@
+"""Assignment (exact/contain) tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ctables.assignments import (
+    Contain,
+    Exact,
+    value_key,
+    value_number,
+    value_text,
+    values_equal,
+)
+from repro.text.document import Document
+from repro.text.span import Span, doc_span
+
+
+def span_of(text, start=None, end=None):
+    doc = Document("d-%s" % hash(text), text)
+    if start is None:
+        return doc_span(doc)
+    return Span(doc, start, end)
+
+
+class TestValueKeys:
+    def test_span_key(self):
+        s = span_of("hello world", 0, 5)
+        assert value_key(s) == ("span", s.doc.doc_id, 0, 5)
+
+    def test_numeric_coercion(self):
+        assert value_key(92) == value_key(92.0)
+
+    def test_string_key(self):
+        assert value_key("abc") == ("str", "abc")
+
+    def test_bool_is_not_number(self):
+        assert value_key(True) != value_key(1)
+
+    def test_values_equal(self):
+        assert values_equal(5, 5.0)
+        assert not values_equal("5", 6)
+
+    def test_value_text_of_span(self):
+        assert value_text(span_of("abc", 0, 2)) == "ab"
+
+    def test_value_number_of_span(self):
+        assert value_number(span_of("351,000")) == 351000
+        assert value_number(span_of("hello")) is None
+
+    def test_value_number_of_scalar(self):
+        assert value_number(42) == 42
+        assert value_number("92") == 92
+        assert value_number(True) is None
+
+
+class TestExact:
+    def test_encodes_single_value(self):
+        a = Exact(92)
+        values, complete = a.enumerate_values()
+        assert values == [92] and complete
+        assert a.value_count() == 1
+
+    def test_paper_example_cast(self):
+        # exact("92") encodes the value 92 (string-to-numeric cast)
+        span = span_of("92")
+        assert Exact(span).encodes(span)
+
+    def test_equality(self):
+        assert Exact(5) == Exact(5.0)
+        assert Exact(5) != Exact(6)
+        assert hash(Exact(5)) == hash(Exact(5.0))
+
+    def test_anchor_span(self):
+        s = span_of("abc")
+        assert Exact(s).anchor_span is s
+        assert Exact(42).anchor_span is None
+
+
+class TestContain:
+    def test_requires_span(self):
+        with pytest.raises(TypeError):
+            Contain("not a span")
+
+    def test_encodes_subspans(self):
+        s = span_of("Cherry Hills")
+        c = Contain(s)
+        cherry = s.sub(0, 6)
+        assert c.encodes(cherry)
+        assert c.encodes(s)
+
+    def test_does_not_encode_other_docs(self):
+        c = Contain(span_of("abc def"))
+        assert not c.encodes(span_of("abc"))
+
+    def test_enumerate_matches_count(self):
+        s = span_of("one two three")
+        c = Contain(s)
+        values, complete = c.enumerate_values()
+        assert complete
+        assert len(values) == c.value_count() == 6
+
+    def test_enumerate_with_limit(self):
+        c = Contain(span_of("a b c d e f"))
+        values, complete = c.enumerate_values(3)
+        assert len(values) == 3 and not complete
+
+    @given(st.text(alphabet="pq 7", min_size=1, max_size=20))
+    def test_every_enumerated_value_encoded(self, text):
+        c = Contain(span_of(text))
+        values, _ = c.enumerate_values()
+        for v in values:
+            assert c.encodes(v)

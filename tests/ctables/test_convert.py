@@ -1,0 +1,86 @@
+"""Compact ↔ a-table conversion tests (section 3's expansion recipe)."""
+
+import pytest
+
+from repro.ctables.assignments import Contain, Exact, value_key
+from repro.ctables.atable import ATable, ATuple
+from repro.ctables.convert import (
+    atable_to_compact,
+    compact_to_atable,
+    expand_expansion_cells,
+)
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.errors import EnumerationLimitError
+from repro.text.document import Document
+from repro.text.span import Span, doc_span
+
+
+@pytest.fixture
+def doc():
+    return Document("d", "alpha beta gamma")
+
+
+class TestExpandExpansionCells:
+    def test_no_expansion_is_identity(self):
+        t = CompactTuple([Cell.exact(1)])
+        assert expand_expansion_cells(t) == [t]
+
+    def test_expansion_of_exacts(self):
+        t = CompactTuple([Cell.expansion([Exact(1), Exact(2)]), Cell.exact(0)])
+        flats = expand_expansion_cells(t)
+        assert len(flats) == 2
+        values = {f.cells[0].assignments[0].value for f in flats}
+        assert values == {1, 2}
+
+    def test_expansion_of_contain_enumerates_values(self, doc):
+        t = CompactTuple([Cell.expansion([Contain(Span(doc, 0, 10))])])  # "alpha beta"
+        flats = expand_expansion_cells(t)
+        assert len(flats) == 3  # alpha, beta, alpha beta
+
+    def test_cross_product_of_two_expansions(self):
+        t = CompactTuple(
+            [Cell.expansion([Exact(1), Exact(2)]), Cell.expansion([Exact(3), Exact(4)])]
+        )
+        assert len(expand_expansion_cells(t)) == 4
+
+    def test_maybe_inherited(self):
+        t = CompactTuple([Cell.expansion([Exact(1), Exact(2)])], maybe=True)
+        assert all(f.maybe for f in expand_expansion_cells(t))
+
+    def test_limit_enforced(self, doc):
+        t = CompactTuple([Cell.expansion([Contain(doc_span(doc))])])
+        with pytest.raises(EnumerationLimitError):
+            expand_expansion_cells(t, value_limit=2)
+
+
+class TestCompactToATable:
+    def test_choice_cell_becomes_value_set(self, doc):
+        table = CompactTable(["a"], [CompactTuple([Cell((Exact(1), Exact(2)))])])
+        atable = compact_to_atable(table)
+        assert len(atable) == 1
+        assert {value_key(v) for v in atable.tuples[0].cells[0]} == {
+            value_key(1),
+            value_key(2),
+        }
+
+    def test_tuple_with_empty_cell_vanishes(self):
+        table = CompactTable(["a"], [CompactTuple([Cell(())])])
+        assert len(compact_to_atable(table)) == 0
+
+    def test_maybe_preserved(self):
+        table = CompactTable(["a"], [CompactTuple([Cell.exact(1)], maybe=True)])
+        assert compact_to_atable(table).tuples[0].maybe
+
+
+class TestATableToCompact:
+    def test_round_trip_values(self):
+        atable = ATable(["a", "b"], [ATuple([[1, 2], [3]], maybe=True)])
+        ctable = atable_to_compact(atable)
+        t = ctable.tuples[0]
+        assert t.maybe
+        values, _ = t.cells[0].enumerate_values()
+        assert {value_key(v) for v in values} == {value_key(1), value_key(2)}
+
+    def test_atuple_rejects_empty_cell(self):
+        with pytest.raises(ValueError):
+            ATuple([[]])

@@ -1,0 +1,96 @@
+"""Compact-table diff tests."""
+
+import pytest
+
+from repro.ctables.assignments import Contain, Exact
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.ctables.diff import diff_tables
+from repro.text.document import Document
+from repro.text.span import Span, doc_span
+
+
+def table_of(rows, attrs=("k", "v")):
+    table = CompactTable(attrs)
+    for row in rows:
+        table.add(row)
+    return table
+
+
+def keyed(key, cell, maybe=False):
+    return CompactTuple([Cell((Exact(key),)), cell], maybe=maybe)
+
+
+class TestDiff:
+    def test_no_change(self):
+        a = table_of([keyed("x", Cell.exact(1))])
+        b = table_of([keyed("x", Cell.exact(1))])
+        diff = diff_tables(a, b)
+        assert diff.is_empty
+        assert diff.summary() == "no change"
+
+    def test_added_and_removed(self):
+        a = table_of([keyed("x", Cell.exact(1)), keyed("y", Cell.exact(2))])
+        b = table_of([keyed("y", Cell.exact(2)), keyed("z", Cell.exact(3))])
+        diff = diff_tables(a, b)
+        assert len(diff.removed_keys) == 1 and "x" in diff.removed_keys[0]
+        assert len(diff.added_keys) == 1 and "z" in diff.added_keys[0]
+
+    def test_narrowing_detected(self):
+        doc = Document("dd", "one two three four")
+        wide = Cell((Contain(doc_span(doc)),))
+        narrow = Cell((Contain(Span(doc, 0, 7)),))
+        diff = diff_tables(
+            table_of([keyed("x", wide)]), table_of([keyed("x", narrow)])
+        )
+        (key, attr, before_n, after_n), = diff.narrowed
+        assert attr == "v" and after_n < before_n
+
+    def test_widening_detected(self):
+        a = table_of([keyed("x", Cell((Exact(1),)))])
+        b = table_of([keyed("x", Cell((Exact(1), Exact(2))))])
+        diff = diff_tables(a, b)
+        assert diff.widened
+
+    def test_maybe_flip(self):
+        a = table_of([keyed("x", Cell.exact(1))])
+        b = table_of([keyed("x", Cell.exact(1), maybe=True)])
+        diff = diff_tables(a, b)
+        assert diff.maybe_changed == [diff.maybe_changed[0]]
+        assert diff.maybe_changed[0][1] is False
+        assert diff.maybe_changed[0][2] is True
+
+    def test_attr_mismatch_raises(self):
+        a = CompactTable(("a",))
+        b = CompactTable(("b", "c"))
+        with pytest.raises(ValueError):
+            diff_tables(a, b)
+
+    def test_report_renders(self):
+        a = table_of([keyed("x", Cell.exact(1))])
+        b = table_of([])
+        text = diff_tables(a, b).report()
+        assert "-1 tuples" in text
+
+    def test_keyless_tables_counted_unmatched(self):
+        doc = Document("dq", "alpha beta")
+        contain = Cell((Contain(doc_span(doc)),))
+        a = table_of([CompactTuple([contain, contain])])
+        b = table_of([CompactTuple([contain, contain])])
+        diff = diff_tables(a, b)
+        assert diff.unmatched == 2
+        assert diff.is_empty
+
+
+class TestDiffAcrossRefinement:
+    def test_refinement_diff_story(self, figure2_program, figure1_corpus):
+        from repro.processor.executor import IFlexEngine
+
+        before = IFlexEngine(figure2_program, figure1_corpus).execute()
+        refined = figure2_program.add_constraint(
+            "extractHouses", "p", "bold_font", "yes"
+        )
+        after = IFlexEngine(refined, figure1_corpus).execute()
+        diff = diff_tables(before.tables["houses"], after.tables["houses"])
+        # prices narrowed from three numbers to the bold one, per page
+        assert len(diff.narrowed) >= 2
+        assert not diff.added_keys and not diff.removed_keys

@@ -1,0 +1,95 @@
+"""Export tests (JSON / CSV / dict round-trips)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.ctables.assignments import Contain, Exact
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.ctables.export import (
+    assignment_to_dict,
+    result_to_dict,
+    table_to_csv,
+    table_to_dicts,
+    table_to_json,
+)
+from repro.text.document import Document
+from repro.text.span import Span, doc_span
+
+
+@pytest.fixture
+def doc():
+    return Document("ex", "Price: $351,000 today")
+
+
+@pytest.fixture
+def table(doc):
+    t = CompactTable(["x", "p"])
+    t.add(
+        CompactTuple(
+            [
+                Cell.exact(doc_span(doc)),
+                Cell((Exact(Span(doc, 7, 15)), Contain(Span(doc, 0, 15)))),
+            ],
+            maybe=True,
+        )
+    )
+    t.add(CompactTuple([Cell.exact(42), Cell.expansion([Exact("a"), Exact("b")])]))
+    return t
+
+
+class TestAssignmentExport:
+    def test_exact_span(self, doc):
+        d = assignment_to_dict(Exact(Span(doc, 7, 15)))
+        assert d["kind"] == "exact"
+        assert d["span"]["text"] == "$351,000"
+        assert d["span"]["doc"] == "ex"
+
+    def test_exact_scalar(self):
+        assert assignment_to_dict(Exact(5)) == {"kind": "exact", "value": 5}
+
+    def test_contain(self, doc):
+        d = assignment_to_dict(Contain(doc_span(doc)))
+        assert d["kind"] == "contain"
+        assert d["span"]["start"] == 0
+
+    def test_rejects_non_assignment(self):
+        with pytest.raises(TypeError):
+            assignment_to_dict("nope")
+
+
+class TestTableExport:
+    def test_dicts_structure(self, table):
+        exported = table_to_dicts(table)
+        assert exported["attrs"] == ["x", "p"]
+        assert exported["tuples"][0]["maybe"] is True
+        assert exported["tuples"][1]["cells"]["p"]["expansion"] is True
+
+    def test_json_round_trip(self, table):
+        parsed = json.loads(table_to_json(table))
+        assert parsed["attrs"] == ["x", "p"]
+        assert len(parsed["tuples"]) == 2
+
+    def test_csv_best_guess(self, table):
+        rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+        assert rows[0] == ["x", "p", "maybe"]
+        assert rows[1][1] == "$351,000"  # exact preferred over contain
+        assert rows[1][2] == "?"
+        assert rows[2][2] == ""
+
+    def test_csv_without_maybe(self, table):
+        rows = list(csv.reader(io.StringIO(table_to_csv(table, include_maybe_column=False))))
+        assert rows[0] == ["x", "p"]
+
+
+class TestResultExport:
+    def test_execution_result(self, figure2_program, figure1_corpus):
+        from repro.processor.executor import IFlexEngine
+
+        result = IFlexEngine(figure2_program, figure1_corpus).execute()
+        exported = result_to_dict(result)
+        assert exported["summary"]["tuples"] == 1
+        assert "houses" in exported["tables"]
+        json.dumps(exported)  # fully serialisable

@@ -1,0 +1,84 @@
+"""Noise-injection tests: offsets preserved, sessions stay robust."""
+
+import pytest
+
+from repro.datagen.books import generate_books
+from repro.datagen.noise import noisy_record, noisy_tables
+
+
+@pytest.fixture(scope="module")
+def barnes():
+    return generate_books({"Amazon": 0, "Barnes": 20}, seed=6)["Barnes"]
+
+
+class TestNoisyRecord:
+    def test_length_preserved(self, barnes):
+        for record in barnes[:5]:
+            noisy = noisy_record(record, rate=0.2, seed=1)
+            assert len(noisy.doc.text) == len(record.doc.text)
+
+    def test_truth_spans_untouched(self, barnes):
+        for record in barnes[:5]:
+            noisy = noisy_record(record, rate=0.3, seed=1)
+            for attr, span in record.spans.items():
+                if span is None:
+                    continue
+                assert noisy.spans[attr].text == span.text
+
+    def test_markup_regions_untouched(self, barnes):
+        record = barnes[0]
+        noisy = noisy_record(record, rate=0.3, seed=1)
+        for kind in ("bold", "hyperlink"):
+            for (s, e), (s2, e2) in zip(
+                record.doc.regions_of(kind), noisy.doc.regions_of(kind)
+            ):
+                assert (s, e) == (s2, e2)
+                assert noisy.doc.text[s:e] == record.doc.text[s:e]
+
+    def test_noise_actually_changes_text(self, barnes):
+        changed = sum(
+            1
+            for record in barnes
+            if noisy_record(record, rate=0.3, seed=1).doc.text != record.doc.text
+        )
+        assert changed >= len(barnes) // 2
+
+    def test_deterministic(self, barnes):
+        a = noisy_record(barnes[0], rate=0.2, seed=4).doc.text
+        b = noisy_record(barnes[0], rate=0.2, seed=4).doc.text
+        assert a == b
+
+    def test_zero_rate_is_identity(self, barnes):
+        assert noisy_record(barnes[0], rate=0.0, seed=1).doc.text == barnes[0].doc.text
+
+
+class TestRobustSession:
+    def test_session_converges_on_noisy_corpus(self, barnes):
+        from repro.assistant import (
+            GroundTruth,
+            RefinementSession,
+            SequentialStrategy,
+            SimulatedDeveloper,
+        )
+        from repro.text.corpus import Corpus
+        from repro.xlog.program import Program
+
+        noisy = noisy_tables({"Barnes": barnes}, rate=0.05, seed=2)["Barnes"]
+        corpus = Corpus({"Barnes": [r.doc for r in noisy]})
+        program = Program.parse(
+            """
+            books(x, <t>, <p>) :- Barnes(x), ie(@x, t, p).
+            q(t) :- books(x, t, p), p > 100.
+            ie(@x, t, p) :- from(@x, t), from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["Barnes"],
+            query="q",
+        )
+        truth = GroundTruth({("ie", "p"): [r.spans["price"] for r in noisy]})
+        session = RefinementSession(
+            program, corpus, SimulatedDeveloper(truth, seed=2),
+            strategy=SequentialStrategy(), seed=2,
+        )
+        trace = session.run()
+        correct = sum(1 for r in noisy if r.values["price"] > 100)
+        assert trace.final_result.tuple_count == correct

@@ -1,0 +1,50 @@
+"""Vocabulary generator tests."""
+
+import random
+
+import pytest
+
+from repro.datagen.vocab import (
+    book_title,
+    movie_title,
+    paper_title,
+    person_name,
+    unique_choices,
+)
+
+
+class TestGenerators:
+    def test_person_name_shape(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            name = person_name(rng, with_middle=True)
+            parts = name.split()
+            assert 2 <= len(parts) <= 3
+            assert parts[0][0].isupper()
+
+    @pytest.mark.parametrize("factory", [movie_title, book_title, paper_title])
+    def test_titles_nonempty_and_capitalised(self, factory):
+        rng = random.Random(2)
+        for _ in range(30):
+            title = factory(rng)
+            assert title
+            assert title[0].isupper()
+
+    def test_deterministic(self):
+        assert movie_title(random.Random(7)) == movie_title(random.Random(7))
+
+
+class TestUniqueChoices:
+    def test_all_unique(self):
+        rng = random.Random(3)
+        values = unique_choices(rng, movie_title, 500)
+        assert len(values) == len(set(values)) == 500
+
+    def test_exceeding_pool_stays_linear(self):
+        rng = random.Random(3)
+        # far more values than the underlying pool can produce
+        values = unique_choices(rng, lambda r: r.choice(["a", "b", "c"]), 200)
+        assert len(set(values)) == 200
+
+    def test_zero(self):
+        assert unique_choices(random.Random(0), movie_title, 0) == []

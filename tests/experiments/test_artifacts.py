@@ -1,0 +1,46 @@
+"""Artifact writer tests."""
+
+import json
+
+from repro.experiments.artifacts import (
+    ArtifactWriter,
+    write_json_artifact,
+    write_table_artifact,
+)
+
+
+class TestWriteTable:
+    def test_writes_text_and_json(self, tmp_path):
+        paths = write_table_artifact(
+            tmp_path, "table3", ("a", "b"), [(1, "x"), (2, "y")], meta={"scale": 0.25}
+        )
+        assert len(paths) == 2
+        text = (tmp_path / "table3.txt").read_text(encoding="utf-8")
+        assert "table3" in text and "x" in text
+        payload = json.loads((tmp_path / "table3.json").read_text(encoding="utf-8"))
+        assert payload["rows"] == [[1, "x"], [2, "y"]]
+        assert payload["meta"]["scale"] == 0.25
+
+    def test_non_jsonable_cells_stringified(self, tmp_path):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        write_table_artifact(tmp_path, "t", ("a",), [(Odd(),)])
+        payload = json.loads((tmp_path / "t.json").read_text(encoding="utf-8"))
+        assert payload["rows"] == [["odd!"]]
+
+
+class TestArtifactWriter:
+    def test_manifest(self, tmp_path):
+        writer = ArtifactWriter(tmp_path)
+        writer.table("t1", ("a",), [(1,)])
+        writer.json("extra", {"k": "v"})
+        manifest_path = writer.finish(extra={"seed": 0})
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert manifest["seed"] == 0
+        assert len(manifest["written"]) == 3
+
+    def test_json_artifact(self, tmp_path):
+        path = write_json_artifact(tmp_path, "stat", {"exact": 24, "scenarios": 27})
+        assert json.loads(path.read_text(encoding="utf-8"))["exact"] == 24

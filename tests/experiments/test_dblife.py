@@ -1,0 +1,62 @@
+"""DBLife task tests (section 6.3, Table 6)."""
+
+import pytest
+
+from repro.experiments.dblife_tasks import build_dblife_tasks, run_dblife_task
+
+SMALL_PAGES = {"conference": 12, "project": 8, "homepage": 5}
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return build_dblife_tasks(pages=SMALL_PAGES, seed=0)
+
+
+class TestConstruction:
+    def test_three_tasks(self, tasks):
+        assert [t.name for t in tasks] == ["Panel", "Project", "Chair"]
+
+    def test_programs_safe(self, tasks):
+        for task in tasks:
+            task.program.check_safety()
+
+    def test_chair_has_cleanup(self, tasks):
+        chair = tasks[2]
+        assert chair.cleanup is not None
+        assert chair.cleanup_minutes > 0
+
+    def test_scripted_answers_present(self, tasks):
+        panel = tasks[0]
+        assert ("extractConference", "y", "starts_with") in panel.truth.scripted_answers
+
+
+class TestRuns:
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_task_converges_exactly(self, tasks, index):
+        row = run_dblife_task(tasks[index], seed=0)
+        assert row["result_tuples"] == row["correct_tuples"], row
+        assert row["converged"]
+        assert row["minutes"] > row["cleanup_minutes"]
+
+    def test_chair_cleanup_extracts_types(self, tasks):
+        from repro.assistant.oracle import SimulatedDeveloper
+        from repro.assistant.session import RefinementSession
+        from repro.assistant.strategies import SimulationStrategy
+        from repro.ctables.assignments import value_text
+        from repro.processor.executor import IFlexEngine
+
+        chair = tasks[2]
+        developer = SimulatedDeveloper(chair.truth, seed=0)
+        session = RefinementSession(
+            chair.program, chair.corpus, developer,
+            strategy=SimulationStrategy(alpha=0.1), seed=0,
+        )
+        trace = session.run()
+        final_program = chair.cleanup(trace.program)
+        result = IFlexEngine(final_program, chair.corpus).execute()
+        assert result.query_table.attrs == ("x", "t", "y")
+        types = {
+            value_text(t.cells[1].assignments[0].value)
+            for t in result.query_table
+        }
+        assert types <= {"PC", "General", "Demo", "Industrial"}

@@ -1,0 +1,41 @@
+"""Multi-seed stability: the reproduction is not tuned to one seed.
+
+Runs every task at several seeds and asserts the convergence quality
+band the paper reports (§6.2: the vast majority of scenarios at 100 %,
+the outliers a small-superset tail, never an undershoot).
+"""
+
+import pytest
+
+from repro.assistant.strategies import SimulationStrategy
+from repro.experiments.runner import run_iflex
+from repro.experiments.tasks import TASK_IDS, build_task
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_tasks_converge_within_band(seed):
+    exact = 0
+    outcomes = {}
+    for task_id in TASK_IDS:
+        task = build_task(task_id, size=80, seed=seed)
+        run = run_iflex(task, strategy=SimulationStrategy(alpha=0.1), seed=seed)
+        outcomes[task_id] = run.superset_pct
+        # never an undershoot: supersets only
+        assert run.final_count >= run.correct_count * 0.999, (task_id, seed)
+        if round(run.superset_pct) == 100:
+            exact += 1
+    # at least 6 of 9 tasks exactly right at every seed; no blowups
+    # beyond the similarity-join tail the paper also reports
+    assert exact >= 6, outcomes
+    for task_id, pct in outcomes.items():
+        assert pct <= 700, (task_id, seed, outcomes)
+
+
+@pytest.mark.parametrize("task_id", ["T1", "T7"])
+def test_easy_tasks_exact_across_seeds(task_id):
+    for seed in SEEDS:
+        task = build_task(task_id, size=60, seed=seed)
+        run = run_iflex(task, strategy=SimulationStrategy(alpha=0.1), seed=seed)
+        assert round(run.superset_pct) == 100, (task_id, seed)

@@ -1,0 +1,47 @@
+"""Sensitivity sweep tests (extension experiments)."""
+
+import pytest
+
+from repro.experiments.sweeps import alpha_sweep, k_sweep, subset_fraction_sweep
+
+
+class TestAlphaSweep:
+    def test_monotone_cost_shape(self):
+        task, points = alpha_sweep(task_id="T7", size=60, seed=1, alphas=(0.0, 0.5))
+        assert len(points) == 2
+        eager, reluctant = points
+        # a decline-happy developer never makes the result *smaller*
+        assert reluctant.superset_pct >= eager.superset_pct - 1
+        assert eager.superset_pct == pytest.approx(100, abs=1)
+
+    def test_rows_render(self):
+        _, points = alpha_sweep(task_id="T1", size=40, seed=1, alphas=(0.0,))
+        row = points[0].row()
+        assert row[1].endswith("%")
+
+
+class TestSubsetFractionSweep:
+    def test_quality_independent_of_fraction_here(self):
+        task, points = subset_fraction_sweep(
+            task_id="T7", size=120, seed=1, fractions=(0.2, 1.0)
+        )
+        for point in points:
+            assert point.superset_pct == pytest.approx(100, abs=1)
+
+    def test_full_fraction_costs_more_machine_time(self):
+        _, points = subset_fraction_sweep(
+            task_id="T7", size=300, seed=1, fractions=(0.1, 1.0)
+        )
+        sampled, full = points
+        assert full.machine_seconds >= sampled.machine_seconds
+
+
+class TestKSweep:
+    def test_larger_k_never_cheaper(self):
+        _, points = k_sweep(task_id="T5", size=80, seed=1, ks=(2, 5))
+        small, large = points
+        assert large.iterations >= small.iterations
+
+    def test_all_ks_converge_on_easy_task(self):
+        _, points = k_sweep(task_id="T1", size=40, seed=1, ks=(2, 3, 4))
+        assert all(p.converged for p in points)

@@ -1,0 +1,144 @@
+"""Context feature tests (preceded/followed_by, labels, position)."""
+
+import pytest
+
+from repro.features.registry import default_registry
+from repro.text.document import Document
+from repro.text.html_parser import parse_html
+from repro.text.span import Span, doc_span
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def price_doc():
+    return Document("d", "Our Price: $116.00. You save 20%.")
+
+
+class TestPrecededBy:
+    def test_verify(self, registry, price_doc):
+        f = registry.get("preceded_by")
+        price = Span(price_doc, 12, 18)  # 116.00
+        assert f.verify(price, "$")
+        assert f.verify(price, "Price: $")
+        assert not f.verify(price, "ISBN:")
+
+    def test_verify_skips_whitespace(self, registry):
+        f = registry.get("preceded_by")
+        doc = Document("d", "Votes:   23,456")
+        votes = Span(doc, 9, 15)
+        assert f.verify(votes, "Votes:")
+
+    def test_refine_superset(self, registry, price_doc):
+        f = registry.get("preceded_by")
+        hints = f.refine(doc_span(price_doc), "$")
+        assert hints
+        texts = [s.text for _, s in hints]
+        assert any(t.startswith("116.00") for t in texts)
+
+    def test_infer_parameter(self, registry, price_doc):
+        f = registry.get("preceded_by")
+        price = Span(price_doc, 12, 18)
+        assert f.infer_parameter([price]) in ("Price: $", "$")
+
+    def test_infer_none_when_at_start(self, registry):
+        f = registry.get("preceded_by")
+        doc = Document("d", "Title here")
+        assert f.infer_parameter([Span(doc, 0, 5)]) is None
+
+    def test_candidate_values_profiled(self, registry, price_doc):
+        f = registry.get("preceded_by")
+        price = Span(price_doc, 12, 18)
+        candidates = f.candidate_values([price])
+        assert "$" in candidates
+
+
+class TestFollowedBy:
+    def test_verify(self, registry, price_doc):
+        f = registry.get("followed_by")
+        price = Span(price_doc, 12, 18)
+        assert f.verify(price, ".")
+        assert not f.verify(price, "%")
+
+    def test_infer(self, registry):
+        f = registry.get("followed_by")
+        doc = Document("d", "123 (panelist) x")
+        span = Span(doc, 0, 3)
+        assert f.infer_parameter([span]).startswith("(panelist)")
+
+    def test_infer_common_prefix_across_spans(self, registry):
+        f = registry.get("followed_by")
+        d1 = Document("d1", "123 (panelist) at PODS")
+        d2 = Document("d2", "456 (panelist) at VLDB")
+        value = f.infer_parameter([Span(d1, 0, 3), Span(d2, 0, 3)])
+        assert value.startswith("(panelist)")
+
+
+class TestFirstHalf:
+    def test_verify(self, registry):
+        f = registry.get("first_half")
+        doc = Document("d", "a" * 100)
+        assert f.verify(Span(doc, 0, 10), "yes")
+        assert f.verify(Span(doc, 80, 90), "no")
+        assert f.verify(Span(doc, 40, 60), "no")  # straddles midpoint
+
+    def test_refine_yes_clips(self, registry):
+        f = registry.get("first_half")
+        doc = Document("d", "aaa bbb ccc ddd eee fff")
+        hints = f.refine(doc_span(doc), "yes")
+        (mode, span), = hints
+        assert span.end <= len(doc.text) // 2
+
+
+class TestPrecLabelFeatures:
+    @pytest.fixture
+    def page(self):
+        return parse_html(
+            "d",
+            "<h2>Organization</h2><ul><li>PC Chair: Alice Chen</li></ul>"
+            "<h2>Panel Discussion</h2><ul><li>Bob Jones (panelist)</li></ul>",
+        )
+
+    def test_prec_label_contains_verify(self, registry, page):
+        f = registry.get("prec_label_contains")
+        offset = page.text.index("Bob")
+        span = Span(page, offset, offset + 9)
+        assert f.verify(span, "Panel")
+        assert f.verify(span, "panel")  # case-insensitive
+        assert not f.verify(span, "Organization")
+
+    def test_prec_label_contains_refine(self, registry, page):
+        f = registry.get("prec_label_contains")
+        hints = f.refine(doc_span(page), "Panel")
+        assert len(hints) == 1
+        (_, span), = hints
+        assert "Bob Jones" in span.text
+        assert "Alice Chen" not in span.text
+
+    def test_prec_label_contains_infer(self, registry, page):
+        f = registry.get("prec_label_contains")
+        offset = page.text.index("Bob")
+        value = f.infer_parameter([Span(page, offset, offset + 9)])
+        assert value in ("panel", "discussion")
+
+    def test_prec_label_max_dist(self, registry, page):
+        f = registry.get("prec_label_max_dist")
+        offset = page.text.index("Bob")
+        span = Span(page, offset, offset + 9)
+        assert f.verify(span, 50)
+        assert not f.verify(span, 0)
+
+    def test_prec_label_max_dist_infer(self, registry, page):
+        f = registry.get("prec_label_max_dist")
+        offset = page.text.index("Bob")
+        span = Span(page, offset, offset + 9)
+        assert f.infer_parameter([span]) == span.start - page.labels[1].end
+
+    def test_no_label_before(self, registry):
+        f = registry.get("prec_label_contains")
+        doc = Document("d", "no labels here")
+        assert not f.verify(doc_span(doc), "x")
+        assert f.infer_parameter([doc_span(doc)]) is None

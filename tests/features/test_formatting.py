@@ -1,0 +1,129 @@
+"""Region-backed feature tests (bold/italic/underline/hyperlink/lists)."""
+
+import pytest
+
+from repro.features.registry import default_registry
+from repro.text.html_parser import parse_html
+from repro.text.span import Span, doc_span
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def doc():
+    return parse_html(
+        "d",
+        "<p>Price: <b>$351,000</b> and <i>cozy nook</i> here "
+        "<a href='#'>link text</a></p>",
+    )
+
+
+def bold_span(doc):
+    start, end = doc.regions_of("bold")[0]
+    return Span(doc, start, end)
+
+
+class TestVerifyYes:
+    def test_inside_region(self, registry, doc):
+        feature = registry.get("bold_font")
+        assert feature.verify(bold_span(doc), "yes")
+
+    def test_sub_span_of_region(self, registry, doc):
+        feature = registry.get("bold_font")
+        b = bold_span(doc)
+        assert feature.verify(b.sub(b.start + 1, b.end), "yes")
+
+    def test_outside_region(self, registry, doc):
+        feature = registry.get("bold_font")
+        assert not feature.verify(Span(doc, 0, 5), "yes")
+
+    def test_straddling_region_boundary(self, registry, doc):
+        feature = registry.get("bold_font")
+        b = bold_span(doc)
+        straddle = Span(doc, b.start - 2, b.end)
+        assert not feature.verify(straddle, "yes")
+
+
+class TestVerifyDistinct:
+    def test_whole_region_is_distinct(self, registry, doc):
+        feature = registry.get("bold_font")
+        assert feature.verify(bold_span(doc), "distinct_yes")
+
+    def test_proper_sub_span_not_distinct(self, registry, doc):
+        feature = registry.get("bold_font")
+        b = bold_span(doc)
+        sub = b.sub(b.start + 1, b.end)
+        assert not feature.verify(sub, "distinct_yes")
+
+
+class TestVerifyNo:
+    def test_no_means_outside(self, registry, doc):
+        feature = registry.get("italic_font")
+        assert feature.verify(Span(doc, 0, 5), "no")
+
+    def test_inside_region_is_not_no(self, registry, doc):
+        feature = registry.get("bold_font")
+        assert not feature.verify(bold_span(doc), "no")
+
+    def test_overlap_is_not_no(self, registry, doc):
+        feature = registry.get("bold_font")
+        b = bold_span(doc)
+        straddle = Span(doc, max(0, b.start - 2), b.end)
+        assert not feature.verify(straddle, "no")
+
+
+class TestRefine:
+    def test_refine_yes_returns_contain_regions(self, registry, doc):
+        feature = registry.get("bold_font")
+        hints = feature.refine(doc_span(doc), "yes")
+        assert len(hints) == 1
+        mode, span = hints[0]
+        assert mode == "contain"
+        assert span.text == "$351,000"
+
+    def test_refine_distinct_returns_exact(self, registry, doc):
+        feature = registry.get("italic_font")
+        hints = feature.refine(doc_span(doc), "distinct_yes")
+        assert hints == [("exact", hints[0][1])]
+        assert hints[0][1].text == "cozy nook"
+
+    def test_refine_no_returns_gaps(self, registry, doc):
+        feature = registry.get("bold_font")
+        hints = feature.refine(doc_span(doc), "no")
+        assert all(mode == "contain" for mode, _ in hints)
+        for _, span in hints:
+            assert feature.verify(span, "no")
+
+    def test_refine_clips_to_input_span(self, registry, doc):
+        feature = registry.get("bold_font")
+        b = bold_span(doc)
+        partial = Span(doc, b.start + 1, b.end)
+        hints = feature.refine(partial, "yes")
+        (mode, span), = hints
+        assert span.start >= partial.start
+
+    def test_all_region_features_registered(self, registry):
+        for name in ("bold_font", "italic_font", "underlined", "hyperlinked", "in_list", "in_title"):
+            assert name in registry.names()
+
+    def test_hyperlink_refine(self, registry, doc):
+        hints = registry.get("hyperlinked").refine(doc_span(doc), "yes")
+        assert hints[0][1].text == "link text"
+
+
+class TestRefineVerifyAgreement:
+    """Every hint Refine returns must satisfy Verify (paper invariant)."""
+
+    @pytest.mark.parametrize("value", ["yes", "distinct_yes", "no"])
+    @pytest.mark.parametrize("name", ["bold_font", "italic_font", "hyperlinked"])
+    def test_hints_verify(self, registry, doc, name, value):
+        feature = registry.get(name)
+        for mode, span in feature.refine(doc_span(doc), value):
+            assert feature.verify(span, value), (name, value, span)
+            if mode == "contain":
+                # for contain, sub-spans must satisfy too (sample a few)
+                for sub in span.token_aligned_subspans(max_count=10):
+                    assert feature.verify(sub, value)

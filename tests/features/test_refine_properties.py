@@ -1,0 +1,95 @@
+"""Property-based tests of the Verify/Refine contract.
+
+The paper's framework rests on one invariant: the set of values a
+constraint's ``A(k, ·)`` keeps must be a *superset* of the values that
+satisfy Verify — and ``exact`` hints must themselves Verify.  These
+tests fuzz documents and check the contract on every built-in feature
+that emits exact hints.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.features.registry import default_registry
+from repro.text.document import Document
+from repro.text.span import doc_span
+
+REGISTRY = default_registry()
+
+_text = st.text(
+    alphabet=st.sampled_from(list("abcXY 0123.,$%")), min_size=1, max_size=60
+)
+
+
+@st.composite
+def documents(draw):
+    text = draw(_text)
+    # plant a bold region over a token-ish middle chunk when possible
+    regions = {}
+    stripped = text.strip()
+    if len(stripped) >= 4:
+        start = text.index(stripped[0])
+        regions["bold"] = [(start, min(len(text), start + max(2, len(stripped) // 2)))]
+    return Document("h-%d" % draw(st.integers(0, 10**9)), text, regions=regions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents())
+def test_numeric_exact_hints_verify(doc):
+    feature = REGISTRY.get("numeric")
+    for mode, span in feature.refine(doc_span(doc), "yes"):
+        assert mode == "exact"
+        assert feature.verify(span, "yes")
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents())
+def test_numeric_refine_covers_all_satisfying_tokens(doc):
+    """Superset direction: every satisfying token span is covered."""
+    feature = REGISTRY.get("numeric")
+    hints = feature.refine(doc_span(doc), "yes")
+    covered = [span for _, span in hints]
+    for token_span in doc_span(doc).token_spans():
+        if feature.verify(token_span, "yes"):
+            assert any(c.contains(token_span) for c in covered)
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents())
+def test_bold_contain_hints_fully_verify(doc):
+    feature = REGISTRY.get("bold_font")
+    for mode, span in feature.refine(doc_span(doc), "yes"):
+        assert feature.verify(span, "yes")
+        if mode == "contain":
+            for sub in span.token_aligned_subspans(max_count=12):
+                assert feature.verify(sub, "yes")
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents(), st.integers(min_value=1, max_value=30))
+def test_max_length_hints_respect_bound(doc, bound):
+    feature = REGISTRY.get("max_length")
+    for mode, span in feature.refine(doc_span(doc), bound):
+        assert len(span) <= bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents())
+def test_capitalized_contain_hints_verify(doc):
+    feature = REGISTRY.get("capitalized")
+    for mode, span in feature.refine(doc_span(doc), "yes"):
+        assert feature.verify(span, "yes")
+
+
+@settings(max_examples=40, deadline=None)
+@given(documents(), st.sampled_from(["$", "X", ","]))
+def test_preceded_by_exactness_after_recheck(doc, needle):
+    """Whatever Refine returns, Verify is the final word: every token
+
+    span that satisfies the constraint lies under some hint.
+    """
+    feature = REGISTRY.get("preceded_by")
+    hints = feature.refine(doc_span(doc), needle)
+    covered = [span for _, span in hints]
+    for token_span in doc_span(doc).token_spans():
+        if feature.verify(token_span, needle):
+            assert any(c.contains(token_span) for c in covered)

@@ -1,0 +1,57 @@
+"""Feature registry tests."""
+
+import pytest
+
+from repro.errors import UnknownFeatureError
+from repro.features.base import Feature
+from repro.features.registry import FeatureRegistry, default_registry
+
+
+class _Custom(Feature):
+    name = "custom_probe"
+
+    def verify(self, span, value):
+        return True
+
+    def refine(self, span, value):
+        return [("contain", span)]
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        registry = default_registry()
+        for name in (
+            "numeric",
+            "bold_font",
+            "preceded_by",
+            "max_value",
+            "in_title",
+            "person_name",
+            "prec_label_contains",
+        ):
+            assert name in registry
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(UnknownFeatureError):
+            default_registry().get("blinking")
+
+    def test_register_custom_feature(self):
+        registry = default_registry()
+        registry.register(_Custom())
+        assert registry.get("custom_probe").verify(None, "yes")
+
+    def test_register_nameless_rejected(self):
+        class Nameless(Feature):
+            pass
+
+        with pytest.raises(ValueError):
+            FeatureRegistry().register(Nameless())
+
+    def test_names_sorted(self):
+        names = default_registry().names()
+        assert names == sorted(names)
+
+    def test_question_text(self):
+        registry = default_registry()
+        assert "bold" in registry.get("bold_font").question_text("price")
+        assert "what is the value" in registry.get("preceded_by").question_text("price")

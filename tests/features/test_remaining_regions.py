@@ -1,0 +1,113 @@
+"""Coverage for the remaining region features and distinct_no."""
+
+import pytest
+
+from repro.features.registry import default_registry
+from repro.text.html_parser import parse_html
+from repro.text.span import Span, doc_span
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def page():
+    return parse_html(
+        "rr",
+        "<html><title>Catalog 2008</title><body>"
+        "<p>intro <u>underlined bit</u> text</p>"
+        "<ul><li>first item</li><li>second item</li></ul>"
+        "</body></html>",
+    )
+
+
+class TestUnderlined:
+    def test_verify_and_refine(self, registry, page):
+        feature = registry.get("underlined")
+        (start, end), = page.regions_of("underline")
+        span = Span(page, start, end)
+        assert feature.verify(span, "yes")
+        assert feature.verify(span, "distinct_yes")
+        hints = feature.refine(doc_span(page), "yes")
+        assert hints[0][1].text == "underlined bit"
+
+
+class TestInList:
+    def test_items_covered(self, registry, page):
+        feature = registry.get("in_list")
+        hints = feature.refine(doc_span(page), "yes")
+        assert [h[1].text for h in hints] == ["first item", "second item"]
+
+    def test_no_outside_items(self, registry, page):
+        feature = registry.get("in_list")
+        intro = Span(page, page.text.index("intro"), page.text.index("intro") + 5)
+        assert feature.verify(intro, "no")
+
+
+class TestInTitle:
+    def test_title_span(self, registry, page):
+        feature = registry.get("in_title")
+        (start, end), = page.regions_of("title")
+        assert feature.verify(Span(page, start, end), "yes")
+        assert feature.verify(Span(page, start, end), "distinct_yes")
+
+    def test_refine_clips_to_title(self, registry, page):
+        feature = registry.get("in_title")
+        (mode, span), = feature.refine(doc_span(page), "yes")
+        assert span.text == "Catalog 2008"
+
+
+class TestDistinctNo:
+    def test_distinct_no_semantics(self, registry, page):
+        feature = registry.get("underlined")
+        # a span overlapping the region at a token boundary: distinct_no
+        # requires no *token* of the span inside the region
+        intro_start = page.text.index("intro")
+        outside = Span(page, intro_start, intro_start + 5)
+        assert feature.verify(outside, "distinct_no")
+        (start, end), = page.regions_of("underline")
+        inside = Span(page, start, end)
+        assert not feature.verify(inside, "distinct_no")
+
+    def test_unsupported_value_raises(self, registry, page):
+        feature = registry.get("underlined")
+        with pytest.raises(ValueError):
+            feature.verify(doc_span(page), "sometimes")
+
+
+class TestNotEqualConditionPath:
+    def test_ne_on_exact_cells(self):
+        from repro.ctables.assignments import Exact
+        from repro.ctables.ctable import Cell
+        from repro.processor.conditions import ComparisonCondition, make_side
+        from repro.processor.context import ExecutionContext
+        from repro.text.corpus import Corpus
+        from repro.xlog.program import Program
+
+        context = ExecutionContext(
+            Program.parse("q(x) :- base(x).", extensional=["base"]),
+            Corpus({"base": []}),
+        )
+        cond = ComparisonCondition(make_side(attr="a"), "!=", make_side(const=5))
+        result = cond.evaluate({"a": Cell((Exact(5), Exact(6)))}, context)
+        assert result.some and not result.all
+        kept = [a.value for a in result.filtered["a"].assignments]
+        assert kept == [6]
+
+    def test_ne_all_satisfy(self):
+        from repro.ctables.assignments import Exact
+        from repro.ctables.ctable import Cell
+        from repro.processor.conditions import ComparisonCondition, make_side
+        from repro.processor.context import ExecutionContext
+        from repro.text.corpus import Corpus
+        from repro.xlog.program import Program
+
+        context = ExecutionContext(
+            Program.parse("q(x) :- base(x).", extensional=["base"]),
+            Corpus({"base": []}),
+        )
+        cond = ComparisonCondition(make_side(attr="a"), "!=", make_side(const=99))
+        result = cond.evaluate({"a": Cell((Exact(1), Exact(2)))}, context)
+        assert result.some and result.all

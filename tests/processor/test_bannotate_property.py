@@ -1,0 +1,63 @@
+"""Property: BAnnotate over compact tables ⊇ Definition 2 exactly.
+
+For concrete (all-exact) inputs, the ψ operator's output worlds must
+contain every relation the annotation definitions produce — and for
+certain single-key inputs it should be exact, not just a superset.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alog.semantics import annotate_relation
+from repro.ctables.assignments import Exact
+from repro.ctables.ctable import Cell, CompactTable, CompactTuple
+from repro.ctables.worlds import compact_worlds
+from repro.processor.bannotate import annotate_table
+from repro.processor.context import ExecutionContext
+from repro.text.corpus import Corpus
+from repro.xlog.program import Program
+
+
+def make_context():
+    program = Program.parse("q(x) :- base(x).", extensional=["base"])
+    return ExecutionContext(program, Corpus({"base": []}))
+
+
+_rows = st.lists(
+    st.tuples(st.sampled_from(["k1", "k2", "k3"]), st.integers(0, 3)),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_bannotate_superset_of_definition2(rows):
+    table = CompactTable(["k", "v"])
+    for key, value in rows:
+        table.add(CompactTuple([Cell((Exact(key),)), Cell((Exact(value),))]))
+    out = annotate_table(table, False, ("v",), make_context())
+    exact = annotate_relation(rows, (False, (1,)))
+    approx = compact_worlds(out)
+    assert exact <= approx
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_bannotate_exact_for_certain_keys(rows):
+    """With certain single-valued keys, BAnnotate is exact, not loose."""
+    table = CompactTable(["k", "v"])
+    for key, value in rows:
+        table.add(CompactTuple([Cell((Exact(key),)), Cell((Exact(value),))]))
+    out = annotate_table(table, False, ("v",), make_context())
+    assert compact_worlds(out) == annotate_relation(rows, (False, (1,)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_rows, st.booleans())
+def test_bannotate_existence(rows, existence):
+    table = CompactTable(["k", "v"])
+    for key, value in rows:
+        table.add(CompactTuple([Cell((Exact(key),)), Cell((Exact(value),))]))
+    out = annotate_table(table, existence, ("v",), make_context())
+    exact = annotate_relation(rows, (existence, (1,)))
+    assert exact <= compact_worlds(out)

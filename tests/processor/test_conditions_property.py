@@ -1,0 +1,62 @@
+"""Property: condition evaluation agrees with brute force on exact cells.
+
+For cells made of ``exact`` assignments the three-valued result is
+fully determined: ``some`` iff a satisfying combination exists, ``all``
+iff every combination satisfies, and the filtered cells keep exactly
+the values participating in satisfying combinations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctables.assignments import Exact, value_key
+from repro.ctables.ctable import Cell
+from repro.processor.conditions import ComparisonCondition, make_side
+from repro.processor.context import ExecutionContext
+from repro.text.corpus import Corpus
+from repro.xlog.comparisons import comparison_holds
+from repro.xlog.program import Program
+
+
+def make_context():
+    program = Program.parse("q(x) :- base(x).", extensional=["base"])
+    return ExecutionContext(program, Corpus({"base": []}))
+
+
+_values = st.lists(st.integers(-5, 15), min_size=1, max_size=4, unique=True)
+_ops = st.sampled_from(["<", "<=", ">", ">=", "=", "!="])
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values, _values, _ops)
+def test_attr_attr_agrees_with_brute_force(left_values, right_values, op):
+    cells = {
+        "a": Cell(tuple(Exact(v) for v in left_values)),
+        "b": Cell(tuple(Exact(v) for v in right_values)),
+    }
+    condition = ComparisonCondition(make_side(attr="a"), op, make_side(attr="b"))
+    result = condition.evaluate(cells, make_context())
+
+    combos = [(l, r) for l in left_values for r in right_values]
+    sat = [(l, r) for l, r in combos if comparison_holds(l, op, r)]
+    assert result.some == bool(sat)
+    assert result.all == (len(sat) == len(combos) and bool(sat))
+    if sat:
+        expected_left = {value_key(l) for l, _ in sat}
+        kept = {value_key(a.value) for a in result.filtered["a"].assignments}
+        assert kept == expected_left
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values, st.integers(-5, 15), _ops, st.integers(-3, 3))
+def test_attr_const_with_offset(values, const, op, offset):
+    cells = {"a": Cell(tuple(Exact(v) for v in values))}
+    condition = ComparisonCondition(
+        make_side(attr="a", offset=offset), op, make_side(const=const)
+    )
+    result = condition.evaluate(cells, make_context())
+    sat = [v for v in values if comparison_holds(v + offset, op, const)]
+    assert result.some == bool(sat)
+    assert result.all == (len(sat) == len(values) and bool(sat))
+    if sat:
+        kept = {a.value for a in result.filtered["a"].assignments}
+        assert kept == set(sat)

@@ -1,0 +1,43 @@
+"""Execution context / config / stats tests."""
+
+from repro.processor.context import ExecConfig, ExecutionContext, ExecutionStats
+from repro.text.corpus import Corpus
+from repro.xlog.program import PFunction, PPredicate, Program
+
+
+class TestExecConfig:
+    def test_defaults(self):
+        config = ExecConfig()
+        assert config.enum_cap > 0
+        assert config.pair_cap > 0
+        assert config.ppredicate_cap > 0
+        assert config.blocking_joins
+
+    def test_custom(self):
+        config = ExecConfig(enum_cap=5, pair_cap=7, blocking_joins=False)
+        assert (config.enum_cap, config.pair_cap) == (5, 7)
+
+
+class TestExecutionStats:
+    def test_merge(self):
+        a = ExecutionStats(verify_calls=2, refine_calls=1)
+        b = ExecutionStats(verify_calls=3, cap_hits=4)
+        a.merge(b)
+        assert a.verify_calls == 5
+        assert a.refine_calls == 1
+        assert a.cap_hits == 4
+
+
+class TestExecutionContext:
+    def test_lookups(self):
+        program = Program.parse(
+            "q(x) :- base(x), f(@x), p(@x, y).",
+            extensional=["base"],
+            p_functions={"f": PFunction("f", lambda x: True)},
+            p_predicates={"p": PPredicate("p", lambda x: [], 1, 1)},
+        )
+        context = ExecutionContext(program, Corpus({"base": []}))
+        assert context.feature("numeric").name == "numeric"
+        assert context.p_function("f").name == "f"
+        assert context.p_predicate("p").name == "p"
+        assert context.relations == {}

@@ -1,0 +1,66 @@
+"""Built-in p-function library tests."""
+
+from repro.processor.library import jaccard, make_similar, token_set
+from repro.text.document import Document
+from repro.text.span import doc_span
+
+
+def span_of(text):
+    return doc_span(Document("lib-%d" % abs(hash(text)), text))
+
+
+class TestTokenSet:
+    def test_basic(self):
+        assert token_set("Silent River") == {"silent", "river"}
+
+    def test_case_folding(self):
+        assert token_set("SILENT river") == token_set("silent RIVER")
+
+    def test_stopwords_dropped(self):
+        assert token_set("The Silent River") == {"silent", "river"}
+
+    def test_all_stopwords_kept_as_fallback(self):
+        assert token_set("the and of") == {"the", "and", "of"}
+
+    def test_works_on_spans(self):
+        assert token_set(span_of("Crimson Empire")) == {"crimson", "empire"}
+
+    def test_memoised(self):
+        span = span_of("memo target")
+        assert token_set(span) is token_set(span)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard("Silent River", "Silent River") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard("alpha beta", "gamma delta") == 0.0
+
+    def test_partial(self):
+        assert abs(jaccard("a b c x", "a b c y") - 0.5) < 1e-9
+
+    def test_empty(self):
+        assert jaccard("", "anything") == 0.0
+
+
+class TestMakeSimilar:
+    def test_threshold(self):
+        loose = make_similar(0.3)
+        strict = make_similar(0.9)
+        assert loose("Silent River", "Silent River Remastered")
+        assert not strict("Silent River", "Silent River Remastered")
+
+    def test_blockable_flag(self):
+        assert make_similar(0.5).blockable
+
+    def test_accepting_pairs_share_a_token(self):
+        similar = make_similar(0.4)
+        # blocking exactness precondition: any accepted pair overlaps
+        pairs = [
+            ("Silent River", "River Song"),
+            ("Crimson Empire", "Empire Crimson"),
+        ]
+        for a, b in pairs:
+            if similar(a, b):
+                assert token_set(a) & token_set(b)

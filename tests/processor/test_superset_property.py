@@ -1,0 +1,163 @@
+"""THE core guarantee: approximate execution has superset semantics.
+
+Section 4 of the paper promises that the plan's output *represents a
+superset of the possible relations* the Alog program defines.  These
+tests compare, on bounded inputs, the possible worlds of the engine's
+compact-table output against the exact possible-worlds reference
+evaluator of :mod:`repro.alog.semantics` — every exact world must be a
+subset of some approximate world... no: every exact world must itself
+be representable; superset semantics means the *set of worlds* of the
+output contains every exact world.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alog.semantics import program_possible_relations
+from repro.ctables.worlds import compact_worlds
+from repro.processor.executor import IFlexEngine
+from repro.text.corpus import Corpus
+from repro.text.document import Document
+from repro.xlog.program import Program
+
+
+def assert_superset(program, corpus, max_worlds=100_000):
+    exact = program_possible_relations(program, corpus, max_worlds=max_worlds)
+    result = IFlexEngine(program, corpus).execute()
+    approx = compact_worlds(result.query_table, max_worlds=max_worlds)
+    missing = exact - approx
+    assert not missing, "missing %d exact worlds, e.g. %r" % (
+        len(missing),
+        next(iter(missing)),
+    )
+
+
+class TestSupersetOnFixedPrograms:
+    def test_plain_extraction(self):
+        corpus = Corpus({"base": [Document("d", "a 12 b")]})
+        program = Program.parse(
+            """
+            q(x, p) :- base(x), ie(@x, p).
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["base"],
+        )
+        assert_superset(program, corpus)
+
+    def test_attribute_annotation(self):
+        corpus = Corpus({"base": [Document("d", "12 34")]})
+        program = Program.parse(
+            """
+            q(x, <p>) :- base(x), ie(@x, p).
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["base"],
+        )
+        assert_superset(program, corpus)
+
+    def test_existence_annotation(self):
+        corpus = Corpus({"base": [Document("d", "ab cd")]})
+        program = Program.parse(
+            """
+            q(s)? :- base(y), ie(@y, s).
+            ie(@y, s) :- from(@y, s).
+            """,
+            extensional=["base"],
+        )
+        assert_superset(program, corpus)
+
+    def test_selection_on_annotated_choice(self):
+        corpus = Corpus({"base": [Document("d", "5 500")]})
+        program = Program.parse(
+            """
+            vals(x, <p>) :- base(x), ie(@x, p).
+            q(p) :- vals(x, p), p > 100.
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["base"],
+            query="q",
+        )
+        assert_superset(program, corpus)
+
+    def test_join_with_comparison(self):
+        corpus = Corpus(
+            {
+                "left": [Document("l", "7")],
+                "right": [Document("r", "3 9")],
+            }
+        )
+        program = Program.parse(
+            """
+            lv(x, a) :- left(x), ie1(@x, a).
+            rv(y, <b>) :- right(y), ie2(@y, b).
+            q(a, b) :- lv(x, a), rv(y, b), a > b.
+            ie1(@x, a) :- from(@x, a), numeric(a) = yes.
+            ie2(@y, b) :- from(@y, b), numeric(b) = yes.
+            """,
+            extensional=["left", "right"],
+            query="q",
+        )
+        assert_superset(program, corpus)
+
+    def test_formatting_constraint(self):
+        doc = Document("d", "aa bb cc", regions={"bold": [(3, 5)]})
+        corpus = Corpus({"base": [doc]})
+        program = Program.parse(
+            """
+            q(s)? :- base(y), ie(@y, s).
+            ie(@y, s) :- from(@y, s), bold_font(s) = yes.
+            """,
+            extensional=["base"],
+        )
+        assert_superset(program, corpus)
+
+
+# -- property-based fuzzing --------------------------------------------------
+
+_tiny_text = st.text(alphabet="ab 12", min_size=1, max_size=8)
+
+_programs = st.sampled_from(
+    [
+        """
+        q(x, p) :- base(x), ie(@x, p).
+        ie(@x, p) :- from(@x, p), numeric(p) = yes.
+        """,
+        """
+        q(x, <p>) :- base(x), ie(@x, p).
+        ie(@x, p) :- from(@x, p), numeric(p) = yes.
+        """,
+        """
+        q(s)? :- base(y), ie(@y, s).
+        ie(@y, s) :- from(@y, s), numeric(s) = yes.
+        """,
+        """
+        vals(x, <p>) :- base(x), ie(@x, p).
+        q(p) :- vals(x, p), p > 5.
+        ie(@x, p) :- from(@x, p), numeric(p) = yes.
+        """,
+    ]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_tiny_text, _programs)
+def test_superset_property_fuzzed(text, source):
+    corpus = Corpus({"base": [Document("f", text)]})
+    program = Program.parse(source, extensional=["base"], query="q")
+    assert_superset(program, corpus)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_tiny_text, _tiny_text)
+def test_superset_two_documents(text_a, text_b):
+    corpus = Corpus(
+        {"base": [Document("fa", text_a), Document("fb", text_b)]}
+    )
+    program = Program.parse(
+        """
+        q(x, <p>) :- base(x), ie(@x, p).
+        ie(@x, p) :- from(@x, p), numeric(p) = yes.
+        """,
+        extensional=["base"],
+    )
+    assert_superset(program, corpus)

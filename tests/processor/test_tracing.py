@@ -1,0 +1,50 @@
+"""EXPLAIN ANALYZE / tracing tests."""
+
+import pytest
+
+from repro.processor.executor import IFlexEngine
+from repro.processor.plan import compile_predicate
+from repro.processor.tracing import trace_plan
+
+
+class TestTracedPlan:
+    def test_traced_execution_matches_plain(self, figure2_program, figure1_corpus):
+        engine = IFlexEngine(figure2_program, figure1_corpus)
+        plain = engine.execute()
+        traced_result, report = engine.explain_analyze()
+        assert traced_result.tuple_count == plain.tuple_count
+        assert traced_result.assignment_count == plain.assignment_count
+
+    def test_report_contains_all_operators(self, figure2_program, figure1_corpus):
+        engine = IFlexEngine(figure2_program, figure1_corpus)
+        _, report = engine.explain_analyze()
+        for fragment in ("Annotate", "From", "Join", "Scan", "Select"):
+            assert fragment in report
+        assert "ms" in report
+
+    def test_traces_record_cardinalities(self, figure2_program, figure1_corpus):
+        from repro.alog.unfold import unfold_program
+        from repro.processor.context import ExecutionContext
+
+        unfolded = unfold_program(figure2_program)
+        context = ExecutionContext(unfolded, figure1_corpus)
+        traced = trace_plan(compile_predicate("houses", unfolded))
+        table = traced.execute(context)
+        traces = traced.collect()
+        root = traces[0]
+        assert root.out_tuples == len(table)
+        scan = [t for t in traces if t.describe.startswith("Scan")][0]
+        assert scan.out_tuples == 2
+
+    def test_self_time_excludes_children(self, figure2_program, figure1_corpus):
+        from repro.alog.unfold import unfold_program
+        from repro.processor.context import ExecutionContext
+
+        unfolded = unfold_program(figure2_program)
+        context = ExecutionContext(unfolded, figure1_corpus)
+        traced = trace_plan(compile_predicate("houses", unfolded))
+        traced.execute(context)
+        total_self = sum(t.elapsed for t in traced.collect())
+        assert total_self >= 0
+        # every operator reported something
+        assert all(t.out_tuples >= 0 for t in traced.collect())

@@ -1,0 +1,153 @@
+"""CLI and interactive-developer tests."""
+
+import pytest
+
+from repro.cli import build_parser, load_corpus, main
+
+
+@pytest.fixture
+def pages_dir(tmp_path):
+    directory = tmp_path / "pages"
+    directory.mkdir()
+    (directory / "a.html").write_text(
+        "<p><b>Widget Alpha</b> Price: $120.00</p>", encoding="utf-8"
+    )
+    (directory / "b.html").write_text(
+        "<p><b>Widget Beta</b> Price: $80.00</p>", encoding="utf-8"
+    )
+    (directory / "ignore.txt").write_text("not html", encoding="utf-8")
+    return directory
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.alog"
+    path.write_text(
+        """
+        items(x, <t>, <p>) :- pages(x), ie(@x, t, p).
+        q(t, p) :- items(x, t, p), p > 100.
+        ie(@x, t, p) :- from(@x, t), from(@x, p), numeric(p) = yes,
+            preceded_by(p) = "$".
+        """,
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "p.alog", "--table", "pages=./x", "--query", "q"]
+        )
+        assert args.command == "run"
+        assert args.table == ["pages=./x"]
+
+
+class TestLoadCorpus:
+    def test_directory_of_html(self, pages_dir):
+        corpus = load_corpus(["pages=%s" % pages_dir])
+        assert corpus.size_of("pages") == 2  # the .txt is skipped
+
+    def test_single_file(self, pages_dir):
+        corpus = load_corpus(["one=%s" % (pages_dir / "a.html")])
+        assert corpus.size_of("one") == 1
+
+    def test_missing_path(self):
+        with pytest.raises(SystemExit):
+            load_corpus(["pages=/no/such/dir"])
+
+    def test_bad_spec(self):
+        with pytest.raises(SystemExit):
+            load_corpus(["just-a-path"])
+
+
+class TestCommands:
+    def test_run(self, capsys, pages_dir, program_file):
+        code = main(
+            ["run", str(program_file), "--table", "pages=%s" % pages_dir, "--query", "q"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "120.00" in out
+        assert "1 tuples" in out
+
+    def test_explain(self, capsys, pages_dir, program_file):
+        code = main(
+            ["explain", str(program_file), "--table", "pages=%s" % pages_dir, "--query", "q"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Annotate" in out and "From" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "619,000" in out
+
+    def test_tables_static(self, capsys):
+        assert main(["tables", "--which", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+
+class TestInteractiveDeveloper:
+    def make(self, answers):
+        from repro.assistant.interactive import InteractiveDeveloper
+
+        answers = iter(answers)
+        outputs = []
+        dev = InteractiveDeveloper(
+            input_fn=lambda prompt: next(answers), output_fn=outputs.append
+        )
+        return dev, outputs
+
+    def test_boolean_answer(self):
+        from repro.assistant.questions import Question
+        from repro.features.registry import default_registry
+
+        dev, outputs = self.make(["yes"])
+        answer = dev.answer(Question("ie", "p", "bold_font"), default_registry())
+        assert answer == "yes"
+        assert dev.questions_answered == 1
+        assert any("assistant asks" in str(o) for o in outputs)
+
+    def test_empty_is_idk(self):
+        from repro.assistant.questions import Question
+        from repro.features.registry import default_registry
+
+        dev, _ = self.make([""])
+        assert dev.answer(Question("ie", "p", "bold_font"), default_registry()) is None
+
+    def test_numeric_coercion(self):
+        from repro.assistant.questions import Question
+        from repro.features.registry import default_registry
+
+        dev, _ = self.make(["25000"])
+        answer = dev.answer(Question("ie", "p", "max_value"), default_registry())
+        assert answer == 25000
+        dev2, _ = self.make(["3.5"])
+        assert dev2.answer(Question("ie", "p", "max_value"), default_registry()) == 3.5
+
+    def test_interactive_session_end_to_end(self, pages_dir, program_file, capsys, monkeypatch):
+        # drive the `session` command with scripted stdin answers
+        answers = iter(["", "yes"] + [""] * 50)
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(answers))
+        code = main(
+            [
+                "session",
+                str(program_file),
+                "--table",
+                "pages=%s" % pages_dir,
+                "--query",
+                "q",
+                "--max-iterations",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "session finished" in out

@@ -1,0 +1,58 @@
+"""Documentation consistency: what the docs promise exists in code."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.features.registry import default_registry
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs"
+
+
+class TestFeatureCatalog:
+    def test_documented_features_exist(self):
+        text = (DOCS / "features.md").read_text(encoding="utf-8")
+        registry = default_registry()
+        documented = set(re.findall(r"`([a-z_]+)`\s*\|", text))
+        for name in documented & {
+            "bold_font", "italic_font", "underlined", "hyperlinked",
+            "in_list", "in_title", "numeric", "capitalized", "person_name",
+            "first_half", "preceded_by", "followed_by", "min_value",
+            "max_value", "min_length", "max_length", "starts_with",
+            "ends_with", "pattern", "prec_label_contains",
+            "prec_label_max_dist",
+        }:
+            assert name in registry, name
+
+    def test_registry_features_documented(self):
+        text = (DOCS / "features.md").read_text(encoding="utf-8")
+        for name in default_registry().names():
+            assert name in text, "feature %s missing from docs/features.md" % name
+
+
+class TestCliDocs:
+    def test_documented_commands_exist(self):
+        from repro.cli import build_parser
+
+        text = (DOCS / "cli.md").read_text(encoding="utf-8")
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        for command in subparsers.choices:
+            assert "## %s" % command in text or command in text, command
+
+
+class TestDesignIndexTargets:
+    def test_bench_targets_exist(self):
+        root = pathlib.Path(__file__).parent.parent
+        design = (root / "DESIGN.md").read_text(encoding="utf-8")
+        for target in re.findall(r"`benchmarks/(bench_\w+\.py)`", design):
+            assert (root / "benchmarks" / target).exists(), target
+
+    def test_example_targets_exist(self):
+        root = pathlib.Path(__file__).parent.parent
+        design = (root / "DESIGN.md").read_text(encoding="utf-8")
+        for target in re.findall(r"`examples/(\w+\.py)`", design):
+            assert (root / "examples" / target).exists(), target

@@ -1,0 +1,94 @@
+"""Corpus tests: tables, sampling, restriction, signatures."""
+
+import pytest
+
+from repro.text.corpus import Corpus
+from repro.text.document import Document
+
+
+def docs(prefix, n):
+    return [Document("%s-%d" % (prefix, i), "text %d" % i) for i in range(n)]
+
+
+class TestTables:
+    def test_add_and_get(self):
+        corpus = Corpus({"A": docs("a", 3)})
+        assert corpus.size_of("A") == 3
+        assert "A" in corpus
+        assert corpus.table_names() == ["A"]
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            Corpus().table("nope")
+
+    def test_duplicate_doc_ids_rejected(self):
+        d = Document("dup", "x")
+        with pytest.raises(ValueError):
+            Corpus({"A": [d, d]})
+
+    def test_len_counts_tables(self):
+        corpus = Corpus({"A": docs("a", 1), "B": docs("b", 2)})
+        assert len(corpus) == 2
+
+
+class TestSampling:
+    def test_sample_fraction(self):
+        corpus = Corpus({"A": docs("a", 100)})
+        sampled = corpus.sample(0.1, seed=3)
+        assert sampled.size_of("A") == 10
+
+    def test_sample_deterministic(self):
+        corpus = Corpus({"A": docs("a", 50)})
+        ids1 = [d.doc_id for d in corpus.sample(0.2, seed=7).table("A")]
+        ids2 = [d.doc_id for d in corpus.sample(0.2, seed=7).table("A")]
+        assert ids1 == ids2
+
+    def test_sample_different_seeds_differ(self):
+        corpus = Corpus({"A": docs("a", 100)})
+        ids1 = {d.doc_id for d in corpus.sample(0.1, seed=1).table("A")}
+        ids2 = {d.doc_id for d in corpus.sample(0.1, seed=2).table("A")}
+        assert ids1 != ids2
+
+    def test_sample_keeps_at_least_one(self):
+        corpus = Corpus({"A": docs("a", 3)})
+        assert corpus.sample(0.01, seed=0).size_of("A") == 1
+
+    def test_sample_bad_fraction(self):
+        corpus = Corpus({"A": docs("a", 3)})
+        with pytest.raises(ValueError):
+            corpus.sample(0.0)
+        with pytest.raises(ValueError):
+            corpus.sample(1.5)
+
+    def test_sample_of_empty_table(self):
+        corpus = Corpus({"A": []})
+        assert corpus.sample(0.5).size_of("A") == 0
+
+
+class TestRestriction:
+    def test_restrict_one_table(self):
+        corpus = Corpus({"A": docs("a", 10), "B": docs("b", 10)})
+        cut = corpus.restrict("A", 4, seed=0)
+        assert cut.size_of("A") == 4
+        assert cut.size_of("B") == 10
+
+    def test_restrict_larger_than_table_is_noop(self):
+        corpus = Corpus({"A": docs("a", 5)})
+        assert corpus.restrict("A", 50).size_of("A") == 5
+
+    def test_restrict_all(self):
+        corpus = Corpus({"A": docs("a", 10), "B": docs("b", 3)})
+        cut = corpus.restrict_all(5, seed=0)
+        assert cut.size_of("A") == 5
+        assert cut.size_of("B") == 3
+
+
+class TestSignature:
+    def test_signature_stable(self):
+        corpus = Corpus({"A": docs("a", 3)})
+        assert corpus.signature == corpus.signature
+
+    def test_signature_changes_with_content(self):
+        a = Corpus({"A": docs("a", 3)})
+        b = Corpus({"A": docs("a", 4)})
+        assert a.signature != b.signature

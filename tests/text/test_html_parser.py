@@ -1,0 +1,82 @@
+"""HTML → Document conversion tests."""
+
+from repro.text.html_parser import parse_html
+
+
+class TestTextFlattening:
+    def test_plain_paragraphs(self):
+        doc = parse_html("d", "<p>one</p><p>two</p>")
+        assert doc.text == "one\ntwo\n"
+
+    def test_whitespace_collapsed(self):
+        doc = parse_html("d", "<p>a   b\n\n  c</p>")
+        assert doc.text == "a b c\n"
+
+    def test_entities_decoded(self):
+        doc = parse_html("d", "<p>a &amp; b &lt;ok&gt;</p>")
+        assert "a & b <ok>" in doc.text
+
+    def test_br_breaks_line(self):
+        doc = parse_html("d", "<p>a<br>b</p>")
+        assert doc.text == "a\nb\n"
+
+
+class TestRegions:
+    def test_bold_region_offsets(self):
+        doc = parse_html("d", "<p>Price: <b>$351,000</b> now</p>")
+        (start, end), = doc.regions_of("bold")
+        assert doc.text[start:end] == "$351,000"
+
+    def test_strong_and_em_aliases(self):
+        doc = parse_html("d", "<p><strong>B</strong> and <em>I</em></p>")
+        assert len(doc.regions_of("bold")) == 1
+        assert len(doc.regions_of("italic")) == 1
+
+    def test_hyperlink_region(self):
+        doc = parse_html("d", "<p><a href='#'>Basktall HS</a></p>")
+        (start, end), = doc.regions_of("hyperlink")
+        assert doc.text[start:end] == "Basktall HS"
+
+    def test_title_regions(self):
+        doc = parse_html("d", "<html><title>Top Movies</title><body><p>x</p></body></html>")
+        (start, end), = doc.regions_of("title")
+        assert doc.text[start:end] == "Top Movies"
+
+    def test_list_items(self):
+        doc = parse_html("d", "<ul><li>one item</li><li>two item</li></ul>")
+        regions = doc.regions_of("list_item")
+        assert len(regions) == 2
+        assert doc.text[regions[0][0] : regions[0][1]] == "one item"
+
+    def test_region_trimmed_of_whitespace(self):
+        doc = parse_html("d", "<p><b>  padded  </b></p>")
+        (start, end), = doc.regions_of("bold")
+        assert doc.text[start:end] == "padded"
+
+    def test_nested_formatting(self):
+        doc = parse_html("d", "<p><a href='#'><b>Linked Bold</b></a></p>")
+        (bs, be), = doc.regions_of("bold")
+        (hs, he), = doc.regions_of("hyperlink")
+        assert doc.text[bs:be] == "Linked Bold"
+        assert doc.text[hs:he] == "Linked Bold"
+
+    def test_stray_end_tag_tolerated(self):
+        doc = parse_html("d", "<p>hello</b> world</p>")
+        assert "hello" in doc.text
+
+
+class TestLabels:
+    def test_h2_becomes_label(self):
+        doc = parse_html("d", "<h2>Schools</h2><p>after</p>")
+        assert len(doc.labels) == 1
+        assert doc.labels[0].text == "Schools"
+        assert doc.text[doc.labels[0].start : doc.labels[0].end] == "Schools"
+
+    def test_labels_in_document_order(self):
+        doc = parse_html("d", "<h2>A</h2><p>x</p><h3>B</h3><p>y</p>")
+        assert [l.text for l in doc.labels] == ["A", "B"]
+
+    def test_preceding_label_resolution(self):
+        doc = parse_html("d", "<h2>Panels</h2><ul><li>Jane Doe</li></ul>")
+        offset = doc.text.index("Jane")
+        assert doc.preceding_label(offset).text == "Panels"

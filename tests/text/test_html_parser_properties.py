@@ -1,0 +1,56 @@
+"""Property tests: the HTML parser never crashes and keeps offsets sane."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.text.html_parser import parse_html
+
+_TAGS = ["b", "i", "u", "a", "p", "li", "ul", "h2", "title", "div", "em", "strong"]
+
+
+@st.composite
+def html_soup(draw):
+    """Random well-formed-ish nested markup."""
+    pieces = []
+    open_stack = []
+    for _ in range(draw(st.integers(1, 12))):
+        action = draw(st.integers(0, 2))
+        if action == 0:
+            tag = draw(st.sampled_from(_TAGS))
+            pieces.append("<%s>" % tag)
+            open_stack.append(tag)
+        elif action == 1 and open_stack:
+            pieces.append("</%s>" % open_stack.pop())
+        else:
+            pieces.append(draw(st.text(alphabet="ab 12&<.", max_size=10)))
+    while open_stack:
+        pieces.append("</%s>" % open_stack.pop())
+    return "".join(pieces)
+
+
+@settings(max_examples=100, deadline=None)
+@given(html_soup())
+def test_parser_never_crashes(html):
+    doc = parse_html("fz", html)
+    assert isinstance(doc.text, str)
+
+
+@settings(max_examples=100, deadline=None)
+@given(html_soup())
+def test_regions_within_bounds_and_sorted(html):
+    doc = parse_html("fz", html)
+    for kind, intervals in doc.regions.items():
+        for start, end in intervals:
+            assert 0 <= start < end <= len(doc.text)
+        assert intervals == sorted(intervals)
+    for label in doc.labels:
+        assert 0 <= label.start < label.end <= len(doc.text)
+        assert doc.text[label.start : label.end].strip() == label.text
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=80))
+def test_arbitrary_text_as_html(text):
+    doc = parse_html("fz", text)
+    for kind, intervals in doc.regions.items():
+        for start, end in intervals:
+            assert 0 <= start < end <= len(doc.text)

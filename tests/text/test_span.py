@@ -1,0 +1,124 @@
+"""Span tests, including the token-aligned enumeration invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.document import Document
+from repro.text.span import Span, doc_span
+
+
+def make_doc(text):
+    return Document("d", text)
+
+
+class TestSpanBasics:
+    def test_text(self):
+        doc = make_doc("hello world")
+        assert Span(doc, 6, 11).text == "world"
+
+    def test_out_of_bounds_rejected(self):
+        doc = make_doc("abc")
+        with pytest.raises(ValueError):
+            Span(doc, 0, 4)
+        with pytest.raises(ValueError):
+            Span(doc, -1, 2)
+        with pytest.raises(ValueError):
+            Span(doc, 2, 1)
+
+    def test_equality_and_hash(self):
+        doc = make_doc("abc def")
+        assert Span(doc, 0, 3) == Span(doc, 0, 3)
+        assert hash(Span(doc, 0, 3)) == hash(Span(doc, 0, 3))
+        assert Span(doc, 0, 3) != Span(doc, 4, 7)
+
+    def test_cross_doc_spans_differ(self):
+        a = Span(make_doc("abc"), 0, 3)
+        b = Span(Document("e", "abc"), 0, 3)
+        assert a != b
+
+    def test_ordering(self):
+        doc = make_doc("abc def")
+        assert Span(doc, 0, 3) < Span(doc, 4, 7)
+
+    def test_numeric_value(self):
+        doc = make_doc("Price: $351,000")
+        assert Span(doc, 8, 15).numeric_value == 351000
+        assert Span(doc, 0, 5).numeric_value is None
+
+    def test_doc_span_covers_all(self):
+        doc = make_doc("abc def")
+        span = doc_span(doc)
+        assert (span.start, span.end) == (0, 7)
+
+
+class TestSpanRelations:
+    def test_contains(self):
+        doc = make_doc("one two three")
+        outer = Span(doc, 0, 13)
+        inner = Span(doc, 4, 7)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_overlaps(self):
+        doc = make_doc("one two three")
+        assert Span(doc, 0, 5).overlaps(Span(doc, 4, 8))
+        assert not Span(doc, 0, 4).overlaps(Span(doc, 4, 8))
+
+    def test_sub(self):
+        doc = make_doc("one two three")
+        outer = Span(doc, 0, 13)
+        assert outer.sub(4, 7).text == "two"
+        with pytest.raises(ValueError):
+            outer.sub(4, 20)
+
+    def test_context_helpers(self):
+        doc = make_doc("Price: $35.99 now")
+        span = Span(doc, 8, 13)
+        assert span.text_before(8) == "Price: $"
+        assert span.text_after(4) == " now"
+
+
+class TestEnumeration:
+    def test_token_spans(self):
+        doc = make_doc("one two three")
+        spans = doc_span(doc).token_spans()
+        assert [s.text for s in spans] == ["one", "two", "three"]
+
+    def test_subspan_count_formula(self):
+        doc = make_doc("one two three")
+        span = doc_span(doc)
+        assert span.count_token_aligned_subspans() == 6
+        assert len(span.token_aligned_subspans()) == 6
+
+    def test_subspans_are_token_aligned(self):
+        doc = make_doc("alpha beta gamma delta")
+        subs = doc_span(doc).token_aligned_subspans()
+        texts = {s.text for s in subs}
+        assert "alpha beta" in texts
+        assert "beta gamma delta" in texts
+        assert "lpha" not in texts
+
+    def test_max_count_truncates(self):
+        doc = make_doc("a b c d e f g h")
+        subs = doc_span(doc).token_aligned_subspans(max_count=3)
+        assert len(subs) == 3
+
+    def test_max_tokens_limits_width(self):
+        doc = make_doc("a b c d")
+        subs = doc_span(doc).token_aligned_subspans(max_tokens=2)
+        assert max(len(s.tokens) for s in subs) == 2
+
+    @given(st.text(alphabet="ab 1", min_size=0, max_size=30))
+    def test_count_matches_enumeration(self, text):
+        doc = Document("h", text)
+        span = doc_span(doc)
+        assert span.count_token_aligned_subspans() == len(span.token_aligned_subspans())
+
+    @given(st.text(alphabet="xy z2", min_size=1, max_size=25))
+    def test_every_subspan_inside(self, text):
+        doc = Document("h", text)
+        span = doc_span(doc)
+        for sub in span.token_aligned_subspans():
+            assert span.contains(sub)
+            assert len(sub) > 0

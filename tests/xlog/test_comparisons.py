@@ -1,0 +1,64 @@
+"""Comparison semantics tests (numeric coercion, null, ordering)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.document import Document
+from repro.text.span import doc_span
+from repro.xlog.comparisons import comparison_holds
+
+
+def span_of(text):
+    return doc_span(Document("c-%d" % abs(hash(text)), text))
+
+
+class TestNumericCoercion:
+    def test_span_vs_number(self):
+        assert comparison_holds(span_of("25,000"), "<", 30000)
+        assert not comparison_holds(span_of("25,000"), ">", 30000)
+
+    def test_span_vs_span(self):
+        assert comparison_holds(span_of("4700"), ">", span_of("4500"))
+
+    def test_equality_coerces(self):
+        assert comparison_holds(span_of("92"), "=", 92)
+        assert comparison_holds("35.99", "=", span_of("$35.99"))
+
+
+class TestTextFallback:
+    def test_string_equality(self):
+        assert comparison_holds(span_of("abc"), "=", "abc")
+        assert comparison_holds(span_of("abc"), "!=", "abd")
+
+    def test_ordering_on_text_is_false(self):
+        # ordering is numeric-only by design (see conditions.py)
+        assert not comparison_holds(span_of("abc"), "<", span_of("abd"))
+        assert not comparison_holds("zebra", ">", 5)
+
+
+class TestNull:
+    def test_null_equality(self):
+        assert comparison_holds(None, "=", None)
+        assert not comparison_holds(None, "=", 5)
+
+    def test_null_inequality(self):
+        assert comparison_holds(5, "!=", None)
+        assert not comparison_holds(None, "!=", None)
+
+    def test_ordering_against_null_never_holds(self):
+        for op in ("<", "<=", ">", ">="):
+            assert not comparison_holds(None, op, 5)
+            assert not comparison_holds(5, op, None)
+
+
+class TestOperators:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_total_order_consistency(self, a, b):
+        assert comparison_holds(a, "<", b) == (a < b)
+        assert comparison_holds(a, "<=", b) == (a <= b)
+        assert comparison_holds(a, "=", b) == (a == b)
+        assert comparison_holds(a, "!=", b) == (a != b)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            comparison_holds(1, "~", 2)

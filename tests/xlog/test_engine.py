@@ -1,0 +1,174 @@
+"""Precise engine tests, including the paper's Example 2.2."""
+
+import pytest
+
+from repro.ctables.assignments import value_text
+from repro.errors import EvaluationError
+from repro.text import Corpus, Document, Span, doc_span
+from repro.xlog.engine import XlogEngine
+from repro.xlog.program import PFunction, PPredicate, Program
+
+
+def doc_table(*texts):
+    return [Document("t%d" % i, t) for i, t in enumerate(texts)]
+
+
+class TestBasicEvaluation:
+    def test_extensional_scan(self):
+        corpus = Corpus({"base": doc_table("one", "two")})
+        program = Program.parse("q(x) :- base(x).", extensional=["base"])
+        rows = XlogEngine(program, corpus).query_result()
+        assert len(rows) == 2
+
+    def test_comparison_filter(self):
+        corpus = Corpus({"base": doc_table("7", "99")})
+        program = Program.parse(
+            """
+            vals(x, v) :- base(x), extractNum(@x, v).
+            q(v) :- vals(x, v), v > 50.
+            """,
+            extensional=["base"],
+            p_predicates={
+                "extractNum": PPredicate(
+                    "extractNum", lambda x: [(doc_span(x.doc),)], 1, 1
+                )
+            },
+            query="q",
+        )
+        rows = XlogEngine(program, corpus).query_result()
+        assert [value_text(r[0]) for r in rows] == ["99"]
+
+    def test_p_function_filter(self):
+        corpus = Corpus({"base": doc_table("abc", "xyz")})
+        program = Program.parse(
+            "q(x) :- base(x), startsA(@x).",
+            extensional=["base"],
+            p_functions={
+                "startsA": PFunction("startsA", lambda x: x.text.startswith("a"))
+            },
+        )
+        rows = XlogEngine(program, corpus).query_result()
+        assert len(rows) == 1
+
+    def test_from_and_constraint(self):
+        corpus = Corpus({"base": doc_table("rank 3 votes 25,000")})
+        program = Program.parse(
+            """
+            q(x, v) :- base(x), nums(@x, v).
+            nums(@x, v) :- from(@x, v), numeric(v) = yes.
+            """,
+            extensional=["base"],
+        )
+        rows = XlogEngine(program, corpus).query_result()
+        assert {value_text(r[1]) for r in rows} == {"3", "25,000"}
+
+    def test_dedup(self):
+        corpus = Corpus({"base": doc_table("x")})
+        program = Program.parse(
+            "q(v) :- base(x), dup(@x, v).",
+            extensional=["base"],
+            p_predicates={
+                "dup": PPredicate("dup", lambda x: [(1,), (1,), (2,)], 1, 1)
+            },
+        )
+        rows = XlogEngine(program, corpus).query_result()
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_arithmetic_comparison(self):
+        corpus = Corpus({"base": doc_table("pp. 10-12", "pp. 10-30")})
+        program = Program.parse(
+            """
+            pages(x, fp, lp) :- base(x), extractPages(@x, fp, lp).
+            q(x) :- pages(x, fp, lp), lp < fp + 5.
+            """,
+            extensional=["base"],
+            p_predicates={
+                "extractPages": PPredicate(
+                    "extractPages",
+                    lambda x: [
+                        tuple(
+                            Span(x.doc, t.start, t.end)
+                            for t in x.doc.tokens
+                            if t.kind == "number"
+                        )
+                    ],
+                    1,
+                    2,
+                )
+            },
+            query="q",
+        )
+        rows = XlogEngine(program, corpus).query_result()
+        assert len(rows) == 1
+
+    def test_recursion_rejected(self):
+        corpus = Corpus({"base": doc_table("x")})
+        program = Program.parse(
+            """
+            a(x) :- b(x).
+            b(x) :- a(x).
+            """,
+            extensional=["base"],
+            query="a",
+        )
+        with pytest.raises(EvaluationError):
+            XlogEngine(program, corpus).evaluate()
+
+
+class TestPaperExample22:
+    """Example 2.2: the precise houses/schools program."""
+
+    def program(self):
+        import re
+
+        def extract_houses(x):
+            text = x.doc.text
+
+            def group_span(pattern):
+                match = re.search(pattern, text)
+                return Span(x.doc, match.start(1), match.end(1))
+
+            return [
+                (
+                    group_span(r"Price: \$?([\d,]+)"),
+                    group_span(r"Sqft: ([\d,]+)"),
+                    group_span(r"High school: ([A-Z][\w ]+?)\."),
+                )
+            ]
+
+        def extract_schools(y):
+            return [
+                (Span(y.doc, s, e),) for s, e in y.doc.regions_of("bold")
+            ]
+
+        def approx_match(h, s):
+            return s.text.lower() in h.text.lower()
+
+        return Program.parse(
+            """
+            R1: houses(x, p, a, h) :- housePages(x), extractHouses(@x, p, a, h).
+            R2: schools(s) :- schoolPages(y), extractSchools(@y, s).
+            R3: Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000,
+                a > 4500, approxMatch(@h, @s).
+            """,
+            extensional=["housePages", "schoolPages"],
+            p_predicates={
+                "extractHouses": PPredicate("extractHouses", extract_houses, 1, 3),
+                "extractSchools": PPredicate("extractSchools", extract_schools, 1, 1),
+            },
+            p_functions={"approxMatch": PFunction("approxMatch", approx_match)},
+            query="Q",
+        )
+
+    def test_produces_x2_tuple(self, figure1_corpus):
+        rows = XlogEngine(self.program(), figure1_corpus).query_result()
+        assert len(rows) == 1
+        x, p, a, h = rows[0]
+        assert value_text(p) == "619,000"
+        assert value_text(a) == "4700"
+        assert value_text(h) == "Basktall HS"
+
+    def test_intermediate_relations(self, figure1_corpus):
+        relations = XlogEngine(self.program(), figure1_corpus).evaluate()
+        assert len(relations["houses"]) == 2
+        assert len(relations["schools"]) == 5

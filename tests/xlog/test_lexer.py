@@ -1,0 +1,71 @@
+"""Lexer tests for the Xlog/Alog concrete syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xlog.lexer import tokenize_program
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize_program(source)[:-1]]
+
+
+class TestTokens:
+    def test_simple_rule(self):
+        tokens = kinds("q(x) :- p(x).")
+        assert tokens == [
+            ("ident", "q"),
+            ("symbol", "("),
+            ("ident", "x"),
+            ("symbol", ")"),
+            ("symbol", ":-"),
+            ("ident", "p"),
+            ("symbol", "("),
+            ("ident", "x"),
+            ("symbol", ")"),
+            ("symbol", "."),
+        ]
+
+    def test_annotations_and_input_markers(self):
+        tokens = kinds("h(@x, <p>)?")
+        values = [v for _, v in tokens]
+        assert values == ["h", "(", "@", "x", ",", "<", "p", ">", ")", "?"]
+
+    def test_comparison_operators(self):
+        tokens = kinds("a <= b >= c != d < e > f = g")
+        symbols = [v for k, v in tokens if k == "symbol"]
+        assert symbols == ["<=", ">=", "!=", "<", ">", "="]
+
+    def test_numbers(self):
+        tokens = kinds("x > 500000, y < 35.99")
+        numbers = [v for k, v in tokens if k == "number"]
+        assert numbers == ["500000", "35.99"]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize_program('f(a) = "say \\"hi\\"\\n"')
+        strings = [t.value for t in tokens if t.kind == "string"]
+        assert strings == ['say "hi"\n']
+
+    def test_comments_skipped(self):
+        tokens = kinds("p(x). % this is a comment\nq(y).")
+        values = [v for _, v in tokens]
+        assert "comment" not in values
+        assert "q" in values
+
+    def test_line_numbers(self):
+        tokens = tokenize_program("p(x).\nq(y).")
+        q = next(t for t in tokens if t.value == "q")
+        assert q.line == 2
+
+    def test_arith_symbols(self):
+        tokens = kinds("lp < fp + 5")
+        assert ("symbol", "+") in tokens
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize_program("p(x) & q(y)")
+
+    def test_rule_label_colon(self):
+        tokens = kinds("R1: p(x).")
+        assert tokens[0] == ("ident", "R1")
+        assert tokens[1] == ("symbol", ":")

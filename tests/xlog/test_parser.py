@@ -1,0 +1,141 @@
+"""Parser tests for Xlog/Alog rules."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xlog.ast import (
+    Arith,
+    ComparisonAtom,
+    ConstraintAtom,
+    Const,
+    NULL,
+    PredicateAtom,
+    Var,
+)
+from repro.xlog.parser import parse_rule, parse_rules
+
+
+class TestHeads:
+    def test_plain_head(self):
+        rule = parse_rule("q(x, y) :- p(x, y).")
+        assert rule.head.name == "q"
+        assert [a.var.name for a in rule.head.args] == ["x", "y"]
+        assert not rule.head.existence
+
+    def test_existence_annotation(self):
+        rule = parse_rule("schools(s)? :- p(s).")
+        assert rule.head.existence
+
+    def test_attribute_annotation(self):
+        rule = parse_rule("houses(x, <p>, <a>) :- p(x, p, a).")
+        assert [v.name for v in rule.head.annotated_vars] == ["p", "a"]
+
+    def test_input_marker_in_head(self):
+        rule = parse_rule("extractHouses(@x, p) :- from(@x, p).")
+        assert [v.name for v in rule.head.input_vars] == ["x"]
+        assert [v.name for v in rule.head.output_vars] == ["p"]
+
+    def test_rule_label(self):
+        rule = parse_rule("S4: q(x) :- p(x).")
+        assert rule.label == "S4"
+
+    def test_annotations_property(self):
+        rule = parse_rule("q(x, <p>)? :- p(x, p).")
+        assert rule.annotations == (True, ("p",))
+
+
+class TestBodyAtoms:
+    def test_predicate_atom(self):
+        rule = parse_rule("q(x) :- housePages(x).")
+        atom = rule.body[0]
+        assert isinstance(atom, PredicateAtom)
+        assert atom.name == "housePages"
+
+    def test_input_flags(self):
+        rule = parse_rule("q(x, p) :- p0(x), ie(@x, p).")
+        ie = rule.body[1]
+        assert ie.input_flags == (True, False)
+        assert ie.input_args == [Var("x")]
+        assert ie.output_args == [Var("p")]
+
+    def test_constraint_atom(self):
+        rule = parse_rule("q(p) :- p0(p), numeric(p) = yes.")
+        constraint = rule.body[1]
+        assert isinstance(constraint, ConstraintAtom)
+        assert constraint.feature == "numeric"
+        assert constraint.value == "yes"
+
+    def test_constraint_with_string_value(self):
+        rule = parse_rule('q(p) :- p0(p), preceded_by(p) = "Price: $".')
+        assert rule.body[1].value == "Price: $"
+
+    def test_constraint_with_numeric_value(self):
+        rule = parse_rule("q(p) :- p0(p), max_length(p) = 18.")
+        assert rule.body[1].value == 18
+
+    def test_constraint_requires_single_var(self):
+        with pytest.raises(ParseError):
+            parse_rule("q(p) :- f(p, r) = yes.")
+
+    def test_comparison_atoms(self):
+        rule = parse_rule("q(p) :- p0(p), p > 500000, p != null.")
+        gt, ne = rule.body[1], rule.body[2]
+        assert isinstance(gt, ComparisonAtom) and gt.op == ">"
+        assert gt.right == Const(500000)
+        assert ne.right is NULL
+
+    def test_var_to_var_comparison(self):
+        rule = parse_rule("q(a, b) :- p0(a, b), a = b.")
+        cmp = rule.body[1]
+        assert cmp.left == Var("a") and cmp.right == Var("b")
+
+    def test_arith_term(self):
+        rule = parse_rule("q(t) :- p0(t, fp, lp), lp < fp + 5.")
+        cmp = rule.body[1]
+        assert isinstance(cmp.right, Arith)
+        assert cmp.right.offset == 5
+        assert Var("fp") in cmp.variables
+
+    def test_arith_minus(self):
+        rule = parse_rule("q(t) :- p0(t, fp), fp > fp - 3.")
+        assert rule.body[1].right.offset == -3
+
+    def test_constant_in_predicate(self):
+        rule = parse_rule('q(x) :- rel(x, "flag", 3).')
+        atom = rule.body[0]
+        assert atom.args[1] == Const("flag")
+        assert atom.args[2] == Const(3)
+
+
+class TestPrograms:
+    def test_multiple_rules(self):
+        rules = parse_rules(
+            """
+            R1: a(x) :- base(x).
+            R2: b(x) :- a(x), x > 5.
+            """
+        )
+        assert [r.label for r in rules] == ["R1", "R2"]
+
+    def test_final_period_optional(self):
+        rules = parse_rules("a(x) :- base(x)")
+        assert len(rules) == 1
+
+    def test_fact_rule_without_body(self):
+        rules = parse_rules("a(x).")
+        assert rules[0].body == ()
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_rules("a(x) :- ,")
+        assert "line" in str(exc.value)
+
+    def test_parse_rule_rejects_multiple(self):
+        with pytest.raises(ParseError):
+            parse_rule("a(x) :- b(x). c(y) :- d(y).")
+
+    def test_round_trip_via_repr(self):
+        source = "S1: houses(x, <p>)? :- housePages(x), extractHouses(@x, p)."
+        rule = parse_rule(source)
+        reparsed = parse_rule(repr(rule) + ".")
+        assert repr(reparsed) == repr(rule)

@@ -1,0 +1,128 @@
+"""Program resolution, classification, safety, and refinement tests."""
+
+import pytest
+
+from repro.errors import SafetyError, UnknownPredicateError
+from repro.xlog.program import PFunction, PPredicate, Program
+
+
+def make_program(source, **kwargs):
+    kwargs.setdefault("extensional", ["base"])
+    return Program.parse(source, **kwargs)
+
+
+class TestClassification:
+    def test_description_rules_detected(self):
+        program = make_program(
+            """
+            q(x, p) :- base(x), ie(@x, p).
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """
+        )
+        assert program.ie_predicates == {"ie"}
+        assert program.intensional == {"q"}
+        assert len(program.description_rules) == 1
+
+    def test_atom_kinds(self):
+        program = make_program(
+            """
+            q(x, p) :- base(x), ie(@x, p), sim(@p, @p), cleanup(@p, r).
+            ie(@x, p) :- from(@x, p).
+            """,
+            p_functions={"sim": PFunction("sim", lambda a, b: True)},
+            p_predicates={"cleanup": PPredicate("cleanup", lambda p: [], 1, 1)},
+        )
+        rule = program.skeleton_rules[0]
+        kinds = [program.atom_kind(a) for a in rule.body]
+        assert kinds == ["extensional", "ie", "p_function", "p_predicate"]
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(UnknownPredicateError):
+            make_program("q(x) :- mystery(x).")
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(UnknownPredicateError):
+            make_program("q(x) :- base(x).", query="other")
+
+    def test_query_defaults_to_first_head(self):
+        program = make_program("q(x) :- base(x).")
+        assert program.query == "q"
+
+
+class TestSafety:
+    def test_safe_program_passes(self):
+        program = make_program(
+            """
+            q(x, p) :- base(x), ie(@x, p).
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """
+        )
+        program.check_safety()
+
+    def test_paper_unsafe_rule(self):
+        # the paper's example: numeric(p) alone does not bind p
+        program = make_program(
+            """
+            q(x, p) :- base(x), ie(@x, p).
+            ie(@x, p) :- numeric(p) = yes.
+            """
+        )
+        with pytest.raises(SafetyError):
+            program.check_safety()
+
+    def test_head_var_missing_from_body(self):
+        program = make_program("q(x, y) :- base(x).")
+        with pytest.raises(SafetyError):
+            program.check_safety()
+
+    def test_p_function_does_not_bind(self):
+        program = make_program(
+            "q(x, y) :- base(x), sim(@x, y).",
+            p_functions={"sim": PFunction("sim", lambda a, b: True)},
+        )
+        with pytest.raises(SafetyError):
+            program.check_safety()
+
+
+class TestRefinement:
+    def make(self):
+        return make_program(
+            """
+            q(x, p) :- base(x), ie(@x, p).
+            ie(@x, p) :- from(@x, p).
+            """
+        )
+
+    def test_add_constraint_returns_new_program(self):
+        program = self.make()
+        refined = program.add_constraint("ie", "p", "numeric", "yes")
+        assert refined is not program
+        assert program.constraints_on("ie", "p") == []
+        assert refined.constraints_on("ie", "p") == [("numeric", "yes")]
+
+    def test_add_constraint_unknown_predicate(self):
+        with pytest.raises(UnknownPredicateError):
+            self.make().add_constraint("nope", "p", "numeric", "yes")
+
+    def test_add_constraint_unknown_attribute(self):
+        with pytest.raises(UnknownPredicateError):
+            self.make().add_constraint("ie", "zzz", "numeric", "yes")
+
+    def test_constraints_accumulate(self):
+        refined = (
+            self.make()
+            .add_constraint("ie", "p", "numeric", "yes")
+            .add_constraint("ie", "p", "preceded_by", "$")
+        )
+        assert refined.constraints_on("ie", "p") == [
+            ("numeric", "yes"),
+            ("preceded_by", "$"),
+        ]
+
+    def test_ie_attributes(self):
+        assert self.make().ie_attributes() == [("ie", "p")]
+
+    def test_source_reparses(self):
+        program = self.make().add_constraint("ie", "p", "preceded_by", "Price: $")
+        reparsed = Program.parse(program.source(), extensional=["base"])
+        assert reparsed.constraints_on("ie", "p") == [("preceded_by", "Price: $")]
