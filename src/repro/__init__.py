@@ -17,6 +17,13 @@ See README.md for the full tour and DESIGN.md for the system map.
 
 __version__ = "1.0.0"
 
+from repro.analysis import (
+    AnalysisResult,
+    Diagnostic,
+    analyze_program,
+    analyze_rules,
+    analyze_source,
+)
 from repro.assistant import (
     ConvergenceMonitor,
     GroundTruth,
@@ -29,6 +36,7 @@ from repro.errors import (
     EnumerationLimitError,
     EvaluationError,
     ParseError,
+    ProgramLintError,
     ReproError,
     SafetyError,
     UnknownFeatureError,
@@ -40,8 +48,10 @@ from repro.text import Corpus, Document, Span, doc_span, parse_html
 from repro.xlog import PFunction, PPredicate, Program, XlogEngine, parse_rules
 
 __all__ = [
+    "AnalysisResult",
     "ConvergenceMonitor",
     "Corpus",
+    "Diagnostic",
     "Document",
     "EnumerationLimitError",
     "EvaluationError",
@@ -53,6 +63,7 @@ __all__ = [
     "PPredicate",
     "ParseError",
     "Program",
+    "ProgramLintError",
     "RefinementSession",
     "ReproError",
     "RuleCache",
@@ -65,6 +76,9 @@ __all__ = [
     "UnknownPredicateError",
     "XlogEngine",
     "__version__",
+    "analyze_program",
+    "analyze_rules",
+    "analyze_source",
     "default_registry",
     "doc_span",
     "make_similar",

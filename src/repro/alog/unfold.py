@@ -79,7 +79,7 @@ def _unfold_atom(atom, description_rule, counter):
     return [_rename_atom(a, renamer) for a in description_rule.body]
 
 
-def unfold_rules(program):
+def unfold_rules(program, rules=None, used=None):
     """Unfold every skeleton rule of ``program``.
 
     Returns a list of rules in which every IE atom that has description
@@ -87,15 +87,19 @@ def unfold_rules(program):
     IE predicate with several description rules multiplies the rule —
     one unfolded variant per combination, mirroring the union
     semantics.
+
+    ``rules`` restricts unfolding to a subset of skeleton rules;
+    ``used``, when a set, records every description rule that was
+    actually applied (the static analyzer's dead-rule pass reads it).
     """
     counter = itertools.count(1)
     out = []
-    for rule in program.skeleton_rules:
-        out.extend(_unfold_rule(rule, program, counter))
+    for rule in (program.skeleton_rules if rules is None else rules):
+        out.extend(_unfold_rule(rule, program, counter, used))
     return out
 
 
-def _unfold_rule(rule, program, counter):
+def _unfold_rule(rule, program, counter, used=None):
     pending = [rule]
     finished = []
     guard = 0
@@ -117,6 +121,8 @@ def _unfold_rule(rule, program, counter):
             finished.append(current)
             continue
         for description_rule in program.description_rules_for(target.name):
+            if used is not None:
+                used.add(description_rule)
             replacement = _unfold_atom(target, description_rule, next(counter))
             body = []
             for atom in current.body:
@@ -124,7 +130,9 @@ def _unfold_rule(rule, program, counter):
                     body.extend(replacement)
                 else:
                     body.append(atom)
-            pending.append(Rule(current.head, tuple(body), label=current.label))
+            pending.append(
+                Rule(current.head, tuple(body), label=current.label, span=current.span)
+            )
     return finished
 
 

@@ -1,0 +1,43 @@
+"""Static analysis for Alog/Xlog programs.
+
+A pass-based analyzer that collects *all* problems in one run as
+:class:`Diagnostic` records with stable ``ALOGnnn`` codes and source
+spans, instead of raising on the first one.  Entry points:
+
+* :func:`analyze_source` — lint raw program text (parse errors become
+  ``ALOG000`` diagnostics);
+* :func:`analyze_rules` — lint parsed rules with whatever declarations
+  are known (permissive mode assumes undeclared predicates);
+* :func:`analyze_program` — validate a fully resolved
+  :class:`~repro.xlog.program.Program`, e.g. before execution.
+"""
+
+from repro.analysis.analyzer import (
+    Analyzer,
+    ProgramFacts,
+    analyze_program,
+    analyze_rules,
+    analyze_source,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisResult,
+    Diagnostic,
+)
+
+__all__ = [
+    "Analyzer",
+    "ProgramFacts",
+    "analyze_program",
+    "analyze_rules",
+    "analyze_source",
+    "CODES",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "AnalysisResult",
+    "Diagnostic",
+]

@@ -1,0 +1,281 @@
+"""The pass-based Alog static analyzer.
+
+:func:`analyze_program` checks a resolved :class:`~repro.xlog.program.Program`;
+:func:`analyze_rules` checks bare parsed rules plus whatever declarations
+are known (the ``repro lint`` path, which must not require a fully
+resolvable program); :func:`analyze_source` also folds parse errors into
+the diagnostic stream instead of raising.
+
+Unlike :meth:`Program.check_safety`-style fail-fast checks, every pass
+runs to completion and every problem becomes a
+:class:`~repro.analysis.diagnostics.Diagnostic`, so one run reports all
+defects with source spans.
+
+Resolution is permissive when ``assume_extensional=True``: a predicate
+with no definition is assumed to be an extensional table (no ``@``
+arguments), a p-function (all ``@``), or a p-predicate (mixed), each
+with a :data:`~repro.analysis.diagnostics.WARNING` instead of an error.
+That mode lints standalone ``.alog`` files that ship without their
+corpus declarations.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import CODES, ERROR, AnalysisResult, Diagnostic
+from repro.errors import ParseError
+
+__all__ = ["ProgramFacts", "Analyzer", "analyze_program", "analyze_rules", "analyze_source"]
+
+_FROM = "from"  # the built-in sub-span generator predicate
+
+
+@dataclass
+class ProgramFacts:
+    """What the analyzer knows about a rule set's predicates.
+
+    Mirrors :class:`Program`'s classification, but never raises:
+    unresolved names stay unresolved (or get assumed, in permissive
+    mode) and the passes report them.
+    """
+
+    rules: tuple
+    extensional: frozenset
+    p_predicate_arity: dict  # name -> int | None (unknown)
+    p_functions: frozenset
+    query: str
+    registry: object
+    assume_extensional: bool = False
+    #: names resolved only by assumption, with the kind they were
+    #: assumed to be ('extensional' | 'p_function' | 'p_predicate')
+    assumed: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.description_rules = tuple(r for r in self.rules if r.head.input_vars)
+        self.skeleton_rules = tuple(r for r in self.rules if not r.head.input_vars)
+        self.ie_predicates = frozenset(r.head.name for r in self.description_rules)
+        self.intensional = frozenset(r.head.name for r in self.skeleton_rules)
+
+    # ------------------------------------------------------------------
+    def atom_kind(self, atom):
+        """Like :meth:`Program.atom_kind`, but returns ``None`` when the
+
+        predicate cannot be resolved (instead of raising).
+        """
+        name = atom.name
+        if name == _FROM:
+            return _FROM
+        if name in self.intensional:
+            return "intensional"
+        if name in self.ie_predicates:
+            return "ie"
+        if name in self.extensional:
+            return "extensional"
+        if name in self.p_predicate_arity:
+            return "p_predicate"
+        if name in self.p_functions:
+            return "p_function"
+        if name in self.assumed:
+            return self.assumed[name]
+        if self.assume_extensional:
+            flags = atom.input_flags or ()
+            if not any(flags):
+                kind = "extensional"
+            elif all(flags):
+                kind = "p_function"
+            else:
+                kind = "p_predicate"
+            self.assumed[name] = kind
+            return kind
+        return None
+
+    def binds(self, atom):
+        """Variables a body atom binds, per the safety rules (§2.2.2)."""
+        from repro.xlog.ast import Var
+
+        kind = self.atom_kind(atom)
+        if kind in ("extensional", "intensional"):
+            return set(atom.variables)
+        if kind in (_FROM, "ie", "p_predicate"):
+            return {v for v in atom.output_args if isinstance(v, Var)}
+        return set()  # p_function / unresolved: binds nothing
+
+
+class Analyzer:
+    """Runs every registered pass over one rule set."""
+
+    def __init__(self, facts):
+        self.facts = facts
+        self.diagnostics = []
+
+    # ------------------------------------------------------------------
+    def emit(self, code, message, rule=None, node=None, severity=None):
+        """Record one diagnostic.
+
+        ``node`` supplies the source span (any AST node with a ``span``);
+        it falls back to the rule's own span.  ``severity`` overrides the
+        code's default — permissive resolution downgrades to warnings.
+        """
+        span = getattr(node, "span", None) if node is not None else None
+        if span is None and rule is not None:
+            span = getattr(rule, "span", None)
+        rule_index = None
+        rule_label = ""
+        if rule is not None:
+            try:
+                rule_index = list(self.facts.rules).index(rule)
+            except ValueError:
+                rule_index = None
+            rule_label = rule.label or rule.head.name
+        self.diagnostics.append(
+            Diagnostic(
+                severity=severity or CODES[code][0],
+                code=code,
+                message=message,
+                rule_index=rule_index,
+                rule_label=rule_label,
+                line=span.line if span else None,
+                column=span.column if span else None,
+                end_line=span.end_line if span else None,
+                end_column=span.end_column if span else None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, unfolded_rules=None):
+        from repro.analysis import annotations, domains, liveness, safety, schema
+
+        schema.check_schema(self)
+        safety.check_safety(self)
+        annotations.check_annotations(self)
+        domains.check_domains(self, unfolded_rules=unfolded_rules)
+        liveness.check_liveness(self)
+        result = AnalysisResult(sorted(self.diagnostics, key=Diagnostic.sort_key))
+        return result
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+def _normalize_p_predicates(p_predicates):
+    out = {}
+    for name, value in dict(p_predicates or {}).items():
+        arity = getattr(value, "arity", None)
+        if arity is None and isinstance(value, int):
+            arity = value
+        out[name] = arity
+    return out
+
+
+def _make_facts(
+    rules,
+    extensional=(),
+    p_predicates=None,
+    p_functions=(),
+    query=None,
+    registry=None,
+    assume_extensional=False,
+):
+    if registry is None:
+        from repro.features.registry import default_registry
+
+        registry = default_registry()
+    rules = tuple(rules)
+    if query is None and rules:
+        query = rules[0].head.name
+    return ProgramFacts(
+        rules=rules,
+        extensional=frozenset(extensional),
+        p_predicate_arity=_normalize_p_predicates(p_predicates),
+        p_functions=frozenset(p_functions),
+        query=query,
+        registry=registry,
+        assume_extensional=assume_extensional,
+    )
+
+
+def analyze_rules(
+    rules,
+    extensional=(),
+    p_predicates=None,
+    p_functions=(),
+    query=None,
+    registry=None,
+    assume_extensional=False,
+):
+    """Analyze bare parsed rules with partial declarations.
+
+    This is the ``repro lint`` entry point: it never raises on semantic
+    problems — everything comes back as diagnostics.
+    """
+    facts = _make_facts(
+        rules,
+        extensional=extensional,
+        p_predicates=p_predicates,
+        p_functions=p_functions,
+        query=query,
+        registry=registry,
+        assume_extensional=assume_extensional,
+    )
+    if not facts.rules:
+        result = AnalysisResult()
+        result.diagnostics.append(
+            Diagnostic(ERROR, "ALOG000", "program has no rules")
+        )
+        return result
+    return Analyzer(facts).run()
+
+
+def analyze_program(program, registry=None, unfolded=None):
+    """Analyze a resolved :class:`Program` (declarations known).
+
+    ``unfolded`` may pass a pre-unfolded program (the engine already has
+    one) so the liveness/domain passes skip re-unfolding.
+    """
+    facts = _make_facts(
+        program.rules,
+        extensional=program.extensional,
+        p_predicates=program.p_predicates,
+        p_functions=program.p_functions,
+        query=program.query,
+        registry=registry,
+    )
+    unfolded_rules = tuple(unfolded.rules) if unfolded is not None else None
+    return Analyzer(facts).run(unfolded_rules=unfolded_rules)
+
+
+def analyze_source(
+    source,
+    extensional=(),
+    p_predicates=None,
+    p_functions=(),
+    query=None,
+    registry=None,
+    assume_extensional=False,
+):
+    """Parse then analyze; parse errors become ``ALOG000`` diagnostics."""
+    from repro.xlog.parser import parse_rules
+
+    try:
+        rules = parse_rules(source)
+    except ParseError as exc:
+        result = AnalysisResult()
+        result.diagnostics.append(
+            Diagnostic(
+                ERROR,
+                "ALOG000",
+                exc.raw_message,
+                line=exc.line,
+                column=exc.column,
+            )
+        )
+        return result
+    return analyze_rules(
+        rules,
+        extensional=extensional,
+        p_predicates=p_predicates,
+        p_functions=p_functions,
+        query=query,
+        registry=registry,
+        assume_extensional=assume_extensional,
+    )

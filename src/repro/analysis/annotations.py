@@ -1,0 +1,52 @@
+"""Pass 4 — approximation-annotation misuse (paper section 2.2.3).
+
+The two annotations only mean something in specific positions:
+
+* ``<p>`` chooses one value of ``p`` per group — meaningless (and a
+  sign of a typo) when ``p`` is never bound by the body (``ALOG006``)
+  or annotated twice in the same head (``ALOG008``);
+* ``head(...)?`` marks every produced tuple as a maybe-tuple — an
+  extensional table is ground truth, so an existence annotation on a
+  head that names (and thus shadows) an extensional table is always a
+  mistake (``ALOG007``).
+"""
+
+from repro.analysis.safety import binding_vars
+
+__all__ = ["check_annotations"]
+
+
+def check_annotations(analyzer):
+    facts = analyzer.facts
+    for rule in facts.rules:
+        bound = binding_vars(rule, facts)
+        seen_annotated = set()
+        for arg in rule.head.args:
+            if not arg.annotated:
+                continue
+            if arg.var.name in seen_annotated:
+                analyzer.emit(
+                    "ALOG008",
+                    "attribute %r is annotated more than once in the head "
+                    "of rule %r" % (arg.var.name, rule.label or rule.head.name),
+                    rule=rule,
+                    node=arg,
+                )
+            seen_annotated.add(arg.var.name)
+            if arg.var not in bound:
+                analyzer.emit(
+                    "ALOG006",
+                    "attribute annotation <%s> is meaningless: %r is not "
+                    "bound by the rule body" % (arg.var.name, arg.var.name),
+                    rule=rule,
+                    node=arg,
+                )
+        if rule.head.existence and rule.head.name in facts.extensional:
+            analyzer.emit(
+                "ALOG007",
+                "existence annotation on %r, which names an extensional "
+                "table: extensional tuples are never maybe-tuples"
+                % (rule.head.name,),
+                rule=rule,
+                node=rule.head,
+            )

@@ -1,0 +1,162 @@
+"""Diagnostics: machine-readable problems found by static analysis.
+
+A :class:`Diagnostic` is one problem: a severity, a stable code
+(``ALOG001``...), a human message, and — when the parser provided
+source spans — the line/column region it points at.  The analyzer
+collects *all* diagnostics in one run instead of raising on the first
+problem, which is what an iterative best-effort workflow needs: the
+developer fixes everything one pass surfaced, not one thing per run.
+
+Codes are registered in :data:`CODES` with their default severity and a
+short title; ``docs/cli.md`` renders the same table for users.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "CODES",
+    "Diagnostic",
+    "AnalysisResult",
+]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: code -> (default severity, short title).  Stable: never renumber.
+CODES = {
+    "ALOG000": (ERROR, "parse error"),
+    "ALOG001": (ERROR, "unsafe rule"),
+    "ALOG002": (ERROR, "unknown predicate"),
+    "ALOG003": (ERROR, "unknown feature"),
+    "ALOG004": (ERROR, "inconsistent predicate arity"),
+    "ALOG005": (ERROR, "declaration arity mismatch"),
+    "ALOG006": (ERROR, "attribute annotation on unbound variable"),
+    "ALOG007": (ERROR, "existence annotation on extensional head"),
+    "ALOG008": (ERROR, "duplicate attribute annotation"),
+    "ALOG009": (ERROR, "contradictory domain constraints"),
+    "ALOG010": (ERROR, "unsatisfiable comparison set"),
+    "ALOG011": (WARNING, "dead rule"),
+    "ALOG012": (WARNING, "unused extracted variable"),
+    "ALOG013": (WARNING, "predicate assumed extensional"),
+    "ALOG014": (ERROR, "unknown query predicate"),
+    "ALOG015": (WARNING, "duplicate rule label"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One statically detected problem in an Alog program."""
+
+    severity: str  # 'error' | 'warning' | 'info'
+    code: str  # e.g. 'ALOG001'
+    message: str
+    #: index of the offending rule in the analyzed rule list (0-based),
+    #: or None for program-level problems (e.g. unknown query).
+    rule_index: object = None
+    rule_label: str = ""
+    line: object = None  # 1-based, None when no source span is known
+    column: object = None
+    end_line: object = None
+    end_column: object = None
+
+    @property
+    def span(self):
+        """``(line, column, end_line, end_column)`` or ``None``."""
+        if self.line is None:
+            return None
+        return (self.line, self.column, self.end_line, self.end_column)
+
+    @property
+    def title(self):
+        return CODES.get(self.code, (self.severity, self.code))[1]
+
+    def to_dict(self):
+        """A JSON-safe dict; round-trips through :func:`json.loads`."""
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "title": self.title,
+            "message": self.message,
+            "rule_index": self.rule_index,
+            "rule_label": self.rule_label or None,
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def render(self, path=None):
+        """``path:line:col: severity CODE: message`` (parts optional)."""
+        prefix = []
+        if path:
+            prefix.append(str(path))
+        if self.line is not None:
+            prefix.append(str(self.line))
+            if self.column is not None:
+                prefix.append(str(self.column))
+        location = ":".join(prefix)
+        rule = " [rule %s]" % self.rule_label if self.rule_label else ""
+        body = "%s %s: %s%s" % (self.severity, self.code, self.message, rule)
+        return "%s: %s" % (location, body) if location else body
+
+    def sort_key(self):
+        return (
+            self.line if self.line is not None else 1 << 30,
+            self.column if self.column is not None else 1 << 30,
+            _SEVERITY_ORDER.get(self.severity, 3),
+            self.code,
+            self.message,
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run found, ordered by source position."""
+
+    diagnostics: list = field(default_factory=list)
+
+    @property
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self):
+        """True when no error-severity diagnostics were found."""
+        return not self.errors
+
+    def codes(self):
+        return sorted({d.code for d in self.diagnostics})
+
+    def render(self, path=None):
+        """Human-readable listing plus a summary line."""
+        lines = [d.render(path) for d in self.diagnostics]
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def summary_line(self):
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        return "%d error%s, %d warning%s" % (
+            n_err, "" if n_err == 1 else "s",
+            n_warn, "" if n_warn == 1 else "s",
+        )
+
+    def to_dict(self, path=None):
+        return {
+            "program": str(path) if path is not None else None,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {"errors": len(self.errors), "warnings": len(self.warnings)},
+        }
+
+    def to_json(self, path=None, indent=None):
+        return json.dumps(self.to_dict(path), indent=indent)

@@ -1,0 +1,296 @@
+"""Pass 5 — unsatisfiable domain-constraint and comparison sets.
+
+Two sub-analyses, both per rule:
+
+* **Constraint contradictions** (``ALOG009``), over the original rules
+  so diagnostics point at the description rule that carries them: a
+  boolean feature asserted both positively (``yes``/``distinct_yes``)
+  and negatively (``no``/``distinct_no``) on one variable, or an empty
+  numeric window (``min_value > max_value``, ``min_length >
+  max_length``).
+
+* **Comparison unsatisfiability** (``ALOG010``), over the *unfolded*
+  rules so that description-rule value constraints and skeleton-rule
+  comparisons share one scope (``numeric(p)=yes`` lives in D1 while
+  ``p < 3, p > 5`` lives in R2).  Every comparison over the supported
+  ``Arith`` shape (``x op y ± c``) is a difference constraint
+  ``x - y ≤ c``; ``min_value``/``max_value`` constraints add bounds
+  against a virtual zero node.  The conjunction is unsatisfiable iff
+  the constraint graph has a cycle of total weight < 0, or = 0 with a
+  strict edge — decided with Bellman-Ford over lexicographic
+  ``(weight, strictness)`` labels, the classic difference-constraint
+  procedure.
+"""
+
+from repro.xlog.ast import Arith, ComparisonAtom, Const, ConstraintAtom, Var
+
+__all__ = ["check_domains"]
+
+_POSITIVE = {"yes", "distinct_yes"}
+_NEGATIVE = {"no", "distinct_no"}
+
+#: virtual node representing the constant 0 in the difference graph
+_ZERO = "<0>"
+
+
+def check_domains(analyzer, unfolded_rules=None):
+    for rule in analyzer.facts.rules:
+        _check_constraint_contradictions(analyzer, rule)
+    for rule, original in _comparison_scopes(analyzer, unfolded_rules):
+        _check_comparisons(analyzer, rule, original)
+
+
+def _comparison_scopes(analyzer, unfolded_rules):
+    """``(rule_to_check, original_rule_for_spans)`` pairs.
+
+    Prefers unfolded rules (cross-rule constraint/comparison conflicts
+    become visible); maps each back to the skeleton rule with the same
+    label so diagnostics carry real source positions.  Description
+    rules not inlined anywhere (dead ones) are checked directly.  With
+    no unfolding available — bare-rule lint of an unresolvable program —
+    every original rule is checked in isolation.
+    """
+    facts = analyzer.facts
+    used = set()
+    if unfolded_rules is None:
+        unfolded_rules, used = _try_unfold(analyzer)
+    if unfolded_rules is None:
+        return [(rule, rule) for rule in facts.rules]
+    by_label = {(r.label, r.head.name): r for r in facts.skeleton_rules}
+    pairs = [
+        (rule, by_label.get((rule.label, rule.head.name), rule))
+        for rule in unfolded_rules
+    ]
+    pairs.extend(
+        (rule, rule) for rule in facts.description_rules if rule not in used
+    )
+    return pairs
+
+
+def _try_unfold(analyzer):
+    """``(unfolded_rules, used_description_rules)`` or ``(None, set())``."""
+    facts = analyzer.facts
+    try:
+        from repro.alog.unfold import unfold_rules
+        from repro.xlog.program import Program
+
+        program = Program(
+            facts.rules,
+            extensional=set(facts.extensional)
+            | {n for n, k in facts.assumed.items() if k == "extensional"},
+            p_predicates={
+                name: _FakePPredicate(name, arity)
+                for name, arity in facts.p_predicate_arity.items()
+            },
+            p_functions=dict.fromkeys(
+                set(facts.p_functions)
+                | {n for n, k in facts.assumed.items() if k == "p_function"}
+            ),
+            query=facts.query,
+        )
+        used = set()
+        unfolded = unfold_rules(program, used=used)
+        return tuple(unfolded), used
+    except Exception:
+        return None, set()
+
+
+class _FakePPredicate:
+    """Arity-only stand-in so lint can build a Program without procedures."""
+
+    def __init__(self, name, arity):
+        self.name = name
+        self.func = None
+        self.arity = arity if arity is not None else 0
+
+
+# ----------------------------------------------------------------------
+# constraint contradictions (ALOG009)
+# ----------------------------------------------------------------------
+
+def _check_constraint_contradictions(analyzer, rule):
+    registry = analyzer.facts.registry
+    by_var = {}
+    for atom in rule.body_atoms(ConstraintAtom):
+        by_var.setdefault(atom.var.name, []).append(atom)
+    for var_name, atoms in sorted(by_var.items()):
+        by_feature = {}
+        for atom in atoms:
+            by_feature.setdefault(atom.feature, []).append(atom)
+        for feature, group in sorted(by_feature.items()):
+            if feature in registry and registry.get(feature).parameterized:
+                continue
+            values = {a.value for a in group}
+            if values & _POSITIVE and values & _NEGATIVE:
+                analyzer.emit(
+                    "ALOG009",
+                    "contradictory constraints on %r: %s asserted both %s "
+                    "and %s — no value can satisfy the rule"
+                    % (
+                        var_name,
+                        feature,
+                        "/".join(sorted(values & _POSITIVE)),
+                        "/".join(sorted(values & _NEGATIVE)),
+                    ),
+                    rule=rule,
+                    node=group[-1],
+                )
+        _check_window(analyzer, rule, var_name, by_feature, "min_value", "max_value")
+        _check_window(analyzer, rule, var_name, by_feature, "min_length", "max_length")
+
+
+def _check_window(analyzer, rule, var_name, by_feature, low_name, high_name):
+    lows = [a for a in by_feature.get(low_name, ()) if _is_number(a.value)]
+    highs = [a for a in by_feature.get(high_name, ()) if _is_number(a.value)]
+    if not lows or not highs:
+        return
+    low = max(a.value for a in lows)
+    high = min(a.value for a in highs)
+    if low > high:
+        analyzer.emit(
+            "ALOG009",
+            "empty window on %r: %s = %s exceeds %s = %s"
+            % (var_name, low_name, low, high_name, high),
+            rule=rule,
+            node=highs[-1],
+        )
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# ----------------------------------------------------------------------
+# comparison satisfiability (ALOG010)
+# ----------------------------------------------------------------------
+
+def _check_comparisons(analyzer, rule, original):
+    edges = []  # (u, v, weight, strict): value(u) - value(v) <= weight
+    equalities = {}  # var name -> set of string constants it must equal
+    for atom in rule.body_atoms(ComparisonAtom):
+        _collect_comparison(analyzer, original, atom, edges, equalities)
+    for atom in rule.body_atoms(ConstraintAtom):
+        if atom.feature == "max_value" and _is_number(atom.value):
+            edges.append((atom.var.name, _ZERO, float(atom.value), False))
+        elif atom.feature == "min_value" and _is_number(atom.value):
+            edges.append((_ZERO, atom.var.name, -float(atom.value), False))
+    for var_name, values in sorted(equalities.items()):
+        if len(values) > 1:
+            analyzer.emit(
+                "ALOG010",
+                "%r is required to equal %s at once — the rule can never "
+                "produce a tuple"
+                % (
+                    _strip_rename(var_name),
+                    " and ".join(repr(v) for v in sorted(values)),
+                ),
+                rule=original,
+            )
+    if _has_infeasible_cycle(edges):
+        analyzer.emit(
+            "ALOG010",
+            "the comparisons and value constraints of rule %r can never "
+            "hold together: no assignment to %s satisfies all of them"
+            % (original.label or original.head.name, _involved(edges)),
+            rule=original,
+        )
+
+
+def _term(term):
+    """``(node, offset)`` with value = node + offset, or None to skip."""
+    if isinstance(term, Var):
+        return (term.name, 0.0)
+    if isinstance(term, Arith):
+        return (term.var.name, float(term.offset))
+    if isinstance(term, Const):
+        if not _is_number(term.value):
+            return None  # null / text: outside the numeric order
+        return (_ZERO, float(term.value))
+    return None
+
+
+def _collect_comparison(analyzer, original, atom, edges, equalities):
+    # text equality: x = "a" and x = "b" together can never hold
+    for var_side, const_side in ((atom.left, atom.right), (atom.right, atom.left)):
+        if (
+            atom.op == "="
+            and isinstance(var_side, Var)
+            and isinstance(const_side, Const)
+            and isinstance(const_side.value, str)
+        ):
+            equalities.setdefault(var_side.name, set()).add(const_side.value)
+            return
+    left = _term(atom.left)
+    right = _term(atom.right)
+    if left is None or right is None:
+        return
+    (u, a), (v, b) = left, right
+    op = atom.op
+    if op in (">", ">="):
+        (u, a), (v, b) = (v, b), (u, a)
+        op = "<" if op == ">" else "<="
+    if op in ("<", "<="):
+        # u + a  <(=)  v + b   →   u - v ≤ b - a
+        edges.append((u, v, b - a, op == "<"))
+    elif op == "=":
+        edges.append((u, v, b - a, False))
+        edges.append((v, u, a - b, False))
+    elif op == "!=":
+        if u == v and a == b:
+            analyzer.emit(
+                "ALOG010",
+                "comparison %r can never hold" % (atom,),
+                rule=original,
+                node=atom,
+            )
+
+
+def _has_infeasible_cycle(edges):
+    """True iff the difference constraints admit no solution.
+
+    Lexicographic Bellman-Ford: an edge ``u - v ≤ c`` (strict: ``<``)
+    becomes graph edge ``v → u`` with label ``(c, -1 if strict else
+    0)``; labels add component-wise and compare lexicographically.  A
+    relaxation still possible after ``|V|`` full rounds exposes a cycle
+    with total label < (0, 0) — i.e. weight < 0, or = 0 with at least
+    one strict edge — which is exactly infeasibility.
+    """
+    if not edges:
+        return False
+    nodes = {_ZERO}
+    for u, v, _, _ in edges:
+        nodes.add(u)
+        nodes.add(v)
+    dist = {node: (0.0, 0) for node in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for u, v, c, strict in edges:
+            candidate = (dist[v][0] + c, dist[v][1] - (1 if strict else 0))
+            if candidate < dist[u]:
+                dist[u] = candidate
+                changed = True
+        if not changed:
+            return False
+    for u, v, c, strict in edges:
+        candidate = (dist[v][0] + c, dist[v][1] - (1 if strict else 0))
+        if candidate < dist[u]:
+            return True
+    return False
+
+
+def _involved(edges):
+    names = sorted(
+        {
+            _strip_rename(node)
+            for u, v, _, _ in edges
+            for node in (u, v)
+            if node != _ZERO
+        }
+    )
+    return ", ".join(names) or "the constants"
+
+
+def _strip_rename(name):
+    """Hide unfolding rename suffixes so messages read like the source."""
+    base, sep, tail = str(name).partition("__u")
+    return base if sep and tail.isdigit() else str(name)

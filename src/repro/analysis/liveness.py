@@ -1,0 +1,107 @@
+"""Pass 6 — dead rules and unused extracted variables (warnings).
+
+* ``ALOG011``: a rule whose head predicate can never contribute to the
+  query.  Liveness is reachability over the dependency graph: the
+  query predicate is live, and every predicate mentioned in the body of
+  a rule with a live head is live.  This covers both skeleton rules
+  (head never referenced on the path from the query) and description
+  rules (IE predicate never invoked by a live rule).
+
+* ``ALOG012``: a variable extracted by an IE predicate, p-predicate, or
+  ``from`` that occurs exactly once in its rule — the extraction work
+  is paid for and the result dropped.  Variables bound by plain table
+  atoms are exempt (projecting a table column away is normal), as are
+  names starting with ``_`` (the conventional "deliberately unused"
+  spelling).
+"""
+
+from repro.xlog.ast import (
+    Arith,
+    ComparisonAtom,
+    ConstraintAtom,
+    PredicateAtom,
+    Var,
+)
+
+__all__ = ["check_liveness"]
+
+_EXTRACTING = ("from", "ie", "p_predicate")
+
+
+def check_liveness(analyzer):
+    _check_dead_rules(analyzer)
+    _check_unused_vars(analyzer)
+
+
+def _check_dead_rules(analyzer):
+    facts = analyzer.facts
+    defined = {rule.head.name for rule in facts.rules}
+    bodies = {}  # head name -> set of body predicate names
+    for rule in facts.rules:
+        deps = bodies.setdefault(rule.head.name, set())
+        deps.update(atom.name for atom in rule.body_atoms(PredicateAtom))
+    live = set()
+    frontier = [facts.query]
+    while frontier:
+        name = frontier.pop()
+        if name in live:
+            continue
+        live.add(name)
+        frontier.extend(bodies.get(name, ()))
+    for rule in facts.rules:
+        if rule.head.name in live or rule.head.name not in defined:
+            continue
+        kind = "description rule" if rule.head.input_vars else "rule"
+        analyzer.emit(
+            "ALOG011",
+            "%s %r is dead: %r is never used on any path from the query %r"
+            % (kind, rule.label or rule.head.name, rule.head.name, facts.query),
+            rule=rule,
+            node=rule.head,
+        )
+
+
+def _check_unused_vars(analyzer):
+    facts = analyzer.facts
+    for rule in facts.rules:
+        counts = _occurrences(rule)
+        for atom in rule.body_atoms(PredicateAtom):
+            if facts.atom_kind(atom) not in _EXTRACTING:
+                continue
+            for term in atom.output_args:
+                if (
+                    isinstance(term, Var)
+                    and counts.get(term.name, 0) == 1
+                    and not term.name.startswith("_")
+                ):
+                    analyzer.emit(
+                        "ALOG012",
+                        "variable %r is extracted by %r but never used "
+                        "(prefix it with '_' to silence)"
+                        % (term.name, atom.name),
+                        rule=rule,
+                        node=atom,
+                    )
+
+
+def _occurrences(rule):
+    counts = {}
+
+    def visit(term):
+        if isinstance(term, Var):
+            counts[term.name] = counts.get(term.name, 0) + 1
+        elif isinstance(term, Arith):
+            visit(term.var)
+
+    for arg in rule.head.args:
+        visit(arg.var)
+    for atom in rule.body:
+        if isinstance(atom, PredicateAtom):
+            for term in atom.args:
+                visit(term)
+        elif isinstance(atom, ConstraintAtom):
+            visit(atom.var)
+        elif isinstance(atom, ComparisonAtom):
+            visit(atom.left)
+            visit(atom.right)
+    return counts

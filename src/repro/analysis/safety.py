@@ -1,0 +1,39 @@
+"""Pass 1 — safety / range restriction (paper section 2.2.2).
+
+A rule is safe when every non-input head variable is bound by the body:
+by an extensional or intensional atom, or as an *output* of an IE
+predicate, p-predicate, or ``from``.  Domain constraints, comparisons,
+and p-functions bind nothing.
+
+This is the analyzer home of the check that used to live inline in
+:meth:`Program.check_safety`; the method survives as a thin wrapper
+that raises :class:`~repro.errors.SafetyError` on the first diagnostic.
+"""
+
+__all__ = ["check_safety", "binding_vars"]
+
+from repro.xlog.ast import PredicateAtom
+
+
+def binding_vars(rule, facts):
+    """All variables the body of ``rule`` binds (plus head inputs)."""
+    bound = set(rule.head.input_vars)
+    for atom in rule.body_atoms(PredicateAtom):
+        bound.update(facts.binds(atom))
+    return bound
+
+
+def check_safety(analyzer):
+    facts = analyzer.facts
+    for rule in facts.rules:
+        bound = binding_vars(rule, facts)
+        for arg in rule.head.args:
+            if arg.is_input or arg.var in bound:
+                continue
+            analyzer.emit(
+                "ALOG001",
+                "rule %r is unsafe: head variable %r is not bound "
+                "by any body predicate" % (rule.label or rule.head.name, arg.var.name),
+                rule=rule,
+                node=arg,
+            )

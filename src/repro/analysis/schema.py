@@ -1,0 +1,156 @@
+"""Passes 2 & 3 — schema consistency and name resolution.
+
+* Every predicate must be used with one arity everywhere (heads, body
+  atoms) — ``ALOG004`` — and must match its declaration when one exists
+  (p-predicate arity, description-rule head arity, ``from``'s fixed
+  shape) — ``ALOG005``.
+* Every body predicate must resolve against the declarations
+  (``ALOG002``), every domain-constraint feature against the feature
+  registry (``ALOG003``); in permissive mode unresolved predicates are
+  assumed and reported as ``ALOG013`` warnings instead.
+* Program-level checks: the query predicate must be the head of a
+  skeleton rule (``ALOG014``), rule labels must be unique (``ALOG015``).
+"""
+
+from repro.analysis.diagnostics import WARNING
+from repro.xlog.ast import ConstraintAtom, PredicateAtom, Var
+
+__all__ = ["check_schema"]
+
+_FROM = "from"
+
+
+def check_schema(analyzer):
+    facts = analyzer.facts
+    _check_query(analyzer)
+    _check_labels(analyzer)
+
+    #: name -> list of (arity, rule, node) observations
+    seen = {}
+    for rule in facts.rules:
+        seen.setdefault(rule.head.name, []).append(
+            (len(rule.head.args), rule, rule.head)
+        )
+        for atom in rule.body_atoms(PredicateAtom):
+            _check_atom(analyzer, rule, atom)
+            seen.setdefault(atom.name, []).append((len(atom.args), rule, atom))
+        for atom in rule.body_atoms(ConstraintAtom):
+            _check_feature(analyzer, rule, atom)
+
+    for name, uses in sorted(seen.items()):
+        if name == _FROM:
+            continue  # fixed-shape builtin, checked per use
+        arities = sorted({arity for arity, _, _ in uses})
+        if len(arities) > 1:
+            first_arity = uses[0][0]
+            for arity, rule, node in uses[1:]:
+                if arity != first_arity:
+                    analyzer.emit(
+                        "ALOG004",
+                        "predicate %r used with arity %d here but arity %d "
+                        "elsewhere" % (name, arity, first_arity),
+                        rule=rule,
+                        node=node,
+                    )
+        declared = facts.p_predicate_arity.get(name)
+        if declared is not None:
+            for arity, rule, node in uses:
+                if arity != declared:
+                    analyzer.emit(
+                        "ALOG005",
+                        "p-predicate %r is declared with arity %d but used "
+                        "with %d arguments" % (name, declared, arity),
+                        rule=rule,
+                        node=node,
+                    )
+
+
+def _check_query(analyzer):
+    facts = analyzer.facts
+    if facts.query not in facts.intensional:
+        analyzer.emit(
+            "ALOG014",
+            "query predicate %r is not the head of any skeleton rule"
+            % (facts.query,),
+        )
+
+
+def _check_labels(analyzer):
+    seen = {}
+    for rule in analyzer.facts.rules:
+        if not rule.label:
+            continue
+        if rule.label in seen:
+            analyzer.emit(
+                "ALOG015",
+                "rule label %r is already used by an earlier rule" % (rule.label,),
+                rule=rule,
+            )
+        else:
+            seen[rule.label] = rule
+
+
+def _check_atom(analyzer, rule, atom):
+    facts = analyzer.facts
+    if atom.name == _FROM:
+        _check_from(analyzer, rule, atom)
+        return
+    kind = facts.atom_kind(atom)
+    if kind is None:
+        analyzer.emit(
+            "ALOG002",
+            "rule %r references unknown predicate %r"
+            % (rule.label or rule.head.name, atom.name),
+            rule=rule,
+            node=atom,
+        )
+    elif atom.name in facts.assumed:
+        analyzer.emit(
+            "ALOG013",
+            "predicate %r has no declaration; assuming it is %s"
+            % (atom.name, _ASSUMED_PHRASE[kind]),
+            rule=rule,
+            node=atom,
+        )
+
+
+_ASSUMED_PHRASE = {
+    "extensional": "an extensional table",
+    "p_function": "a p-function",
+    "p_predicate": "a p-predicate",
+}
+
+
+def _check_from(analyzer, rule, atom):
+    """``from(@x, y)``: exactly one bound input span, one output var."""
+    flags = atom.input_flags or ()
+    shape_ok = (
+        len(atom.args) == 2
+        and len(flags) == 2
+        and flags[0]
+        and not flags[1]
+        and isinstance(atom.args[1], Var)
+    )
+    if not shape_ok:
+        analyzer.emit(
+            "ALOG005",
+            "the builtin %r takes exactly (@input, output): got %r"
+            % (_FROM, atom),
+            rule=rule,
+            node=atom,
+        )
+
+
+def _check_feature(analyzer, rule, atom):
+    facts = analyzer.facts
+    if atom.feature in facts.registry:
+        return
+    severity = WARNING if facts.assume_extensional else None
+    analyzer.emit(
+        "ALOG003",
+        "domain constraint names unknown feature %r (known: %s)"
+        % (atom.feature, ", ".join(facts.registry.names())),
+        rule=rule,
+        node=atom,
+        severity=severity,
+    )

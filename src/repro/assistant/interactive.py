@@ -54,6 +54,20 @@ class InteractiveDeveloper:
         self.questions_answered += 1
         return self._coerce(raw)
 
+    def notify_diagnostics(self, diagnostics):
+        """Show static-analysis warnings the session surfaced.
+
+        Called by :class:`~repro.assistant.session.RefinementSession`
+        at session start and whenever a refinement introduces new
+        warnings — next-effort feedback alongside the questions.
+        """
+        if not diagnostics:
+            return
+        self._output("")
+        self._output("program warnings:")
+        for diagnostic in diagnostics:
+            self._output("  %s" % diagnostic.render())
+
     # ------------------------------------------------------------------
     def _show_samples(self, question, limit=4):
         if self.session is None:

@@ -52,6 +52,8 @@ class IterationRecord:
     assignments: int
     elapsed: float
     questions: list = field(default_factory=list)  # (Question, answer|None)
+    #: lint warnings newly introduced by this iteration's refinements
+    warnings: list = field(default_factory=list)
 
     @property
     def answered(self):
@@ -70,6 +72,8 @@ class SessionTrace:
     machine_seconds: float
     questions_asked: int
     questions_answered: int
+    #: static-analysis warnings for the starting program
+    lint_warnings: list = field(default_factory=list)
 
     @property
     def iterations(self):
@@ -132,6 +136,7 @@ class RefinementSession:
         self._subset_cache = RuleCache()
         self._full_cache = RuleCache()
         self._last_subset_result = None
+        self._known_warnings = set()
 
     # ------------------------------------------------------------------
     # hooks used by strategies
@@ -229,7 +234,11 @@ class RefinementSession:
             variant = self.program.add_constraint(ie_predicate, attribute, feature, value)
         except Exception:
             return float("inf")
-        engine = IFlexEngine(variant, self.subset_corpus, self.registry, self.config)
+        # validate=False: simulation deliberately tries constraints that
+        # may be infeasible (the result is then 0 tuples, a fine answer)
+        engine = IFlexEngine(
+            variant, self.subset_corpus, self.registry, self.config, validate=False
+        )
         result = engine.execute(cache=_CacheCopy.copy(self._subset_cache))
         self.machine_seconds += result.elapsed
         # tuple count first; narrowing measures as tie-breakers, so a
@@ -279,8 +288,38 @@ class RefinementSession:
         return None
 
     # ------------------------------------------------------------------
+    # static analysis surfacing (next-effort feedback)
+    # ------------------------------------------------------------------
+    def lint(self):
+        """Static-analysis result for the current program (never raises)."""
+        from repro.analysis import analyze_program
+
+        return analyze_program(self.program, registry=self.registry)
+
+    def _surface_warnings(self):
+        """Warnings not yet seen this session, pushed to the developer.
+
+        A developer exposing ``notify_diagnostics(diagnostics)`` (the
+        interactive one does) gets them as feedback alongside the
+        questions; simulated developers just ignore them.
+        """
+        fresh = []
+        for diagnostic in self.lint().warnings:
+            key = (diagnostic.code, diagnostic.rule_label, diagnostic.message)
+            if key in self._known_warnings:
+                continue
+            self._known_warnings.add(key)
+            fresh.append(diagnostic)
+        if fresh:
+            notify = getattr(self.developer, "notify_diagnostics", None)
+            if notify is not None:
+                notify(fresh)
+        return fresh
+
+    # ------------------------------------------------------------------
     def run(self):
         """Run the session to convergence (or exhaustion)."""
+        lint_warnings = self._surface_warnings()
         records = []
         converged = False
         for index in range(1, self.max_iterations + 1):
@@ -338,18 +377,25 @@ class RefinementSession:
             machine_seconds=self.machine_seconds,
             questions_asked=len(self.asked),
             questions_answered=self.developer.questions_answered,
+            lint_warnings=lint_warnings,
         )
 
     # ------------------------------------------------------------------
     def _execute_subset(self):
-        engine = IFlexEngine(self.program, self.subset_corpus, self.registry, self.config)
+        # the session lints explicitly (warnings as feedback, never
+        # blocking), so its engines skip the pre-execution validation
+        engine = IFlexEngine(
+            self.program, self.subset_corpus, self.registry, self.config, validate=False
+        )
         result = engine.execute(cache=self._subset_cache)
         self.machine_seconds += result.elapsed
         self._last_subset_result = result
         return result
 
     def _execute_full(self):
-        engine = IFlexEngine(self.program, self.corpus, self.registry, self.config)
+        engine = IFlexEngine(
+            self.program, self.corpus, self.registry, self.config, validate=False
+        )
         result = engine.execute(cache=self._full_cache)
         self.machine_seconds += result.elapsed
         return result
@@ -359,9 +405,12 @@ class RefinementSession:
 
         question space is exhausted before anything was asked.
         """
+        refined = False
         for _ in range(self.questions_per_iteration):
             question = self.strategy.select(self)
             if question is None:
+                if refined:
+                    record.warnings = self._surface_warnings()
                 return bool(record.questions)
             self.asked.add(question.key())
             answer = self.developer.answer(question, self.registry)
@@ -378,6 +427,9 @@ class RefinementSession:
                     question.feature_name,
                     answer,
                 )
+                refined = True
             except Exception:
                 continue  # un-applicable answer; treat as declined
+        if refined:
+            record.warnings = self._surface_warnings()
         return True

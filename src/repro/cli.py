@@ -3,16 +3,19 @@
 ::
 
     python -m repro run PROGRAM --table pages=./html_dir [--query Q]
+    python -m repro lint PROGRAM [--json]
     python -m repro explain PROGRAM --table pages=./html_dir
     python -m repro session PROGRAM --table pages=./html_dir
     python -m repro tables --which 3 --scale 0.25
     python -m repro demo
 
 ``run`` executes an Alog program over a corpus of HTML files and prints
-the resulting compact table; ``explain`` prints the compiled plans;
-``session`` starts an interactive best-effort refinement loop (the
-assistant asks *you* the questions); ``tables`` regenerates the paper's
-evaluation tables; ``demo`` runs the built-in Figure 1-3 example.
+the resulting compact table; ``lint`` statically analyzes a program and
+reports every diagnostic in one pass; ``explain`` prints the compiled
+plans; ``session`` starts an interactive best-effort refinement loop
+(the assistant asks *you* the questions); ``tables`` regenerates the
+paper's evaluation tables; ``demo`` runs the built-in Figure 1-3
+example.
 
 The built-in p-functions ``similar`` and ``approxMatch`` (token-Jaccard,
 ``--similar-threshold``) are always registered.
@@ -71,6 +74,39 @@ def build_parser():
     )
     run.add_argument(
         "--csv", action="store_true", help="emit best-guess rows as CSV"
+    )
+    run.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the pre-execution static analysis gate",
+    )
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze a program; report all diagnostics"
+    )
+    lint.add_argument("program", help="path to an Alog program file")
+    lint.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="declare extensional table NAME (the PATH is not read)",
+    )
+    lint.add_argument(
+        "--extensional",
+        default="",
+        metavar="NAMES",
+        help="comma-separated extensional table names",
+    )
+    lint.add_argument("--query", help="query predicate (default: first rule head)")
+    lint.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="error on undeclared predicates instead of assuming they are "
+        "extensional tables",
     )
 
     explain = sub.add_parser("explain", help="print the compiled plans")
@@ -157,8 +193,16 @@ def load_program(args, corpus):
 def _cmd_run(args):
     corpus = load_corpus(args.table)
     program = load_program(args, corpus)
-    program.check_safety()
-    engine = IFlexEngine(program, corpus)
+    if not args.no_lint:
+        from repro.analysis import analyze_program
+
+        lint_result = analyze_program(program)
+        for diagnostic in lint_result.diagnostics:
+            print(diagnostic.render(args.program), file=sys.stderr)
+        if lint_result.errors:
+            print(lint_result.summary_line(), file=sys.stderr)
+            return 1
+    engine = IFlexEngine(program, corpus, validate=False)
     if args.analyze:
         result, report = engine.explain_analyze()
         print(report)
@@ -187,6 +231,30 @@ def _cmd_run(args):
         )
     )
     return 0
+
+
+def _cmd_lint(args):
+    from repro.analysis import analyze_source
+
+    path = pathlib.Path(args.program)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit("cannot read %s: %s" % (path, exc))
+    extensional = {spec.split("=", 1)[0] for spec in args.table if spec}
+    extensional.update(n.strip() for n in args.extensional.split(",") if n.strip())
+    result = analyze_source(
+        source,
+        extensional=extensional,
+        p_functions=("similar", "approxMatch"),
+        query=args.query,
+        assume_extensional=not args.strict,
+    )
+    if args.json:
+        print(result.to_json(path, indent=2))
+    else:
+        print(result.render(path))
+    return 1 if result.errors else 0
 
 
 def _cmd_explain(args):
@@ -335,6 +403,7 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     commands = {
         "run": _cmd_run,
+        "lint": _cmd_lint,
         "explain": _cmd_explain,
         "session": _cmd_session,
         "tables": _cmd_tables,

@@ -4,8 +4,6 @@ Everything is generated from these pools with a seeded RNG, so corpora
 are deterministic, reasonably diverse, and free of real-world text.
 """
 
-import random
-
 __all__ = [
     "FIRST_NAMES",
     "LAST_NAMES",

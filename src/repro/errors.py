@@ -13,15 +13,26 @@ class ReproError(Exception):
 class ParseError(ReproError):
     """Raised when an Xlog/Alog program fails to parse.
 
-    Carries the line and column of the offending token when known.
+    ``line`` and ``column`` (both 1-based, or ``None`` when unknown) are
+    kept as attributes even though the rendered message interpolates
+    them, so tooling can point at the offending source.  A missing
+    column is omitted from the message rather than rendered as 0.
     """
 
     def __init__(self, message, line=None, column=None):
+        self.raw_message = message
         self.line = line
         self.column = column
-        if line is not None:
-            message = "line %d, column %d: %s" % (line, column or 0, message)
+        if line is not None and column is not None:
+            message = "line %d, column %d: %s" % (line, column, message)
+        elif line is not None:
+            message = "line %d: %s" % (line, message)
         super().__init__(message)
+
+    @property
+    def span(self):
+        """``(line, column)`` of the offending token; items may be None."""
+        return (self.line, self.column)
 
 
 class SafetyError(ReproError):
@@ -34,6 +45,19 @@ class UnknownPredicateError(ReproError):
 
 class UnknownFeatureError(ReproError):
     """Raised when a domain constraint names an unregistered feature."""
+
+
+class ProgramLintError(ReproError):
+    """Raised by pre-execution validation when static analysis finds
+
+    error-severity diagnostics beyond the classic safety / unknown-name
+    cases.  ``diagnostics`` holds the full :class:`repro.analysis.Diagnostic`
+    list so callers can render every problem, not just the first.
+    """
+
+    def __init__(self, message, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
 
 
 class EvaluationError(ReproError):

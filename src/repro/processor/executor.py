@@ -18,7 +18,13 @@ import time
 from dataclasses import dataclass, field
 
 from repro.alog.unfold import unfold_program
-from repro.errors import EvaluationError
+from repro.errors import (
+    EvaluationError,
+    ProgramLintError,
+    SafetyError,
+    UnknownFeatureError,
+    UnknownPredicateError,
+)
 from repro.processor.context import ExecConfig, ExecutionContext
 from repro.processor.operators import apply_constraint_to_table
 from repro.processor.plan import compile_predicate
@@ -27,6 +33,14 @@ from repro.xlog.ast import ConstraintAtom, PredicateAtom, Rule
 __all__ = ["IFlexEngine", "ExecutionResult", "RuleCache", "evaluation_order"]
 
 logger = logging.getLogger("repro.processor")
+
+#: diagnostic code -> the exception type API callers historically caught
+_LEGACY_ERROR_TYPES = {
+    "ALOG001": SafetyError,
+    "ALOG002": UnknownPredicateError,
+    "ALOG014": UnknownPredicateError,
+    "ALOG003": UnknownFeatureError,
+}
 
 
 def evaluation_order(program):
@@ -134,15 +148,48 @@ def _split_rule(rule):
 
 
 class IFlexEngine:
-    """Approximate executor for one program over one corpus."""
+    """Approximate executor for one program over one corpus.
 
-    def __init__(self, program, corpus, features=None, config=None):
+    With ``validate=True`` (the default) the static analyzer runs over
+    the program before any plan is compiled, so a defective program
+    fails up front with the classic exception types instead of half-way
+    through an expensive extraction.  Pass ``validate=False`` when the
+    program was already linted (the CLI does) or when executing a
+    deliberately partial program.
+    """
+
+    def __init__(self, program, corpus, features=None, config=None, validate=True):
         self.program = program
         self.corpus = corpus
         self.features = features
         self.config = config or ExecConfig()
+        self.lint_result = None
+        if validate:
+            self.lint_result = self._validate()
         self.unfolded = unfold_program(program)
         self.order = evaluation_order(self.unfolded)
+
+    def _validate(self):
+        """Analyze the program; raise on the first error diagnostic.
+
+        Errors map onto the historical exception types so existing
+        callers keep their ``except`` clauses: unsafe rules raise
+        :class:`SafetyError`, unresolved predicates
+        :class:`UnknownPredicateError`, unknown features
+        :class:`UnknownFeatureError`; anything else raises
+        :class:`ProgramLintError` carrying the full diagnostic list.
+        Warnings never block execution — the result is kept on
+        ``self.lint_result`` for callers that surface them.
+        """
+        from repro.analysis import analyze_program
+
+        result = analyze_program(self.program, registry=self.features)
+        for diagnostic in result.errors:
+            exc_type = _LEGACY_ERROR_TYPES.get(diagnostic.code)
+            if exc_type is not None:
+                raise exc_type(diagnostic.message)
+            raise ProgramLintError(diagnostic.message, result.diagnostics)
+        return result
 
     # ------------------------------------------------------------------
     def execute(self, cache=None):

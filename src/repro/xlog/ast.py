@@ -13,10 +13,11 @@ extensional, intensional, p-predicates, or IE predicates is resolved
 against declarations in :mod:`repro.xlog.program`.
 """
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 __all__ = [
+    "SourceSpan",
     "Var",
     "Const",
     "Arith",
@@ -34,10 +35,36 @@ COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
 
 
 @dataclass(frozen=True)
+class SourceSpan:
+    """A region of program source: 1-based line/column, end exclusive.
+
+    Attached to AST nodes by the parser so diagnostics can point at the
+    offending source text.  Nodes built programmatically (unfolding,
+    refinement) carry no span; consumers must treat ``span=None`` as
+    "no location known".
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __repr__(self):
+        return "%d:%d-%d:%d" % (self.line, self.column, self.end_line, self.end_column)
+
+
+#: A span field that never participates in equality/hashing, so nodes
+#: parsed from source compare equal to identical nodes built in code.
+def _span_field():
+    return field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
 class Var:
     """A rule variable."""
 
     name: str
+    span: Optional[SourceSpan] = _span_field()
 
     def __repr__(self):
         return self.name
@@ -108,6 +135,7 @@ class HeadArg:
     var: Var
     is_input: bool = False
     annotated: bool = False
+    span: Optional[SourceSpan] = _span_field()
 
     def __repr__(self):
         if self.is_input:
@@ -124,6 +152,7 @@ class Head:
     name: str
     args: Tuple[HeadArg, ...]
     existence: bool = False
+    span: Optional[SourceSpan] = _span_field()
 
     @property
     def variables(self):
@@ -162,6 +191,7 @@ class PredicateAtom:
     name: str
     args: Tuple[object, ...]  # Var | Const
     input_flags: Tuple[bool, ...] = None
+    span: Optional[SourceSpan] = _span_field()
 
     def __post_init__(self):
         if self.input_flags is None:
@@ -195,6 +225,7 @@ class ConstraintAtom:
     feature: str
     var: Var
     value: object  # str feature value, or scalar parameter
+    span: Optional[SourceSpan] = _span_field()
 
     def __repr__(self):
         return "%s(%s) = %s" % (self.feature, self.var, format_value(self.value))
@@ -207,6 +238,7 @@ class ComparisonAtom:
     left: object  # Var | Const
     op: str
     right: object
+    span: Optional[SourceSpan] = _span_field()
 
     def __post_init__(self):
         if self.op not in COMPARISON_OPS:
@@ -233,6 +265,7 @@ class Rule:
     head: Head
     body: Tuple[object, ...]
     label: str = ""
+    span: Optional[SourceSpan] = _span_field()
 
     @property
     def annotations(self):

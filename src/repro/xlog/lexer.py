@@ -47,6 +47,16 @@ class Token:
     value: str
     line: int
     column: int
+    #: end of the raw token text (exclusive column), for AST spans;
+    #: defaults keep hand-built tokens working.
+    end_line: int = None
+    end_column: int = None
+
+    def __post_init__(self):
+        if self.end_line is None:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_column is None:
+            object.__setattr__(self, "end_column", self.column + len(self.value))
 
     def __repr__(self):
         return "%s(%r)" % (self.kind, self.value)
@@ -81,15 +91,21 @@ def tokenize_program(source):
         kind = match.lastgroup
         text = match.group()
         column = pos - line_start + 1
+        newlines = text.count("\n")
+        if newlines:
+            end_line = line + newlines
+            end_column = len(text) - text.rfind("\n")
+        else:
+            end_line = line
+            end_column = column + len(text)
         if kind == "ws" or kind == "comment":
             pass
         elif kind == "string":
-            tokens.append(Token(STRING, _unescape(text), line, column))
+            tokens.append(Token(STRING, _unescape(text), line, column, end_line, end_column))
         else:
-            tokens.append(Token(kind, text, line, column))
-        newlines = text.count("\n")
+            tokens.append(Token(kind, text, line, column, end_line, end_column))
         if newlines:
-            line += newlines
+            line = end_line
             line_start = pos + text.rfind("\n") + 1
         pos = match.end()
     tokens.append(Token(EOF, "", line, pos - line_start + 1))

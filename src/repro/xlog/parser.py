@@ -17,6 +17,7 @@ from repro.xlog.ast import (
     NULL,
     PredicateAtom,
     Rule,
+    SourceSpan,
     Var,
 )
 from repro.xlog.lexer import EOF, IDENT, NUMBER, STRING, SYMBOL, tokenize_program
@@ -30,6 +31,7 @@ class _Parser:
     def __init__(self, source):
         self.tokens = tokenize_program(source)
         self.pos = 0
+        self.last = self.tokens[-1]  # last *consumed* token (for spans)
 
     # -- token plumbing -------------------------------------------------
     def peek(self, offset=0):
@@ -40,7 +42,18 @@ class _Parser:
         token = self.peek()
         if token.kind != EOF:
             self.pos += 1
+        self.last = token
         return token
+
+    def span_from(self, token):
+        """Source span from ``token`` through the last consumed token."""
+        return SourceSpan(
+            token.line, token.column, self.last.end_line, self.last.end_column
+        )
+
+    @staticmethod
+    def token_span(token):
+        return SourceSpan(token.line, token.column, token.end_line, token.end_column)
 
     def expect(self, kind, value=None):
         token = self.peek()
@@ -71,6 +84,7 @@ class _Parser:
         return rules
 
     def parse_rule(self):
+        start = self.peek()
         label = ""
         if (
             self.peek().kind == IDENT
@@ -86,9 +100,10 @@ class _Parser:
             while self.at_symbol(","):
                 self.next()
                 body.append(self.parse_atom())
-        return Rule(head, tuple(body), label=label)
+        return Rule(head, tuple(body), label=label, span=self.span_from(start))
 
     def parse_head(self):
+        start = self.peek()
         name = self.expect(IDENT).value
         self.expect(SYMBOL, "(")
         args = [self.parse_head_arg()]
@@ -100,29 +115,36 @@ class _Parser:
         if self.at_symbol("?"):
             self.next()
             existence = True
-        return Head(name, tuple(args), existence=existence)
+        return Head(name, tuple(args), existence=existence, span=self.span_from(start))
 
     def parse_head_arg(self):
+        start = self.peek()
         if self.at_symbol("@"):
             self.next()
-            return HeadArg(Var(self.expect(IDENT).value), is_input=True)
+            var = self.parse_var()
+            return HeadArg(var, is_input=True, span=self.span_from(start))
         if self.at_symbol("<"):
             self.next()
-            var = Var(self.expect(IDENT).value)
+            var = self.parse_var()
             self.expect(SYMBOL, ">")
-            return HeadArg(var, annotated=True)
-        return HeadArg(Var(self.expect(IDENT).value))
+            return HeadArg(var, annotated=True, span=self.span_from(start))
+        return HeadArg(self.parse_var(), span=self.span_from(start))
+
+    def parse_var(self):
+        token = self.expect(IDENT)
+        return Var(token.value, span=self.token_span(token))
 
     def parse_atom(self):
-        token = self.peek()
-        if token.kind == IDENT and self.at_symbol("(", 1):
+        start = self.peek()
+        if start.kind == IDENT and self.at_symbol("(", 1):
             return self.parse_predicate_or_constraint()
         left = self.parse_term()
         op = self.parse_comparison_op()
         right = self.parse_term()
-        return ComparisonAtom(left, op, right)
+        return ComparisonAtom(left, op, right, span=self.span_from(start))
 
     def parse_predicate_or_constraint(self):
+        start = self.peek()
         name = self.expect(IDENT).value
         self.expect(SYMBOL, "(")
         args = []
@@ -130,13 +152,17 @@ class _Parser:
         while True:
             if self.at_symbol("@"):
                 self.next()
-                args.append(Var(self.expect(IDENT).value))
+                args.append(self.parse_var())
                 flags.append(True)
             else:
                 token = self.peek()
                 if token.kind == IDENT:
                     self.next()
-                    args.append(NULL if token.value == "null" else Var(token.value))
+                    args.append(
+                        NULL
+                        if token.value == "null"
+                        else Var(token.value, span=self.token_span(token))
+                    )
                     flags.append(False)
                 elif token.kind == NUMBER:
                     self.next()
@@ -161,8 +187,9 @@ class _Parser:
                     "domain constraint %r must have exactly one variable argument"
                     % (name,)
                 )
-            return ConstraintAtom(name, args[0], self.parse_constraint_value())
-        return PredicateAtom(name, tuple(args), tuple(flags))
+            value = self.parse_constraint_value()
+            return ConstraintAtom(name, args[0], value, span=self.span_from(start))
+        return PredicateAtom(name, tuple(args), tuple(flags), span=self.span_from(start))
 
     def parse_constraint_value(self):
         token = self.peek()
@@ -183,7 +210,7 @@ class _Parser:
             self.next()
             if token.value == "null":
                 return NULL
-            var = Var(token.value)
+            var = Var(token.value, span=self.token_span(token))
             # optional arithmetic offset: ``firstPage + 5``
             if (
                 self.peek().kind == SYMBOL

@@ -160,16 +160,28 @@ class Program:
         A rule is safe if every non-input head variable appears in the
         body in an extensional or intensional predicate, or as an
         output variable of an IE predicate / p-predicate / ``from``.
+
+        The check itself lives in the static analyzer
+        (:mod:`repro.analysis.safety`, diagnostic ``ALOG001``); this
+        wrapper keeps the historical fail-fast API by raising on the
+        first unsafe rule.
         """
-        for rule in self.rules:
-            bound = self._binding_vars(rule)
-            for var in rule.head.output_vars:
-                if var not in bound:
-                    raise SafetyError(
-                        "rule %r is unsafe: head variable %r is not bound "
-                        "by any body predicate"
-                        % (rule.label or rule.head.name, var.name)
-                    )
+        # local import: repro.analysis imports this module
+        from repro.analysis import safety
+        from repro.analysis.analyzer import Analyzer, _make_facts
+
+        analyzer = Analyzer(
+            _make_facts(
+                self.rules,
+                extensional=self.extensional,
+                p_predicates=self.p_predicates,
+                p_functions=self.p_functions,
+                query=self.query,
+            )
+        )
+        safety.check_safety(analyzer)
+        for diagnostic in analyzer.diagnostics:
+            raise SafetyError(diagnostic.message)
 
     def _binding_vars(self, rule):
         bound = set(rule.head.input_vars)
@@ -205,7 +217,12 @@ class Program:
                 head_vars = {v.name for v in rule.head.output_vars}
                 if attribute in head_vars:
                     constraint = ConstraintAtom(feature, Var(attribute), value)
-                    rule = Rule(rule.head, rule.body + (constraint,), label=rule.label)
+                    rule = Rule(
+                        rule.head,
+                        rule.body + (constraint,),
+                        label=rule.label,
+                        span=rule.span,
+                    )
                     touched = True
             new_rules.append(rule)
         if not touched:

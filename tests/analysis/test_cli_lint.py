@@ -1,0 +1,140 @@
+"""The ``repro lint`` subcommand and the ``run`` pre-execution gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+MULTI_DEFECT = """\
+R1: result(t, p, zz) :- talks(d), title(@d, t), sp(@d, p), p < 3, p > 5.
+D1: title(@d, t) :- from(@d, t), sparkly(t) = yes.
+D2: sp(@d, p) :- from(@d, p), numeric(p) = yes, numeric(p) = no.
+"""
+
+CLEAN = """\
+Q(t) :- talks(d), title(@d, t).
+title(@d, t) :- from(@d, t), bold_font(t) = yes.
+"""
+
+
+@pytest.fixture
+def defective(tmp_path):
+    path = tmp_path / "broken.alog"
+    path.write_text(MULTI_DEFECT, encoding="utf-8")
+    return path
+
+
+class TestLintAcceptance:
+    """The issue's acceptance scenario: one invocation, all defects."""
+
+    def test_reports_every_defect_with_codes_and_spans(self, defective, capsys):
+        exit_code = main(["lint", str(defective), "--extensional", "talks"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        # three distinct defects from three different passes
+        assert "ALOG001" in out  # unsafe head variable zz
+        assert "ALOG009" in out  # numeric yes ∧ no in D2
+        assert "ALOG010" in out  # p < 3 ∧ p > 5 in R1
+        # every diagnostic line carries path:line:column
+        for line in out.splitlines()[:-1]:
+            assert line.startswith(str(defective) + ":"), line
+            _, row, col = line.split(":")[:3]
+            assert row.isdigit() and col.isdigit()
+
+    def test_json_round_trips(self, defective, capsys):
+        exit_code = main(
+            ["lint", str(defective), "--extensional", "talks", "--json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert data["program"] == str(defective)
+        found = {d["code"] for d in data["diagnostics"]}
+        assert {"ALOG001", "ALOG009", "ALOG010"} <= found
+        assert data["summary"]["errors"] >= 3
+
+
+class TestLintModes:
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.alog"
+        path.write_text(CLEAN, encoding="utf-8")
+        assert main(["lint", str(path), "--extensional", "talks"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_permissive_default_vs_strict(self, tmp_path, capsys):
+        path = tmp_path / "ok.alog"
+        path.write_text(CLEAN, encoding="utf-8")
+        # no --extensional: 'talks' is undeclared
+        assert main(["lint", str(path)]) == 0
+        assert "ALOG013" in capsys.readouterr().out
+        assert main(["lint", str(path), "--strict"]) == 1
+        assert "ALOG002" in capsys.readouterr().out
+
+    def test_table_declares_name_without_reading_path(self, tmp_path, capsys):
+        path = tmp_path / "ok.alog"
+        path.write_text(CLEAN, encoding="utf-8")
+        code = main(
+            ["lint", str(path), "--strict", "--table", "talks=/definitely/missing"]
+        )
+        assert code == 0
+
+    def test_parse_error_is_alog000(self, tmp_path, capsys):
+        path = tmp_path / "bad.alog"
+        path.write_text("Q(x :- docs(x).", encoding="utf-8")
+        assert main(["lint", str(path)]) == 1
+        assert "ALOG000" in capsys.readouterr().out
+
+    def test_missing_file_is_a_clean_systemexit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lint", str(tmp_path / "nope.alog")])
+
+
+@pytest.fixture
+def html_dir(tmp_path):
+    directory = tmp_path / "pages"
+    directory.mkdir()
+    (directory / "a.html").write_text(
+        "<p><b>Widget</b> Price: $120</p>", encoding="utf-8"
+    )
+    return directory
+
+
+class TestRunGate:
+    def test_defective_program_blocked_before_execution(
+        self, tmp_path, html_dir, capsys
+    ):
+        path = tmp_path / "broken.alog"
+        path.write_text(
+            "q(x, ghost) :- pages(x).\n", encoding="utf-8"
+        )
+        code = main(["run", str(path), "--table", "pages=%s" % html_dir])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "ALOG001" in captured.err
+        assert captured.out == ""  # nothing executed
+
+    def test_warnings_do_not_block_and_no_lint_silences_them(
+        self, tmp_path, html_dir, capsys
+    ):
+        path = tmp_path / "warned.alog"
+        path.write_text(
+            "q(x, t) :- pages(x), title(@x, t).\n"
+            "title(@x, t) :- from(@x, t).\n"
+            "orphan(y) :- pages(y).\n",  # dead rule: ALOG011 warning
+            encoding="utf-8",
+        )
+        args = ["run", str(path), "--table", "pages=%s" % html_dir]
+        assert main(args + ["--query", "q"]) == 0
+        assert "ALOG011" in capsys.readouterr().err
+        assert main(args + ["--query", "q", "--no-lint"]) == 0
+        assert "ALOG" not in capsys.readouterr().err
+
+    def test_clean_program_runs(self, tmp_path, html_dir, capsys):
+        path = tmp_path / "ok.alog"
+        path.write_text(
+            "q(x, t) :- pages(x), title(@x, t).\n"
+            "title(@x, t) :- from(@x, t), bold_font(t) = yes.\n",
+            encoding="utf-8",
+        )
+        assert main(["run", str(path), "--table", "pages=%s" % html_dir]) == 0
+        assert "tuples" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Diagnostic / AnalysisResult mechanics: rendering, JSON, ordering."""
+
+import json
+
+from repro.analysis import CODES, ERROR, WARNING, AnalysisResult, Diagnostic
+
+
+def _diag(**kwargs):
+    base = dict(severity=ERROR, code="ALOG001", message="boom")
+    base.update(kwargs)
+    return Diagnostic(**base)
+
+
+class TestDiagnostic:
+    def test_render_full_location(self):
+        d = _diag(line=3, column=7, rule_label="R1")
+        assert d.render("prog.alog") == (
+            "prog.alog:3:7: error ALOG001: boom [rule R1]"
+        )
+
+    def test_render_without_span_or_path(self):
+        assert _diag().render() == "error ALOG001: boom"
+
+    def test_render_line_only(self):
+        assert _diag(line=4).render() == "4: error ALOG001: boom"
+
+    def test_span_property(self):
+        d = _diag(line=2, column=5, end_line=2, end_column=9)
+        assert d.span == (2, 5, 2, 9)
+        assert _diag().span is None
+
+    def test_title_comes_from_code_registry(self):
+        assert _diag(code="ALOG001").title == "unsafe rule"
+
+    def test_to_dict_round_trips_through_json(self):
+        d = _diag(line=1, column=2, end_line=1, end_column=8, rule_index=0)
+        restored = json.loads(json.dumps(d.to_dict()))
+        assert restored["code"] == "ALOG001"
+        assert restored["line"] == 1
+        assert restored["title"] == "unsafe rule"
+
+    def test_every_code_has_severity_and_title(self):
+        for code, (severity, title) in CODES.items():
+            assert code.startswith("ALOG") and len(code) == 7
+            assert severity in ("error", "warning", "info")
+            assert title
+
+
+class TestAnalysisResult:
+    def test_errors_warnings_split_and_ok(self):
+        result = AnalysisResult(
+            [
+                _diag(),
+                _diag(severity=WARNING, code="ALOG011", message="dead"),
+            ]
+        )
+        assert len(result.errors) == 1
+        assert len(result.warnings) == 1
+        assert not result.ok
+        assert AnalysisResult([]).ok
+
+    def test_summary_line_pluralization(self):
+        assert AnalysisResult([_diag()]).summary_line() == "1 error, 0 warnings"
+
+    def test_render_ends_with_summary(self):
+        text = AnalysisResult([_diag(line=1)]).render("p.alog")
+        assert text.splitlines()[-1] == "1 error, 0 warnings"
+
+    def test_to_json_round_trips(self):
+        result = AnalysisResult([_diag(line=9, column=1)])
+        data = json.loads(result.to_json("p.alog", indent=2))
+        assert data["program"] == "p.alog"
+        assert data["summary"] == {"errors": 1, "warnings": 0}
+        assert data["diagnostics"][0]["code"] == "ALOG001"
+
+    def test_sort_key_orders_by_position_then_severity(self):
+        early = _diag(line=1, column=1)
+        late = _diag(line=5, column=1)
+        spanless = _diag()
+        ordered = sorted([spanless, late, early], key=Diagnostic.sort_key)
+        assert ordered == [early, late, spanless]

@@ -1,0 +1,121 @@
+"""Pre-execution validation in IFlexEngine and session warning surfacing."""
+
+import pytest
+
+from repro.errors import ProgramLintError, SafetyError
+from repro.processor.executor import IFlexEngine
+from repro.text.corpus import Corpus
+from repro.text.html_parser import parse_html
+from repro.xlog.program import Program
+
+
+@pytest.fixture
+def corpus():
+    return Corpus(
+        {"pages": [parse_html("x1", "<p><b>Widget</b> Price: $120</p>")]}
+    )
+
+
+def _program(source, **kwargs):
+    kwargs.setdefault("extensional", ["pages"])
+    return Program.parse(source, **kwargs)
+
+
+class TestEngineValidation:
+    def test_unsafe_program_raises_safety_error_at_construction(self, corpus):
+        program = _program("q(x, ghost) :- pages(x).")
+        with pytest.raises(SafetyError):
+            IFlexEngine(program, corpus)
+
+    def test_contradiction_raises_lint_error_with_diagnostics(self, corpus):
+        program = _program(
+            """
+            q(x, p) :- pages(x), price(@x, p), p < 3, p > 5.
+            price(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            query="q",
+        )
+        with pytest.raises(ProgramLintError) as info:
+            IFlexEngine(program, corpus)
+        assert any(d.code == "ALOG010" for d in info.value.diagnostics)
+
+    def test_validate_false_skips_the_check(self, corpus):
+        program = _program(
+            """
+            q(x, p) :- pages(x), price(@x, p), p < 3, p > 5.
+            price(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            query="q",
+        )
+        engine = IFlexEngine(program, corpus, validate=False)
+        assert engine.lint_result is None
+        # infeasible constraints simply produce an empty result
+        assert engine.execute().tuple_count == 0
+
+    def test_valid_program_keeps_warnings_on_lint_result(self, corpus):
+        program = _program(
+            """
+            q(x, t) :- pages(x), title(@x, t).
+            title(@x, t) :- from(@x, t).
+            orphan(y) :- pages(y).
+            """,
+            query="q",
+        )
+        engine = IFlexEngine(program, corpus)
+        assert engine.lint_result is not None
+        assert engine.lint_result.ok
+        assert "ALOG011" in engine.lint_result.codes()
+
+
+class TestSessionSurfacing:
+    def _session(self, corpus, developer):
+        from repro.assistant.session import RefinementSession
+
+        program = _program(
+            """
+            q(x, t) :- pages(x), title(@x, t).
+            title(@x, t) :- from(@x, t).
+            orphan(y) :- pages(y).
+            """,
+            query="q",
+        )
+        return RefinementSession(
+            program, corpus, developer, max_iterations=1, subset_fraction=1.0
+        )
+
+    def test_trace_records_initial_lint_warnings(self, corpus):
+        class Developer:
+            questions_answered = 0
+
+            def answer(self, question, registry):
+                return None
+
+        trace = self._session(corpus, Developer()).run()
+        assert any(d.code == "ALOG011" for d in trace.lint_warnings)
+
+    def test_notify_diagnostics_hook_is_called(self, corpus):
+        seen = []
+
+        class Developer:
+            questions_answered = 0
+
+            def answer(self, question, registry):
+                return None
+
+            def notify_diagnostics(self, diagnostics):
+                seen.extend(diagnostics)
+
+        self._session(corpus, Developer()).run()
+        assert any(d.code == "ALOG011" for d in seen)
+
+    def test_interactive_developer_prints_warnings(self, corpus):
+        from repro.assistant.interactive import InteractiveDeveloper
+
+        lines = []
+        developer = InteractiveDeveloper(
+            input_fn=lambda prompt: "", output_fn=lines.append
+        )
+        self._session(corpus, developer).run()
+        joined = "\n".join(lines)
+        assert "program warnings:" in joined
+        assert "ALOG011" in joined

@@ -1,0 +1,258 @@
+"""Per-pass analyzer behaviour, driven through ``analyze_source``."""
+
+from repro.analysis import analyze_program, analyze_rules, analyze_source
+from repro.xlog.parser import parse_rules
+from repro.xlog.program import Program
+
+
+def lint(source, **kwargs):
+    kwargs.setdefault("extensional", ["docs"])
+    return analyze_source(source, **kwargs)
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+class TestParseStage:
+    def test_parse_error_becomes_alog000(self):
+        result = lint("Q(x) :- docs(x")
+        assert codes(result) == ["ALOG000"]
+        assert result.diagnostics[0].line is not None
+        assert not result.ok
+
+    def test_empty_program_is_alog000(self):
+        result = analyze_rules([])
+        assert codes(result) == ["ALOG000"]
+
+
+class TestSafety:
+    def test_clean_program_has_no_diagnostics(self):
+        result = lint(
+            """
+            Q(t) :- docs(d), title(@d, t).
+            title(@d, t) :- from(@d, t), bold_font(t) = yes.
+            """
+        )
+        assert result.ok and not result.diagnostics
+
+    def test_unbound_head_var(self):
+        result = lint("Q(x, ghost) :- docs(x).")
+        assert codes(result) == ["ALOG001"]
+        assert "ghost" in result.diagnostics[0].message
+
+    def test_all_unsafe_vars_reported_not_just_first(self):
+        result = lint("Q(x, g1, g2) :- docs(x).")
+        assert codes(result) == ["ALOG001", "ALOG001"]
+
+    def test_comparison_binding_is_not_enough(self):
+        # g appears in a comparison, but comparisons bind nothing
+        result = lint("Q(x, g) :- docs(x), g > 3.")
+        assert "ALOG001" in codes(result)
+
+    def test_arith_offset_in_comparison_does_not_bind(self):
+        # the Arith shape g + 1 references g without binding it
+        result = lint("Q(x, g) :- docs(x), extract(@x, p), p < g + 1.")
+        assert "ALOG001" in codes(result)
+
+    def test_from_output_binds(self):
+        result = lint("Q(x, y) :- docs(x), from(@x, y).")
+        assert result.ok
+
+    def test_p_predicate_output_binds_but_p_function_does_not(self):
+        rules = parse_rules("Q(x, y) :- docs(x), proc(@x, y).")
+        as_p_predicate = analyze_rules(
+            rules, extensional=["docs"], p_predicates={"proc": 2}
+        )
+        assert as_p_predicate.ok
+        as_p_function = analyze_rules(
+            rules, extensional=["docs"], p_functions=["proc"]
+        )
+        assert "ALOG001" in codes(as_p_function)
+
+    def test_description_rule_input_vars_need_no_binding(self):
+        result = lint("title(@d, t) :- from(@d, t).", query="title")
+        # d is an input: bound by the caller, not the body
+        assert "ALOG001" not in codes(result)
+
+
+class TestSchema:
+    def test_unknown_predicate_is_error(self):
+        result = lint("Q(x) :- docs(x), nosuch(x).")
+        assert "ALOG002" in codes(result)
+
+    def test_permissive_mode_assumes_and_warns(self):
+        result = lint("Q(x) :- docs(x), nosuch(x).", assume_extensional=True)
+        assert "ALOG002" not in codes(result)
+        assert "ALOG013" in codes(result)
+        assert result.ok  # warnings only
+
+    def test_assumed_kind_follows_input_flags(self):
+        result = lint(
+            "Q(x, y) :- docs(x), extractor(@x, y), scorer(@x, @y).",
+            assume_extensional=True,
+        )
+        messages = [d.message for d in result.diagnostics if d.code == "ALOG013"]
+        assert any("extractor" in m and "p-predicate" in m for m in messages)
+        assert any("scorer" in m and "p-function" in m for m in messages)
+
+    def test_inconsistent_arity(self):
+        result = lint("Q(x) :- docs(x), helper(x).\nhelper(a, b) :- docs(a), from(@a, b).")
+        assert "ALOG004" in codes(result)
+
+    def test_declared_p_predicate_arity_mismatch(self):
+        result = analyze_rules(
+            parse_rules("Q(x, y) :- docs(x), proc(@x, y, z)."),
+            extensional=["docs"],
+            p_predicates={"proc": 2},
+        )
+        assert "ALOG005" in codes(result)
+
+    def test_from_shape_is_checked(self):
+        result = lint("Q(x, y) :- docs(x), from(@x, y, z).")
+        assert "ALOG005" in codes(result)
+
+    def test_unknown_feature(self):
+        result = lint(
+            """
+            Q(t) :- docs(d), title(@d, t).
+            title(@d, t) :- from(@d, t), sparkly(t) = yes.
+            """
+        )
+        assert "ALOG003" in codes(result)
+
+    def test_unknown_query_predicate(self):
+        result = lint("Q(x) :- docs(x).", query="nothere")
+        assert "ALOG014" in codes(result)
+
+    def test_duplicate_rule_label(self):
+        result = lint("R1: Q(x) :- docs(x).\nR1: P(y) :- docs(y).", query="Q")
+        assert "ALOG015" in codes(result)
+
+
+class TestAnnotations:
+    def test_annotation_on_unbound_var(self):
+        result = lint("Q(x, <g>) :- docs(x).")
+        assert "ALOG006" in codes(result)
+
+    def test_duplicate_annotation(self):
+        result = lint("Q(x, <y>, <y>) :- docs(x), from(@x, y).")
+        assert "ALOG008" in codes(result)
+
+    def test_existence_annotation_on_extensional_head(self):
+        result = lint("docs(x)? :- other(x).", extensional=["docs", "other"])
+        assert "ALOG007" in codes(result)
+
+
+class TestDomains:
+    def test_boolean_feature_contradiction(self):
+        result = lint(
+            """
+            Q(t) :- docs(d), title(@d, t).
+            title(@d, t) :- from(@d, t), numeric(t) = yes, numeric(t) = no.
+            """
+        )
+        assert "ALOG009" in codes(result)
+
+    def test_empty_value_window(self):
+        result = lint(
+            """
+            Q(t) :- docs(d), price(@d, t).
+            price(@d, t) :- from(@d, t), min_value(t) = 100, max_value(t) = 5.
+            """
+        )
+        assert "ALOG009" in codes(result)
+
+    def test_contradictory_comparisons(self):
+        result = lint("Q(x, p) :- docs(x), from(@x, p), p < 3, p > 5.")
+        assert "ALOG010" in codes(result)
+
+    def test_feasible_comparisons_are_fine(self):
+        result = lint(
+            "Q(x, p) :- docs(x), from(@x, p), p >= 1950, p < 1970."
+        )
+        assert "ALOG010" not in codes(result)
+
+    def test_strict_cycle_through_equality(self):
+        result = lint("Q(x, p, q) :- docs(x), from(@x, p), from(@x, q), p = q, p < q.")
+        assert "ALOG010" in codes(result)
+
+    def test_arith_offsets_participate(self):
+        # p < q - 2 and q < p + 1 force p < p - 1
+        result = lint(
+            "Q(x, p, q) :- docs(x), from(@x, p), from(@x, q), p < q - 2, q < p + 1."
+        )
+        assert "ALOG010" in codes(result)
+
+    def test_cross_rule_conflict_found_via_unfolding(self):
+        # min_value lives in the description rule, the contradicting
+        # comparison in the skeleton rule: only the unfolded rule shows it
+        result = lint(
+            """
+            Q(t, p) :- docs(d), price(@d, t, p), p < 50.
+            price(@d, t, p) :- from(@d, t), from(@d, p), min_value(p) = 100.
+            """
+        )
+        assert "ALOG010" in codes(result)
+
+    def test_conflicting_string_equalities(self):
+        result = lint(
+            'Q(x, t) :- docs(x), from(@x, t), t = "alpha", t = "beta".'
+        )
+        assert "ALOG010" in codes(result)
+
+    def test_self_inequality(self):
+        result = lint("Q(x, p) :- docs(x), from(@x, p), p != p.")
+        assert "ALOG010" in codes(result)
+
+
+class TestLiveness:
+    def test_dead_skeleton_rule(self):
+        result = lint(
+            "Q(x) :- docs(x).\nOrphan(y) :- docs(y).", query="Q"
+        )
+        dead = [d for d in result.diagnostics if d.code == "ALOG011"]
+        assert len(dead) == 1 and "Orphan" in dead[0].message
+
+    def test_dead_description_rule(self):
+        result = lint(
+            """
+            Q(x) :- docs(x).
+            ghost(@d, t) :- from(@d, t).
+            """,
+            query="Q",
+        )
+        assert "ALOG011" in codes(result)
+
+    def test_unused_extracted_variable(self):
+        result = lint("Q(x, y) :- docs(x), from(@x, y), from(@x, z).")
+        unused = [d for d in result.diagnostics if d.code == "ALOG012"]
+        assert len(unused) == 1 and "'z'" in unused[0].message
+
+    def test_underscore_prefix_silences(self):
+        result = lint("Q(x, y) :- docs(x), from(@x, y), from(@x, _z).")
+        assert "ALOG012" not in codes(result)
+
+    def test_extensional_singleton_columns_do_not_warn(self):
+        result = lint(
+            "Q(a) :- wide(a, b, c).", extensional=["wide"]
+        )
+        assert "ALOG012" not in codes(result)
+
+
+class TestAnalyzeProgram:
+    def test_resolved_program_analyzes_clean(self):
+        program = Program.parse(
+            """
+            Q(t) :- docs(d), title(@d, t).
+            title(@d, t) :- from(@d, t), bold_font(t) = yes.
+            """,
+            extensional=["docs"],
+        )
+        assert analyze_program(program).ok
+
+    def test_diagnostics_carry_rule_index_and_label(self):
+        result = lint("R9: Q(x, ghost) :- docs(x).")
+        d = result.diagnostics[0]
+        assert d.rule_index == 0
+        assert d.rule_label == "R9"

@@ -1,0 +1,73 @@
+"""Self-lint: every program this repository ships must analyze clean.
+
+Zero error-severity diagnostics anywhere; the warnings that do exist
+are pinned per source so a regression (new dead rule, new unused
+variable) fails loudly instead of rotting silently.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis import analyze_program, analyze_source
+from repro.experiments.dblife_tasks import build_dblife_tasks
+from repro.experiments.tasks import TASK_IDS, build_task
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+EXAMPLES = ROOT / "examples"
+
+#: warnings we accept today, per program; everything else fails
+EXPECTED_WARNINGS = {}
+
+
+class TestTaskPrograms:
+    @pytest.mark.parametrize("task_id", TASK_IDS)
+    def test_task_program_has_no_errors(self, task_id):
+        task = build_task(task_id, size=5, seed=0)
+        result = analyze_program(task.program)
+        assert not result.errors, result.render(task_id)
+        codes = sorted(d.code for d in result.warnings)
+        assert codes == EXPECTED_WARNINGS.get(task_id, []), result.render(task_id)
+
+    def test_dblife_task_programs_have_no_errors(self):
+        tasks = build_dblife_tasks(
+            pages={"conference": 3, "project": 2, "homepage": 2}, seed=0
+        )
+        for task in tasks:
+            result = analyze_program(task.program)
+            assert not result.errors, result.render(task.name)
+            codes = sorted(d.code for d in result.warnings)
+            assert codes == EXPECTED_WARNINGS.get(task.name, []), result.render(
+                task.name
+            )
+
+
+def _embedded_programs(path):
+    """Triple-quoted Alog blocks inside an example script."""
+    text = path.read_text(encoding="utf-8")
+    blocks = re.findall(r'"""(.*?)"""', text, flags=re.DOTALL)
+    return [b for b in blocks if ":-" in b]
+
+
+class TestExamplePrograms:
+    def test_example_scan_finds_programs(self):
+        found = [
+            path.name
+            for path in sorted(EXAMPLES.glob("*.py"))
+            if _embedded_programs(path)
+        ]
+        # keep this list in sync when examples gain embedded programs
+        assert found == ["custom_feature.py", "quickstart.py"]
+
+    @pytest.mark.parametrize(
+        "name", ["custom_feature.py", "quickstart.py"]
+    )
+    def test_embedded_programs_have_no_errors(self, name):
+        for source in _embedded_programs(EXAMPLES / name):
+            result = analyze_source(
+                source,
+                p_functions=("similar", "approxMatch"),
+                assume_extensional=True,
+            )
+            assert not result.errors, "%s:\n%s" % (name, result.render(name))

@@ -44,6 +44,24 @@ class TestCliDocs:
             assert "## %s" % command in text or command in text, command
 
 
+class TestDiagnosticCodeTable:
+    def test_every_code_is_documented(self):
+        from repro.analysis import CODES
+
+        text = (DOCS / "cli.md").read_text(encoding="utf-8")
+        for code in CODES:
+            assert "`%s`" % code in text, (
+                "diagnostic %s missing from docs/cli.md" % code
+            )
+
+    def test_no_phantom_codes_documented(self):
+        from repro.analysis import CODES
+
+        text = (DOCS / "cli.md").read_text(encoding="utf-8")
+        for code in set(re.findall(r"ALOG\d{3}", text)):
+            assert code in CODES, "docs/cli.md documents unknown code %s" % code
+
+
 class TestDesignIndexTargets:
     def test_bench_targets_exist(self):
         root = pathlib.Path(__file__).parent.parent

@@ -28,6 +28,7 @@ class TestTopLevelExports:
             "repro.datagen",
             "repro.baselines",
             "repro.experiments",
+            "repro.analysis",
             "repro.cli",
         ],
     )

@@ -1,0 +1,87 @@
+"""Source spans on the AST, and ParseError location formatting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xlog.ast import Rule, SourceSpan
+from repro.xlog.parser import parse_rules
+
+
+class TestParseErrorFormatting:
+    def test_line_and_column(self):
+        exc = ParseError("unexpected token", line=3, column=7)
+        assert str(exc) == "line 3, column 7: unexpected token"
+        assert exc.span == (3, 7)
+
+    def test_column_none_is_not_rendered_as_zero(self):
+        exc = ParseError("unexpected end of input", line=3)
+        assert str(exc) == "line 3: unexpected end of input"
+        assert "column" not in str(exc)
+        assert exc.span == (3, None)
+
+    def test_no_location_at_all(self):
+        exc = ParseError("boom")
+        assert str(exc) == "boom"
+
+    def test_attributes_survive(self):
+        exc = ParseError("msg", line=2, column=4)
+        assert (exc.line, exc.column) == (2, 4)
+        assert exc.raw_message == "msg"
+
+
+class TestRuleSpans:
+    def test_rule_span_covers_the_rule(self):
+        (rule,) = parse_rules("Q(x) :- docs(x).")
+        assert rule.span == SourceSpan(1, 1, 1, 16)
+
+    def test_multi_rule_lines(self):
+        rules = parse_rules("Q(x) :- docs(x).\nP(y) :- docs(y).")
+        assert rules[0].span.line == 1
+        assert rules[1].span.line == 2
+        assert rules[1].span.column == 1
+
+    def test_label_included_in_rule_span(self):
+        (rule,) = parse_rules("R1: Q(x) :- docs(x).")
+        assert rule.span.column == 1
+        assert rule.head.span.column == 5
+
+    def test_head_arg_spans(self):
+        (rule,) = parse_rules("Q(x, <price>) :- docs(x), from(@x, price).")
+        x_arg, price_arg = rule.head.args
+        assert x_arg.span == SourceSpan(1, 3, 1, 4)
+        # the annotated arg span covers the angle brackets
+        assert price_arg.span == SourceSpan(1, 6, 1, 13)
+
+    def test_body_atom_spans(self):
+        (rule,) = parse_rules("Q(x, p) :- docs(x), from(@x, p), p > 5.")
+        docs, frm, cmp_atom = rule.body
+        assert docs.span == SourceSpan(1, 12, 1, 19)
+        assert frm.span == SourceSpan(1, 21, 1, 32)
+        assert cmp_atom.span == SourceSpan(1, 34, 1, 39)
+
+    def test_constraint_atom_span(self):
+        (rule,) = parse_rules(
+            "title(@d, t) :- from(@d, t), bold_font(t) = yes."
+        )
+        constraint = rule.body[1]
+        assert constraint.span == SourceSpan(1, 30, 1, 48)
+
+    def test_spans_do_not_affect_equality_or_hash(self):
+        (with_span,) = parse_rules("Q(x) :- docs(x).")
+        bare = Rule(with_span.head, with_span.body)
+        assert bare.span is None
+        assert bare == with_span
+        assert hash(bare) == hash(with_span)
+
+    def test_spans_are_one_based_end_exclusive(self):
+        (rule,) = parse_rules("Q(x) :- docs(x).")
+        span = rule.head.span
+        source = "Q(x) :- docs(x)."
+        assert source[span.column - 1 : span.end_column - 1] == "Q(x)"
+
+
+class TestParseErrorLocations:
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_rules("Q(x) :- docs(x).\nP(y) :- docs(y), , .")
+        assert info.value.line == 2
