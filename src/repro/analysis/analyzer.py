@@ -142,10 +142,11 @@ class Analyzer:
 
     # ------------------------------------------------------------------
     def run(self, unfolded_rules=None):
-        from repro.analysis import annotations, domains, liveness, safety, schema
+        from repro.analysis import annotations, domains, liveness, recursion, safety, schema
 
         schema.check_schema(self)
         safety.check_safety(self)
+        recursion.check_recursion(self)
         annotations.check_annotations(self)
         domains.check_domains(self, unfolded_rules=unfolded_rules)
         liveness.check_liveness(self)

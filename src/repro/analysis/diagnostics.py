@@ -47,6 +47,7 @@ CODES = {
     "ALOG013": (WARNING, "predicate assumed extensional"),
     "ALOG014": (ERROR, "unknown query predicate"),
     "ALOG015": (WARNING, "duplicate rule label"),
+    "ALOG016": (ERROR, "recursive predicate"),
 }
 
 

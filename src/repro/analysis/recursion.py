@@ -1,0 +1,57 @@
+"""Pass 7 — recursive predicate definitions (``ALOG016``).
+
+The bottom-up evaluator computes each intensional predicate exactly
+once, in topological order, so a skeleton rule whose head depends on
+itself — directly or through other skeleton rules — can never be
+evaluated.  Historically this surfaced as a bare
+:class:`~repro.errors.EvaluationError` at execution time with no source
+position; this pass reports it pre-execution as a diagnostic anchored
+at the offending body atom, one per distinct cycle.
+"""
+
+from repro.xlog.ast import PredicateAtom
+
+__all__ = ["check_recursion"]
+
+
+def check_recursion(analyzer):
+    facts = analyzer.facts
+    deps = {}
+    edge_sites = {}  # (head, dep) -> (rule, atom) of the first such edge
+    for rule in facts.skeleton_rules:
+        head = rule.head.name
+        deps.setdefault(head, set())
+        for atom in rule.body_atoms(PredicateAtom):
+            if atom.name in facts.intensional:
+                deps[head].add(atom.name)
+                edge_sites.setdefault((head, atom.name), (rule, atom))
+
+    state = {}  # name -> "visiting" | "done"
+    reported = set()
+
+    def visit(name, stack):
+        state[name] = "visiting"
+        stack.append(name)
+        for dep in sorted(deps.get(name, ())):
+            if state.get(dep) == "visiting":
+                cycle = stack[stack.index(dep):] + [dep]
+                key = frozenset(cycle)
+                if key in reported:
+                    continue
+                reported.add(key)
+                rule, atom = edge_sites[(name, dep)]
+                analyzer.emit(
+                    "ALOG016",
+                    "recursive predicate %r: dependency cycle %s cannot be "
+                    "evaluated bottom-up" % (dep, " -> ".join(cycle)),
+                    rule=rule,
+                    node=atom,
+                )
+            elif state.get(dep) is None:
+                visit(dep, stack)
+        stack.pop()
+        state[name] = "done"
+
+    for name in sorted(deps):
+        if state.get(name) is None:
+            visit(name, [])

@@ -230,23 +230,83 @@ class RefinementSession:
         application in the common case.
         """
         self.simulations += 1
+        score, elapsed = self._simulate_one(ie_predicate, attribute, feature, value)
+        self.machine_seconds += elapsed
+        return score
+
+    def simulate_refinements(self, candidates):
+        """Batch :meth:`simulate_refinement`; scores in candidate order.
+
+        ``candidates`` holds ``(ie_predicate, attribute, feature,
+        value)`` tuples.  With ``config.workers > 1`` the candidate
+        executions fan out on the same scheduler backend the engine uses
+        for partitioned plans — each candidate is an independent program
+        over the evaluation subset, so answer simulation parallelises
+        across candidates rather than within one.  ``machine_seconds``
+        accumulates per-candidate engine time either way, keeping the
+        cost model wall-clock-independent.
+        """
+        candidates = list(candidates)
+        self.simulations += len(candidates)
+        workers = getattr(self.config, "workers", 1)
+        if workers <= 1 or len(candidates) <= 1:
+            results = [self._simulate_one(*candidate) for candidate in candidates]
+        else:
+            from repro.processor.schedulers import make_scheduler
+
+            scheduler = make_scheduler(getattr(self.config, "backend", "serial"), workers)
+            results = scheduler.map(
+                lambda candidate: self._simulate_one(*candidate), candidates
+            )
+        scores = []
+        for score, elapsed in results:
+            self.machine_seconds += elapsed
+            scores.append(score)
+        return scores
+
+    def _simulate_one(self, ie_predicate, attribute, feature, value):
+        """``(score, engine seconds)`` for one candidate refinement.
+
+        Mutates no session state, so batches of these may run
+        concurrently (the subset cache is only read, through throwaway
+        copies).
+        """
         try:
             variant = self.program.add_constraint(ie_predicate, attribute, feature, value)
         except Exception:
-            return float("inf")
+            return float("inf"), 0.0
         # validate=False: simulation deliberately tries constraints that
         # may be infeasible (the result is then 0 tuples, a fine answer)
         engine = IFlexEngine(
-            variant, self.subset_corpus, self.registry, self.config, validate=False
+            variant,
+            self.subset_corpus,
+            self.registry,
+            self._simulation_config(),
+            validate=False,
         )
         result = engine.execute(cache=_CacheCopy.copy(self._subset_cache))
-        self.machine_seconds += result.elapsed
         # tuple count first; narrowing measures as tie-breakers, so a
         # question that shrinks the extraction without (yet) moving the
         # result size still beats a no-op question
         assignments = sum(t.assignment_count() for t in result.tables.values())
         values = sum(t.encoded_value_count() for t in result.tables.values())
-        return result.tuple_count + assignments * 1e-5 + values * 1e-10
+        score = result.tuple_count + assignments * 1e-5 + values * 1e-10
+        return score, result.elapsed
+
+    def _simulation_config(self):
+        """The candidate engines' config: always single-worker.
+
+        Parallel sessions fan out *across* candidates, and the subset
+        corpus is small — partitioning it inside each simulation would
+        nest pools for no gain.
+        """
+        if getattr(self.config, "workers", 1) <= 1:
+            return self.config
+        if not hasattr(self, "_serial_config"):
+            from dataclasses import replace
+
+            self._serial_config = replace(self.config, workers=1, backend="serial")
+        return self._serial_config
 
     def attribute_profile(self, ie_predicate, attribute, max_tuples=50):
         """Candidate spans currently extracted for an attribute.

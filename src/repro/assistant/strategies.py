@@ -171,27 +171,35 @@ class SimulationStrategy:
         if not questions:
             return None
         pool = questions[: self.pool_size]
-        best_question = None
-        best_expected = None
-        for question in pool:
-            weighted = self._weighted_values(session, question)
-            if not weighted:
-                continue
-            expected = 0.0
-            for value, prob in weighted:
-                count = session.simulate_refinement(
-                    question.ie_predicate,
-                    question.attribute,
-                    question.feature_name,
-                    value,
+        # flatten the (question, answer value) grid into one candidate
+        # batch so a parallel session can fan the simulations out on its
+        # scheduler; serial sessions run the same batch in order
+        jobs = []  # (pool index, probability, candidate tuple)
+        for index, question in enumerate(pool):
+            for value, prob in self._weighted_values(session, question):
+                jobs.append(
+                    (
+                        index,
+                        prob,
+                        (
+                            question.ie_predicate,
+                            question.attribute,
+                            question.feature_name,
+                            value,
+                        ),
+                    )
                 )
-                expected += (1.0 - self.alpha) * prob * count
-            if best_expected is None or expected < best_expected:
-                best_expected = expected
-                best_question = question
-        # every pool question may lack candidate values (parameterised
-        # features over unprofiled attrs); fall back to sequential order
-        return best_question or pool[0]
+        if not jobs:
+            # every pool question may lack candidate values
+            # (parameterised features over unprofiled attrs); fall back
+            # to sequential order
+            return pool[0]
+        counts = session.simulate_refinements([candidate for _, _, candidate in jobs])
+        expected = {}
+        for (index, prob, _), count in zip(jobs, counts):
+            expected[index] = expected.get(index, 0.0) + (1.0 - self.alpha) * prob * count
+        best = min(expected, key=lambda index: (expected[index], index))
+        return pool[best]
 
     def _weighted_values(self, session, question):
         """``[(value, probability)]`` for the question's answer space."""

@@ -60,6 +60,19 @@ def build_parser():
             default=0.6,
             help="Jaccard threshold for the built-in similar()/approxMatch()",
         )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="corpus partitions for the document-local plan prefix "
+            "(default 1: single-threaded execution)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=("serial", "thread", "process"),
+            default="serial",
+            help="scheduler for per-partition work (with --workers > 1)",
+        )
 
     run = sub.add_parser("run", help="execute a program and print the result")
     add_program_args(run)
@@ -190,6 +203,12 @@ def load_program(args, corpus):
 # commands
 # ----------------------------------------------------------------------
 
+def _exec_config(args):
+    from repro.processor.context import ExecConfig
+
+    return ExecConfig(workers=args.workers, backend=args.backend)
+
+
 def _cmd_run(args):
     corpus = load_corpus(args.table)
     program = load_program(args, corpus)
@@ -202,7 +221,7 @@ def _cmd_run(args):
         if lint_result.errors:
             print(lint_result.summary_line(), file=sys.stderr)
             return 1
-    engine = IFlexEngine(program, corpus, validate=False)
+    engine = IFlexEngine(program, corpus, config=_exec_config(args), validate=False)
     if args.analyze:
         result, report = engine.explain_analyze()
         print(report)
@@ -260,7 +279,7 @@ def _cmd_lint(args):
 def _cmd_explain(args):
     corpus = load_corpus(args.table)
     program = load_program(args, corpus)
-    print(IFlexEngine(program, corpus).explain())
+    print(IFlexEngine(program, corpus, config=_exec_config(args)).explain())
     return 0
 
 
@@ -276,6 +295,7 @@ def _cmd_session(args):
         corpus,
         developer,
         strategy=strategy,
+        config=_exec_config(args),
         max_iterations=args.max_iterations,
     )
     developer.session = session

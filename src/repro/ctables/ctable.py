@@ -171,6 +171,34 @@ class CompactTable:
         except ValueError:
             raise KeyError("no attribute %r in %r" % (name, self.attrs))
 
+    @classmethod
+    def union(cls, tables, attrs=None):
+        """Multiset union of same-arity compact tables.
+
+        Tuples are concatenated in the given table order, preserving
+        maybe flags and cell multisets, so unioning per-partition results
+        in partition order reproduces a serial document-order scan.  The
+        output attribute list is ``attrs`` (or the first table's); every
+        operand must match its arity — attribute *names* may differ, as
+        with :class:`~repro.processor.operators.UnionOp`'s positional
+        alignment.
+        """
+        tables = list(tables)
+        if attrs is None:
+            if not tables:
+                raise ValueError("union of zero tables needs explicit attrs")
+            attrs = tables[0].attrs
+        out = cls(attrs)
+        for table in tables:
+            if len(table.attrs) != len(out.attrs):
+                raise ValueError(
+                    "union operands have different arities: %r vs %r"
+                    % (table.attrs, out.attrs)
+                )
+            for t in table.tuples:
+                out.add(t)
+        return out
+
     # -- measures (monitored by the convergence detector) ----------------
     def tuple_count(self):
         """Number of represented tuples, counting expansion families

@@ -1,4 +1,13 @@
-"""Approximate query processing over compact tables (paper section 4)."""
+"""Approximate query processing over compact tables (paper section 4).
+
+The processor is layered: :mod:`~repro.processor.plan` compiles rules to
+operator trees, :mod:`~repro.processor.split` analyzes each tree into a
+document-local prefix and a global suffix, and
+:mod:`~repro.processor.physical` executes the prefix per corpus
+partition on a pluggable :mod:`~repro.processor.schedulers` backend
+before running the suffix once.  :class:`IFlexEngine` drives the whole
+pipeline with cross-iteration reuse.
+"""
 
 from repro.processor.context import ExecConfig, ExecutionContext, ExecutionStats
 from repro.processor.executor import (
@@ -8,19 +17,38 @@ from repro.processor.executor import (
     evaluation_order,
 )
 from repro.processor.library import jaccard, make_similar, token_set
+from repro.processor.physical import PhysicalExecutor
 from repro.processor.plan import compile_predicate, compile_rule
+from repro.processor.schedulers import (
+    BACKENDS,
+    ProcessBackend,
+    Scheduler,
+    SerialBackend,
+    ThreadBackend,
+    make_scheduler,
+)
+from repro.processor.split import PlanSplit, split_plan
 
 __all__ = [
+    "BACKENDS",
     "ExecConfig",
     "ExecutionContext",
     "ExecutionResult",
     "ExecutionStats",
     "IFlexEngine",
+    "PhysicalExecutor",
+    "PlanSplit",
+    "ProcessBackend",
     "RuleCache",
+    "Scheduler",
+    "SerialBackend",
+    "ThreadBackend",
     "compile_predicate",
     "compile_rule",
     "evaluation_order",
     "jaccard",
+    "make_scheduler",
     "make_similar",
+    "split_plan",
     "token_set",
 ]

@@ -30,6 +30,12 @@ class ExecConfig:
     pair_cap: int = 1_000
     ppredicate_cap: int = 5_000
     blocking_joins: bool = True
+    #: Corpus partitions for the document-local plan prefix; 1 keeps the
+    #: engine on the original single-threaded path.
+    workers: int = 1
+    #: Scheduler for per-partition work: ``serial`` | ``thread`` |
+    #: ``process`` (see :mod:`repro.processor.schedulers`).
+    backend: str = "serial"
 
 
 @dataclass

@@ -40,19 +40,61 @@ _LEGACY_ERROR_TYPES = {
     "ALOG002": UnknownPredicateError,
     "ALOG014": UnknownPredicateError,
     "ALOG003": UnknownFeatureError,
+    "ALOG016": EvaluationError,
 }
 
 
+def _recursion_error(message, rule=None, node=None):
+    """An :class:`EvaluationError` carrying an ``ALOG016`` diagnostic.
+
+    The rendered message includes the offending rule's source span (when
+    the parser provided one) and the diagnostic itself rides on the
+    exception's ``diagnostic`` attribute for tooling.
+    """
+    from repro.analysis.diagnostics import CODES, Diagnostic
+
+    span = getattr(node, "span", None) if node is not None else None
+    if span is None and rule is not None:
+        span = getattr(rule, "span", None)
+    diagnostic = Diagnostic(
+        severity=CODES["ALOG016"][0],
+        code="ALOG016",
+        message=message,
+        rule_label=(rule.label or rule.head.name) if rule is not None else "",
+        line=span.line if span else None,
+        column=span.column if span else None,
+        end_line=span.end_line if span else None,
+        end_column=span.end_column if span else None,
+    )
+    error = EvaluationError(diagnostic.render())
+    error.diagnostic = diagnostic
+    return error
+
+
 def evaluation_order(program):
-    """Topological order of the intensional predicates."""
+    """Topological order of the intensional predicates.
+
+    The bottom-up evaluator computes each predicate exactly once, so a
+    recursive program cannot be ordered; recursion raises
+    :class:`EvaluationError` through an ``ALOG016`` diagnostic anchored
+    at the offending rule (the analyzer's recursion pass reports the
+    same code pre-execution).
+    """
     deps = {}
+    sites = {}  # name -> (rule, atom) that introduced the first dep edge
     for rule in program.skeleton_rules:
         deps.setdefault(rule.head.name, set())
         for atom in rule.body_atoms(PredicateAtom):
             if atom.name == rule.head.name:
-                raise EvaluationError("recursive predicate %r" % (atom.name,))
+                raise _recursion_error(
+                    "recursive predicate %r: rule body refers to its own head"
+                    % (atom.name,),
+                    rule=rule,
+                    node=atom,
+                )
             if atom.name in program.intensional:
                 deps[rule.head.name].add(atom.name)
+                sites.setdefault(rule.head.name, (rule, atom))
     order = []
     visiting = set()
 
@@ -60,7 +102,13 @@ def evaluation_order(program):
         if name in order:
             return
         if name in visiting:
-            raise EvaluationError("recursive dependency through %r" % (name,))
+            rule, atom = sites.get(name, (None, None))
+            raise _recursion_error(
+                "recursive predicate %r: dependency cycle cannot be "
+                "evaluated bottom-up" % (name,),
+                rule=rule,
+                node=atom,
+            )
         visiting.add(name)
         for dep in sorted(deps.get(name, ())):
             visit(dep)
@@ -118,7 +166,15 @@ class _CacheEntry:
 
 
 class RuleCache:
-    """Per-predicate compact-table cache for cross-iteration reuse."""
+    """Per-predicate compact-table cache for cross-iteration reuse.
+
+    Entries are keyed ``(predicate name, partition id)``.  Partition
+    ``None`` holds the whole-corpus table — the only key serial
+    execution uses, and always written so results reuse across worker
+    configurations.  Parallel execution additionally keys the
+    document-local predicates per corpus partition, so the
+    constraints-commute incremental path applies partition by partition.
+    """
 
     def __init__(self):
         self._entries = {}
@@ -126,11 +182,11 @@ class RuleCache:
         self.incremental_hits = 0
         self.misses = 0
 
-    def get(self, name):
-        return self._entries.get(name)
+    def get(self, name, partition=None):
+        return self._entries.get((name, partition))
 
-    def put(self, name, fingerprint, table):
-        self._entries[name] = _CacheEntry(fingerprint, table)
+    def put(self, name, fingerprint, table, partition=None):
+        self._entries[(name, partition)] = _CacheEntry(fingerprint, table)
 
     def __len__(self):
         return len(self._entries)
@@ -168,6 +224,20 @@ class IFlexEngine:
             self.lint_result = self._validate()
         self.unfolded = unfold_program(program)
         self.order = evaluation_order(self.unfolded)
+        self.physical = self._make_physical()
+
+    def _make_physical(self):
+        """The physical execution layer, or None on the serial path.
+
+        With one worker the engine executes plans directly (the original
+        single-threaded code path, byte for byte); with more it routes
+        every plan through :class:`~repro.processor.physical.PhysicalExecutor`.
+        """
+        if getattr(self.config, "workers", 1) <= 1:
+            return None
+        from repro.processor.physical import PhysicalExecutor
+
+        return PhysicalExecutor(self.unfolded, self.corpus, self.features, self.config)
 
     def _validate(self):
         """Analyze the program; raise on the first error diagnostic.
@@ -201,33 +271,42 @@ class IFlexEngine:
         for name in self.order:
             fingerprint = self._fingerprint(name, tokens)
             table = None
+            kind = None
             if cache is not None:
                 entry = cache.get(name)
-                if entry is not None:
-                    if entry.fingerprint.token == fingerprint.token:
-                        table = entry.table
-                        cache.full_hits += 1
-                        reuse_summary[name] = "full"
-                    else:
-                        table = self._incremental(name, entry, fingerprint, context)
-                        if table is not None:
-                            cache.incremental_hits += 1
-                            reuse_summary[name] = "incremental"
+                if entry is not None and entry.fingerprint.token == fingerprint.token:
+                    table = entry.table
+                    kind = "full"
+                elif (
+                    self.physical is not None
+                    and self.physical.parallel
+                    and self.physical.fully_local(name)
+                ):
+                    table, kind = self._execute_partitioned(name, context, cache)
+                elif entry is not None:
+                    table = self._incremental(name, entry, fingerprint, context)
+                    if table is not None:
+                        kind = "incremental"
             if table is None:
-                table = compile_predicate(name, self.unfolded).execute(context)
-                reuse_summary[name] = reuse_summary.get(name, "computed")
-                if cache is not None:
-                    cache.misses += 1
+                table = self._execute_plan(name, context)
+                kind = "computed"
+            reuse_summary[name] = kind
             context.relations[name] = table
             tokens[name] = fingerprint.token
             if cache is not None:
+                if kind == "full":
+                    cache.full_hits += 1
+                elif kind == "incremental":
+                    cache.incremental_hits += 1
+                else:
+                    cache.misses += 1
                 cache.put(name, fingerprint, table)
             logger.debug(
                 "%s: %d tuples, %d assignments (%s)",
                 name,
                 table.tuple_count(),
                 table.assignment_count(),
-                reuse_summary.get(name, "computed"),
+                kind,
             )
         elapsed = time.perf_counter() - start
         return ExecutionResult(
@@ -237,6 +316,69 @@ class IFlexEngine:
             elapsed=elapsed,
             reuse_summary=reuse_summary,
         )
+
+    def _execute_plan(self, name, context):
+        """One predicate's table: direct on the serial path, partitioned
+
+        through the physical layer when workers > 1.
+        """
+        if self.physical is not None:
+            return self.physical.execute_plan(name, context)
+        return compile_predicate(name, self.unfolded).execute(context)
+
+    def _execute_partitioned(self, name, context, cache):
+        """A fully document-local predicate with a partition-keyed cache.
+
+        Each corpus partition gets its own fingerprint (same rules, the
+        partition's corpus signature) and its own full-hit / incremental
+        / compute decision; only partitions that could not be reused are
+        re-extracted, on the scheduler.  Returns ``(merged table, kind)``
+        where ``kind`` summarises the weakest reuse across partitions.
+
+        Fully-local plans never scan intensional tables (joins over them
+        are global by construction), so the partition fingerprints need
+        no upstream tokens.
+        """
+        from repro.ctables.ctable import CompactTable
+
+        physical = self.physical
+        partitions = physical.partitions
+        tables = [None] * len(partitions)
+        kinds = [None] * len(partitions)
+        fingerprints = []
+        missing = []
+        for pid, partition in enumerate(partitions):
+            fingerprint = self._fingerprint(name, {}, corpus_sig=partition.signature)
+            fingerprints.append(fingerprint)
+            entry = cache.get(name, partition=pid)
+            if entry is not None and entry.fingerprint.token == fingerprint.token:
+                tables[pid] = entry.table
+                kinds[pid] = "full"
+                continue
+            if entry is not None:
+                table = self._incremental(name, entry, fingerprint, context)
+                if table is not None:
+                    tables[pid] = table
+                    kinds[pid] = "incremental"
+                    continue
+            missing.append(pid)
+        if missing:
+            computed = physical.execute_local_partitions(name, missing)
+            for pid, (table, stats) in zip(missing, computed):
+                tables[pid] = table
+                kinds[pid] = "computed"
+                context.stats.merge(stats)
+        for pid in range(len(partitions)):
+            cache.put(name, fingerprints[pid], tables[pid], partition=pid)
+        attrs = physical.split(name).root.attrs
+        merged = CompactTable.union(tables, attrs=attrs)
+        if "computed" in kinds:
+            kind = "computed"
+        elif "incremental" in kinds:
+            kind = "incremental"
+        else:
+            kind = "full"
+        return merged, kind
 
     def explain(self):
         """The compiled plan for every predicate, as text."""
@@ -250,16 +392,25 @@ class IFlexEngine:
         """Execute with operator-level tracing; returns
 
         ``(ExecutionResult, report_text)`` — EXPLAIN ANALYZE for plans.
+        Under parallel execution the per-partition measurements of the
+        document-local prefix are merged (counts sum to the serial
+        counts) and reported nested under the suffix's gather leaves, so
+        cost still attributes to individual operators.
         """
-        from repro.processor.tracing import trace_plan
+        from repro.processor.tracing import render_traces, trace_plan
 
         start = time.perf_counter()
         context = ExecutionContext(self.unfolded, self.corpus, self.features, self.config)
         reports = []
         for name in self.order:
-            traced = trace_plan(compile_predicate(name, self.unfolded))
-            context.relations[name] = traced.execute(context)
-            reports.append("%s:\n%s" % (name, traced.report()))
+            if self.physical is not None:
+                table, traces = self.physical.execute_plan_traced(name, context)
+                context.relations[name] = table
+                reports.append("%s:\n%s" % (name, render_traces(traces)))
+            else:
+                traced = trace_plan(compile_predicate(name, self.unfolded))
+                context.relations[name] = traced.execute(context)
+                reports.append("%s:\n%s" % (name, traced.report()))
         elapsed = time.perf_counter() - start
         result = ExecutionResult(
             query_table=context.relations[self.unfolded.query],
@@ -270,7 +421,13 @@ class IFlexEngine:
         return result, "\n\n".join(reports)
 
     # ------------------------------------------------------------------
-    def _fingerprint(self, name, tokens):
+    def _fingerprint(self, name, tokens, corpus_sig=None):
+        """The predicate's reuse fingerprint.
+
+        ``corpus_sig`` overrides the whole-corpus signature for
+        partition-keyed entries (the partitioned path fingerprints each
+        corpus slice separately).
+        """
         rules = self.unfolded.rules_for(name)
         bases = []
         constraints = []
@@ -286,7 +443,7 @@ class IFlexEngine:
             bases=tuple(bases),
             constraints=tuple(constraints),
             upstream=tuple(sorted(set(upstream))),
-            corpus_sig=self.corpus.signature,
+            corpus_sig=self.corpus.signature if corpus_sig is None else corpus_sig,
         )
 
     def _incremental(self, name, entry, fingerprint, context):

@@ -1,0 +1,207 @@
+"""The physical execution layer: partitioned, scheduled plan execution.
+
+:class:`PhysicalExecutor` sits between the engine's per-predicate loop
+and the operator trees.  For each predicate it
+
+1. asks the plan-analysis layer (:mod:`repro.processor.split`) for the
+   document-local prefix / global suffix split;
+2. partitions the corpus (``Corpus.partition``) and executes the prefix
+   once per partition on the configured :class:`Scheduler` backend;
+3. unions the per-partition compact tables (``CompactTable.union``,
+   preserving maybe flags and multiset semantics — and, because
+   partitions are contiguous document slices processed in order, the
+   exact serial tuple order);
+4. executes the global suffix once against the merged tables.
+
+With one worker (the default) every plan executes exactly as the
+original single-threaded engine did — same operators, same context,
+same statistics — so serial behaviour is the identity baseline the
+determinism tests compare the backends against.
+
+Per-partition work re-compiles the predicate's plan from the program:
+compilation is deterministic and cheap relative to extraction, and
+fresh trees mean no operator state is shared across workers.
+"""
+
+from repro.ctables.ctable import CompactTable
+from repro.processor.context import ExecutionContext
+from repro.processor.plan import compile_predicate
+from repro.processor.schedulers import make_scheduler
+from repro.processor.split import PlanSplit, bind_tables
+from repro.processor.tracing import merge_traces, trace_plan
+
+__all__ = ["PhysicalExecutor"]
+
+
+class PhysicalExecutor:
+    """Executes one (unfolded) program's plans over a partitioned corpus."""
+
+    def __init__(self, program, corpus, features, config, scheduler=None):
+        self.program = program
+        self.corpus = corpus
+        self.features = features
+        self.config = config
+        self.scheduler = scheduler or make_scheduler(
+            getattr(config, "backend", "serial"), getattr(config, "workers", 1)
+        )
+        workers = getattr(config, "workers", 1)
+        self.partitions = corpus.partition(workers) if workers > 1 else [corpus]
+        self._splits = {}
+        #: fork-inherited objects result spans point into; the process
+        #: backend ships these by reference instead of re-pickling the
+        #: corpus once per partition
+        self._shared = [
+            doc for name in corpus.table_names() for doc in corpus.table(name)
+        ]
+
+    @property
+    def parallel(self):
+        return len(self.partitions) > 1
+
+    # ------------------------------------------------------------------
+    # plan analysis (cached per predicate; used for routing decisions)
+    # ------------------------------------------------------------------
+    def split(self, name):
+        if name not in self._splits:
+            self._splits[name] = PlanSplit(compile_predicate(name, self.program))
+        return self._splits[name]
+
+    def fully_local(self, name):
+        return self.split(name).fully_local
+
+    # ------------------------------------------------------------------
+    # partition-level execution
+    # ------------------------------------------------------------------
+    def _partition_context(self, pid):
+        return ExecutionContext(
+            self.program, self.partitions[pid], self.features, self.config
+        )
+
+    def execute_local_partitions(self, name, pids=None):
+        """Run a *fully local* predicate plan on each requested partition.
+
+        Returns ``[(table, stats)]`` in partition order.  The engine's
+        partition-keyed reuse cache calls this with only the partitions
+        whose cached tables could not be reused.
+        """
+        pids = list(range(len(self.partitions)) if pids is None else pids)
+
+        def work(pid):
+            context = self._partition_context(pid)
+            table = compile_predicate(name, self.program).execute(context)
+            return table, context.stats
+
+        return self.scheduler.map(work, pids, shared=self._shared)
+
+    # ------------------------------------------------------------------
+    # whole-plan execution
+    # ------------------------------------------------------------------
+    def execute_plan(self, name, context):
+        """Execute one predicate's plan over the whole corpus.
+
+        Parallel runs partition the document-local prefix across the
+        scheduler; serial runs (or plans with no local work, e.g. pure
+        joins over intensional tables) execute the tree directly.
+        Partition statistics merge into ``context.stats``, so counters
+        match a serial execution exactly.
+        """
+        info = self.split(name)
+        if not self.parallel or not info.has_local_work:
+            return compile_predicate(name, self.program).execute(context)
+
+        def work(pid):
+            partition_context = self._partition_context(pid)
+            split = PlanSplit(compile_predicate(name, self.program))
+            tables = [op.execute(partition_context) for op in split.local_roots]
+            return tables, partition_context.stats
+
+        per_partition = self.scheduler.map(
+            work, list(range(len(self.partitions))), shared=self._shared
+        )
+        for _, stats in per_partition:
+            context.stats.merge(stats)
+        gathered = self._gather(info, [tables for tables, _ in per_partition])
+        suffix = bind_tables(
+            PlanSplit(compile_predicate(name, self.program)),
+            gathered,
+            partitions=len(self.partitions),
+        )
+        return suffix.execute(context)
+
+    def execute_plan_traced(self, name, context):
+        """Like :meth:`execute_plan`, with operator-level measurements.
+
+        Returns ``(table, traces)`` where ``traces`` is a depth-ordered
+        list of :class:`~repro.processor.tracing.OperatorTrace` rows.
+        Prefix operators are measured in every partition and merged
+        positionally (tuple counts sum to the serial counts; elapsed is
+        the summed per-partition self time), nested under the suffix's
+        gather leaf so ``explain_analyze`` still attributes cost per
+        operator.
+        """
+        info = self.split(name)
+        if not self.parallel or not info.has_local_work:
+            traced = trace_plan(compile_predicate(name, self.program))
+            table = traced.execute(context)
+            return table, traced.collect()
+
+        def work(pid):
+            partition_context = self._partition_context(pid)
+            split = PlanSplit(compile_predicate(name, self.program))
+            traced = [trace_plan(op) for op in split.local_roots]
+            tables = [t.execute(partition_context) for t in traced]
+            return tables, [t.collect() for t in traced], partition_context.stats
+
+        per_partition = self.scheduler.map(
+            work, list(range(len(self.partitions))), shared=self._shared
+        )
+        for _, _, stats in per_partition:
+            context.stats.merge(stats)
+        gathered = self._gather(info, [tables for tables, _, _ in per_partition])
+        merged = [
+            merge_traces([collected[i] for _, collected, _ in per_partition])
+            for i in range(len(info.local_roots))
+        ]
+        suffix = bind_tables(
+            PlanSplit(compile_predicate(name, self.program)),
+            gathered,
+            partitions=len(self.partitions),
+        )
+        traced_suffix = trace_plan(suffix)
+        table = traced_suffix.execute(context)
+        return table, _collect_with_prefixes(traced_suffix, merged)
+
+    def _gather(self, info, tables_per_partition):
+        """Union each local root's per-partition tables, root by root."""
+        return [
+            CompactTable.union(
+                [tables[i] for tables in tables_per_partition],
+                attrs=info.local_roots[i].attrs,
+            )
+            for i in range(len(info.local_roots))
+        ]
+
+
+def _collect_with_prefixes(traced, merged_by_index):
+    """Suffix traces with each gather leaf's merged prefix nested under it."""
+    from repro.processor.split import GatherOp
+    from repro.processor.tracing import OperatorTrace
+
+    out = [traced.trace]
+    operator = traced._operator
+    if isinstance(operator, GatherOp):
+        base_depth = traced.trace.depth + 1
+        for row in merged_by_index[operator.index]:
+            out.append(
+                OperatorTrace(
+                    describe=row.describe,
+                    depth=row.depth + base_depth,
+                    elapsed=row.elapsed,
+                    out_tuples=row.out_tuples,
+                    out_assignments=row.out_assignments,
+                    maybe_tuples=row.maybe_tuples,
+                )
+            )
+    for child in traced.children():
+        out.extend(_collect_with_prefixes(child, merged_by_index))
+    return out

@@ -1,0 +1,204 @@
+"""Pluggable schedulers for the physical execution layer.
+
+The plan-analysis layer (:mod:`repro.processor.split`) decides *what*
+can run per corpus partition; a :class:`Scheduler` decides *how* those
+per-partition tasks run:
+
+``SerialBackend``
+    in-process, one task at a time — the reference behaviour;
+``ThreadBackend``
+    a thread pool.  Extraction is pure Python, so the GIL limits
+    speedups, but threads share memory (no result shipping) and keep
+    the pipeline responsive around I/O-bound p-predicates;
+``ProcessBackend``
+    a ``fork``-based process pool.  Programs carry arbitrary Python
+    callables (p-functions are often closures), which do not pickle —
+    the task payload is therefore published in a module-level slot
+    *before* forking so children inherit it, and only partition indexes
+    cross the pipe going in.  Results (compact tables, stats) come back
+    pickled.
+
+All backends preserve task order: ``map(fn, items)[i] == fn(items[i])``,
+which is what makes partitioned execution byte-identical to serial.
+"""
+
+import io
+import logging
+import multiprocessing
+import pickle
+
+__all__ = [
+    "Scheduler",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_scheduler",
+    "BACKENDS",
+]
+
+logger = logging.getLogger("repro.processor")
+
+
+class Scheduler:
+    """Protocol: ``map`` a function over items, order-preserving.
+
+    ``shared`` is an optional sequence of objects both sides of a
+    process boundary already hold (fork-inherited corpus documents);
+    backends that ship results between address spaces send them by
+    reference instead of by value.  In-process backends ignore it.
+    """
+
+    name = "abstract"
+    workers = 1
+
+    def map(self, fn, items, shared=()):
+        raise NotImplementedError
+
+
+class SerialBackend(Scheduler):
+    """Run every task inline, in order."""
+
+    name = "serial"
+
+    def __init__(self, workers=1):
+        # a serial scheduler may still drive >1 logical partition (so
+        # partitioned semantics can be tested without concurrency)
+        self.workers = max(1, int(workers))
+
+    def map(self, fn, items, shared=()):
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(Scheduler):
+    """A thread pool; shared memory, order-preserving."""
+
+    name = "thread"
+
+    def __init__(self, workers):
+        self.workers = max(1, int(workers))
+
+    def map(self, fn, items, shared=()):
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))
+
+
+#: The payload slot ``ProcessBackend`` children inherit through fork.
+_FORK_PAYLOAD = None
+#: Objects registered *before* forking, and ``id(obj) -> position``
+#: over them.  Fork gives parent and children the same objects at the
+#: same positions, so a list index is a stable cross-process reference
+#: for exactly as long as the pool lives — the span of one ``map``.
+_FORK_SHARED = []
+_FORK_SHARED_INDEX = {}
+
+
+def _resolve_shared(index):
+    """Unpickling hook: position in :data:`_FORK_SHARED` -> live object."""
+    return _FORK_SHARED[index]
+
+
+def _reduce_shared(obj):
+    """Reduce a registered shared object to a by-reference token.
+
+    Compact tables are mostly spans, and every span drags its source
+    document (full text + markup regions) along; shipping those back
+    from a worker would pickle the corpus once per partition.  Objects
+    registered in :data:`_FORK_SHARED` are fork-inherited, so the
+    parent resolves the token to its own copy instead.  Unregistered
+    instances of a registered class pickle normally.
+    """
+    index = _FORK_SHARED_INDEX.get(id(obj))
+    if index is not None and _FORK_SHARED[index] is obj:
+        return (_resolve_shared, (index,))
+    return obj.__reduce_ex__(pickle.HIGHEST_PROTOCOL)
+
+
+def _shared_dumps(value):
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    # dispatch_table is keyed by class, so the per-object hook only
+    # fires for shared-object classes (documents); everything else
+    # pickles on the C fast path, unlike a persistent_id callback
+    pickler.dispatch_table = {type(obj): _reduce_shared for obj in _FORK_SHARED}
+    pickler.dump(value)
+    return buffer.getvalue()
+
+
+def _shared_loads(blob):
+    # tokens resolve through the module-level ``_resolve_shared``, so
+    # the stock (C) unpickler does all the work
+    return pickle.loads(blob)
+
+
+def _invoke_fork_payload(index):
+    fn, items = _FORK_PAYLOAD
+    return _shared_dumps(fn(items[index]))
+
+
+class ProcessBackend(Scheduler):
+    """A ``fork``-based process pool (CPython GIL-free parallelism).
+
+    Falls back to serial execution on platforms without the ``fork``
+    start method (the scheduler protocol promises results, not a
+    mechanism).  A fresh pool is forked per :meth:`map` call so the
+    children always see the current payload; fork is cheap relative to
+    the extraction work a partition represents.
+    """
+
+    name = "process"
+
+    def __init__(self, workers):
+        self.workers = max(1, int(workers))
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._context = None
+
+    def map(self, fn, items, shared=()):
+        global _FORK_PAYLOAD, _FORK_SHARED, _FORK_SHARED_INDEX
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1 or self._context is None:
+            if self._context is None:  # pragma: no cover
+                logger.warning("fork unavailable; process backend running serially")
+            return [fn(item) for item in items]
+        _FORK_PAYLOAD = (fn, items)
+        _FORK_SHARED = list(shared)
+        _FORK_SHARED_INDEX = {id(obj): i for i, obj in enumerate(_FORK_SHARED)}
+        try:
+            with self._context.Pool(min(self.workers, len(items))) as pool:
+                blobs = pool.map(_invoke_fork_payload, range(len(items)))
+            return [_shared_loads(blob) for blob in blobs]
+        finally:
+            _FORK_PAYLOAD = None
+            _FORK_SHARED = []
+            _FORK_SHARED_INDEX = {}
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_scheduler(backend="serial", workers=1):
+    """Build a scheduler from an :class:`ExecConfig`-style spec.
+
+    ``backend`` may also be a ready :class:`Scheduler` instance, which
+    is returned unchanged (tests inject counting schedulers this way).
+    """
+    if isinstance(backend, Scheduler):
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            "unknown backend %r (choose from %s)"
+            % (backend, ", ".join(sorted(BACKENDS)))
+        )
+    return cls(workers)

@@ -8,7 +8,13 @@ benchmarks to attribute cost inside a plan.
 import time
 from dataclasses import dataclass
 
-__all__ = ["TracedPlan", "OperatorTrace", "trace_plan"]
+__all__ = [
+    "TracedPlan",
+    "OperatorTrace",
+    "trace_plan",
+    "merge_traces",
+    "render_traces",
+]
 
 
 @dataclass
@@ -98,3 +104,43 @@ class TracedPlan:
 def trace_plan(operator):
     """Wrap a compiled plan for measurement."""
     return TracedPlan(operator)
+
+
+def merge_traces(trace_lists):
+    """Combine per-partition traces of *identical* plan copies.
+
+    Plan compilation is deterministic, so each partition's ``collect()``
+    output lists the same operators in the same order; rows merge
+    positionally — counts sum (matching a serial whole-corpus run) and
+    elapsed sums to total self time spent across partitions.
+    """
+    trace_lists = [list(traces) for traces in trace_lists]
+    if not trace_lists:
+        return []
+    first = trace_lists[0]
+    merged = []
+    for i, row in enumerate(first):
+        out = OperatorTrace(row.describe, row.depth)
+        for traces in trace_lists:
+            if len(traces) != len(first):
+                raise ValueError(
+                    "cannot merge traces of different plan shapes: %d vs %d rows"
+                    % (len(first), len(traces))
+                )
+            other = traces[i]
+            out.elapsed += other.elapsed
+            out.out_tuples += other.out_tuples
+            out.out_assignments += other.out_assignments
+            out.maybe_tuples += other.maybe_tuples
+        merged.append(out)
+    return merged
+
+
+def render_traces(traces):
+    """The ``explain_analyze`` table for an already-collected trace list."""
+    from repro.experiments.report import render_table
+
+    rows = [t.row() for t in traces]
+    return render_table(
+        ("operator", "self time", "tuples", "assignments", "maybe"), rows
+    )

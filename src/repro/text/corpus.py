@@ -106,3 +106,32 @@ class Corpus:
         for name in self.table_names():
             out = out.restrict(name, count, seed=seed)
         return out
+
+    def partition(self, n):
+        """Split into at most ``n`` corpora of contiguous document slices.
+
+        Document-at-a-time extraction is embarrassingly parallel, so the
+        physical execution layer partitions the corpus and runs the
+        document-local plan prefix once per partition.  Each table is
+        sliced independently, preserving document order, so concatenating
+        the partitions' results in partition order reproduces a serial
+        scan exactly.  Partitions that receive no documents at all are
+        dropped; at least one corpus is always returned.
+        """
+        n = max(1, int(n))
+        if n == 1:
+            return [self]
+        parts = []
+        for i in range(n):
+            part = Corpus()
+            empty = True
+            for name in self.table_names():
+                docs = self._tables[name]
+                lo = i * len(docs) // n
+                hi = (i + 1) * len(docs) // n
+                part.add_table(name, docs[lo:hi])
+                if hi > lo:
+                    empty = False
+            if not empty:
+                parts.append(part)
+        return parts or [self]

@@ -1,0 +1,89 @@
+"""ALOG016: recursive predicates, at lint time and at evaluation time.
+
+The bottom-up evaluator computes each intensional predicate exactly
+once, so recursion can never be evaluated; the analyzer's recursion
+pass reports it pre-execution and ``evaluation_order`` raises the same
+diagnostic (with the offending rule's source span) instead of a bare
+error if a recursive program reaches the engine anyway.
+"""
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.errors import EvaluationError
+from repro.processor.executor import evaluation_order
+from repro.xlog.program import Program
+
+SELF_RECURSIVE = """
+q(t) :- docs(d), q(t).
+"""
+
+MUTUAL = """
+a(t) :- docs(d), b(t).
+b(t) :- docs(d), a(t).
+q(t) :- docs(d), a(t).
+"""
+
+ACYCLIC = """
+q(t) :- docs(d), title(@d, t).
+title(@d, t) :- from(@d, t), bold_font(t) = yes.
+"""
+
+
+def lint(source):
+    return analyze_source(source, extensional=["docs"])
+
+
+class TestAnalyzerPass:
+    def test_self_recursion_is_alog016(self):
+        result = lint(SELF_RECURSIVE)
+        found = [d for d in result.diagnostics if d.code == "ALOG016"]
+        assert found and not result.ok
+        assert "recursive predicate" in found[0].message
+        # anchored at the offending rule, not a bare program-level error
+        assert found[0].line is not None
+        assert found[0].rule_label
+
+    def test_mutual_recursion_reports_the_cycle(self):
+        result = lint(MUTUAL)
+        found = [d for d in result.diagnostics if d.code == "ALOG016"]
+        assert found
+        assert "a" in found[0].message and "b" in found[0].message
+
+    def test_cycle_reported_once_not_once_per_member(self):
+        result = lint(MUTUAL)
+        assert sum(1 for d in result.diagnostics if d.code == "ALOG016") == 1
+
+    def test_acyclic_program_is_clean(self):
+        result = lint(ACYCLIC)
+        assert not [d for d in result.diagnostics if d.code == "ALOG016"]
+
+
+class TestEvaluationOrder:
+    def build(self, source):
+        return Program.parse(source, extensional=["docs"], query="q")
+
+    def test_self_recursion_raises_diagnostic_error(self):
+        with pytest.raises(EvaluationError) as err:
+            evaluation_order(self.build(SELF_RECURSIVE))
+        diagnostic = err.value.diagnostic
+        assert diagnostic.code == "ALOG016"
+        assert diagnostic.line is not None
+        assert "ALOG016" in str(err.value)
+
+    def test_cycle_raises_diagnostic_error_with_span(self):
+        with pytest.raises(EvaluationError) as err:
+            evaluation_order(self.build(MUTUAL))
+        diagnostic = err.value.diagnostic
+        assert diagnostic.code == "ALOG016"
+        assert diagnostic.line is not None and diagnostic.column is not None
+
+    def test_acyclic_order_is_bottom_up(self):
+        program = self.build(
+            """
+            q(t) :- docs(d), mid(t).
+            mid(t) :- docs(d), from(@d, t).
+            """
+        )
+        order = evaluation_order(program)
+        assert order.index("mid") < order.index("q")

@@ -1,0 +1,261 @@
+"""Partitioned parallel execution: determinism and layer unit tests.
+
+The guard for the physical execution layer: every backend, at any
+worker count, must produce *identical* compact tables to the serial
+engine — same tuple order, same cells, same maybe flags, same
+assignment multisets.  Partitions are contiguous document slices and
+the schedulers preserve task order, so this holds exactly (not just up
+to reordering).
+"""
+
+import pytest
+
+from repro.ctables.ctable import CompactTable
+from repro.processor.context import ExecConfig, ExecutionContext
+from repro.processor.executor import IFlexEngine, RuleCache
+from repro.processor.plan import compile_predicate
+from repro.processor.schedulers import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_scheduler,
+)
+from repro.processor.split import GatherOp, PlanSplit, bind_tables
+from repro.text.corpus import Corpus
+from repro.text.document import Document
+
+
+def table_image(table):
+    """Everything observable about a compact table, repr-exact.
+
+    ``repr`` covers cells (choice vs expansion, assignment multisets)
+    and the maybe flag, in tuple order.
+    """
+    return (table.attrs, [repr(t) for t in table.tuples])
+
+
+def result_image(result):
+    return {name: table_image(table) for name, table in result.tables.items()}
+
+
+def execute(task, workers, backend, cache=None):
+    config = ExecConfig(workers=workers, backend=backend)
+    engine = IFlexEngine(task.program, task.corpus, config=config, validate=False)
+    return engine.execute(cache=cache)
+
+
+# Two Table 2 tasks with different plan shapes: T1 is a single-source
+# extraction + selection; T7 joins two extracted tables through a
+# similarity p-function.
+DETERMINISM_TASKS = ("T1", "T7")
+BACKENDS = ("serial", "thread", "process")
+
+
+class TestBackendDeterminism:
+    @pytest.mark.parametrize("task_id", DETERMINISM_TASKS)
+    def test_all_backends_match_serial_exactly(self, task_id):
+        from repro.experiments.tasks import build_task
+
+        task = build_task(task_id, size=40, seed=0)
+        reference = execute(task, 1, "serial")
+        for backend in BACKENDS:
+            result = execute(task, 4, backend)
+            assert result_image(result) == result_image(reference), (
+                "%s backend diverged from serial on %s" % (backend, task_id)
+            )
+            assert vars(result.stats) == vars(reference.stats)
+
+    @pytest.mark.parametrize("task_id", DETERMINISM_TASKS)
+    def test_answers_match_serial(self, task_id):
+        from repro.experiments.runner import run_iflex
+        from repro.experiments.tasks import build_task
+
+        def outcome(workers, backend):
+            task = build_task(task_id, size=40, seed=0)
+            run = run_iflex(task, seed=0, workers=workers, backend=backend)
+            return (
+                run.final_count,
+                run.exact_keys,
+                run.converged,
+                table_image(run.trace.final_result.query_table),
+                [(r.mode, r.tuples, r.assignments) for r in run.trace.records],
+            )
+
+        reference = outcome(1, "serial")
+        for backend in BACKENDS:
+            assert outcome(4, backend) == reference
+
+    def test_maybe_flags_survive_partitioning(self):
+        # two numeric candidates per document, one on each side of the
+        # selection threshold, so the annotated choice cells force
+        # keep-as-maybe tuples
+        corpus = Corpus(
+            {"base": [Document("d%d" % i, "%d %d" % (5 + i, 500 + i)) for i in range(6)]}
+        )
+        from repro.xlog.program import Program
+
+        program = Program.parse(
+            """
+            vals(x, <p>) :- base(x), ie(@x, p).
+            q(p) :- vals(x, p), p > 150.
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["base"],
+            query="q",
+        )
+        serial = IFlexEngine(program, corpus, validate=False).execute()
+        parallel = IFlexEngine(
+            program,
+            corpus,
+            config=ExecConfig(workers=3, backend="thread"),
+            validate=False,
+        ).execute()
+        assert serial.query_table.maybe_count() > 0
+        assert result_image(parallel) == result_image(serial)
+
+
+class TestReuseAcrossBackends:
+    def test_partitioned_cache_full_hits_on_repeat(self):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=40, seed=0)
+        cache = RuleCache()
+        first = execute(task, 4, "serial", cache=cache)
+        assert set(first.reuse_summary.values()) == {"computed"}
+        second = execute(task, 4, "serial", cache=cache)
+        assert set(second.reuse_summary.values()) == {"full"}
+        assert result_image(second) == result_image(first)
+
+    def test_partitioned_incremental_matches_fresh_serial(self):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=40, seed=0)
+        cache = RuleCache()
+        execute(task, 4, "serial", cache=cache)
+        variant = task.program.add_constraint("extractIMDB", "title", "max_length", 200)
+        engine = IFlexEngine(
+            variant,
+            task.corpus,
+            config=ExecConfig(workers=4, backend="serial"),
+            validate=False,
+        )
+        incremental = engine.execute(cache=cache)
+        assert "incremental" in incremental.reuse_summary.values()
+        assert cache.incremental_hits >= 1
+        fresh = IFlexEngine(variant, task.corpus, validate=False).execute()
+        assert table_image(incremental.query_table) == table_image(fresh.query_table)
+
+
+class TestCorpusPartition:
+    def docs(self, n):
+        return [Document("d%d" % i, "t %d" % i) for i in range(n)]
+
+    def test_partition_preserves_order_and_covers(self):
+        corpus = Corpus({"a": self.docs(10)})
+        parts = corpus.partition(4)
+        ids = [d.doc_id for p in parts for d in p.table("a")]
+        assert ids == [d.doc_id for d in corpus.table("a")]
+        assert len(parts) == 4
+
+    def test_partition_one_returns_self(self):
+        corpus = Corpus({"a": self.docs(3)})
+        assert corpus.partition(1) == [corpus]
+
+    def test_more_partitions_than_documents(self):
+        corpus = Corpus({"a": self.docs(2)})
+        parts = corpus.partition(8)
+        assert sum(p.size_of("a") for p in parts) == 2
+        assert all(any(p.size_of(n) for n in p.table_names()) for p in parts)
+
+    def test_empty_corpus(self):
+        corpus = Corpus({"a": []})
+        assert corpus.partition(4) == [corpus]
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize(
+        "scheduler",
+        [SerialBackend(), ThreadBackend(4), ProcessBackend(4)],
+        ids=lambda s: s.name,
+    )
+    def test_map_preserves_order(self, scheduler):
+        items = list(range(17))
+        assert scheduler.map(lambda i: i * i, items) == [i * i for i in items]
+
+    def test_process_backend_handles_closures(self):
+        # p-functions are closures; the fork payload slot must carry
+        # them into children without pickling
+        offset = 41
+        backend = ProcessBackend(2)
+        assert backend.map(lambda i: i + offset, [0, 1, 2, 3]) == [41, 42, 43, 44]
+
+    def test_make_scheduler(self):
+        assert make_scheduler("thread", 3).workers == 3
+        ready = SerialBackend()
+        assert make_scheduler(ready) is ready
+        with pytest.raises(ValueError):
+            make_scheduler("gpu", 2)
+
+
+class TestPlanSplit:
+    def build(self, source, corpus, query=None):
+        from repro.alog.unfold import unfold_program
+        from repro.xlog.program import Program
+
+        program = Program.parse(
+            source, extensional=corpus.table_names(), query=query
+        )
+        return unfold_program(program)
+
+    def test_extraction_plan_is_fully_local(self):
+        corpus = Corpus({"base": [Document("d", "a 12")]})
+        program = self.build(
+            """
+            q(x, <p>) :- base(x), ie(@x, p).
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            corpus,
+        )
+        split = PlanSplit(compile_predicate("q", program))
+        assert split.fully_local
+        assert "*local*" in split.explain()
+
+    def test_join_plan_splits_at_the_scans(self):
+        corpus = Corpus(
+            {"l": [Document("d1", "a b")], "r": [Document("d2", "c d")]}
+        )
+        program = self.build(
+            """
+            q(s, t) :- l(x), r(y), ieL(@x, s), ieR(@y, t), s = t.
+            ieL(@x, s) :- from(@x, s).
+            ieR(@y, t) :- from(@y, t).
+            """,
+            corpus,
+        )
+        split = PlanSplit(compile_predicate("q", program))
+        assert not split.fully_local
+        assert split.has_local_work
+        assert len(split.local_roots) >= 2  # one prefix per scan side
+
+    def test_gather_substitution_executes_suffix(self):
+        corpus = Corpus({"base": [Document("d%d" % i, "w %d" % i) for i in range(4)]})
+        program = self.build(
+            """
+            q(x, <p>) :- base(x), ie(@x, p).
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            corpus,
+        )
+        plan = compile_predicate("q", program)
+        whole = plan.execute(ExecutionContext(program, corpus))
+        parts = corpus.partition(2)
+        tables = []
+        for part in parts:
+            fresh = compile_predicate("q", program)
+            tables.append(fresh.execute(ExecutionContext(program, part)))
+        merged = CompactTable.union(tables, attrs=whole.attrs)
+        split = PlanSplit(compile_predicate("q", program))
+        suffix = bind_tables(split, [merged], partitions=len(parts))
+        assert isinstance(suffix, GatherOp)  # fully-local root degenerates
+        out = suffix.execute(ExecutionContext(program, corpus))
+        assert table_image(out) == table_image(whole)
