@@ -20,8 +20,14 @@ from dataclasses import dataclass, field
 
 from repro.assistant.convergence import ConvergenceMonitor
 from repro.assistant.strategies import SequentialStrategy
+from repro.features.index import IndexStore
 from repro.features.registry import default_registry
-from repro.processor.context import ExecConfig
+from repro.processor.context import (
+    EvalCache,
+    ExecConfig,
+    ExecutionStats,
+    FeatureEvaluator,
+)
 from repro.processor.executor import IFlexEngine, RuleCache
 from repro.xlog.ast import PredicateAtom, Var
 
@@ -74,6 +80,10 @@ class SessionTrace:
     questions_answered: int
     #: static-analysis warnings for the starting program
     lint_warnings: list = field(default_factory=list)
+    #: session-wide ExecutionStats: every engine run (subset, full,
+    #: candidate simulations) plus the strategy's prior-estimation
+    #: probes, merged
+    exec_stats: object = None
 
     @property
     def iterations(self):
@@ -137,6 +147,27 @@ class RefinementSession:
         self._full_cache = RuleCache()
         self._last_subset_result = None
         self._known_warnings = set()
+        #: One corpus-wide index store + eval cache shared by *every*
+        #: engine this session builds — subset and full executions and
+        #: all candidate simulations.  Verify/Refine results are keyed
+        #: by document content alone, never by the program, so a
+        #: candidate's constraint cannot stale any entry: sharing needs
+        #: no invalidation at all (the subset corpus samples the same
+        #: Document objects, so doc_id-keyed entries carry over).  This
+        #: is what stops the next-effort loop paying full re-evaluation
+        #: per candidate.
+        self._index_store = (
+            IndexStore() if getattr(self.config, "use_index", True) else None
+        )
+        self._eval_cache = (
+            EvalCache() if getattr(self.config, "use_eval_cache", True) else None
+        )
+        self.exec_stats = ExecutionStats()
+        #: assistant-side Verify dispatch for strategy probes, on the
+        #: same shared stores, counting into ``exec_stats``
+        self._probe_evaluator = FeatureEvaluator(
+            self._index_store, self._eval_cache, self.exec_stats
+        )
 
     # ------------------------------------------------------------------
     # hooks used by strategies
@@ -222,6 +253,17 @@ class RefinementSession:
     def example_spans(self, ie_predicate, attribute):
         return self.examples.get((ie_predicate, attribute), [])
 
+    def verify_feature(self, feature, span, value):
+        """Assistant-side ``Verify`` on the session's shared caches.
+
+        Strategies estimate answer priors by verifying features over
+        sampled candidate spans; routing those probes through the shared
+        :class:`EvalCache` / index store means a span verified during
+        extraction (or a previous iteration's probing) is never
+        re-evaluated.  Counts into :attr:`exec_stats`.
+        """
+        return self._probe_evaluator.verify_span(feature, span, value)
+
     def simulate_refinement(self, ie_predicate, attribute, feature, value):
         """Result size if the developer answered ``value`` (section 5.1).
 
@@ -230,8 +272,9 @@ class RefinementSession:
         application in the common case.
         """
         self.simulations += 1
-        score, elapsed = self._simulate_one(ie_predicate, attribute, feature, value)
+        score, elapsed, stats = self._simulate_one(ie_predicate, attribute, feature, value)
         self.machine_seconds += elapsed
+        self.exec_stats.merge(stats)
         return score
 
     def simulate_refinements(self, candidates):
@@ -259,22 +302,28 @@ class RefinementSession:
                 lambda candidate: self._simulate_one(*candidate), candidates
             )
         scores = []
-        for score, elapsed in results:
+        for score, elapsed, stats in results:
             self.machine_seconds += elapsed
+            self.exec_stats.merge(stats)
             scores.append(score)
         return scores
 
     def _simulate_one(self, ie_predicate, attribute, feature, value):
-        """``(score, engine seconds)`` for one candidate refinement.
+        """``(score, engine seconds, stats)`` for one candidate refinement.
 
-        Mutates no session state, so batches of these may run
-        concurrently (the subset cache is only read, through throwaway
-        copies).
+        Appends to the shared eval cache / index store but never
+        invalidates (entries are content-keyed), so batches of these may
+        run concurrently: concurrent writers only ever write identical
+        values under identical keys, and the rule caches are only read,
+        through throwaway copies.  Per-candidate cache-hit counters do
+        depend on execution order across a parallel batch, which is why
+        stats are returned and merged (order-insensitive) rather than
+        compared per candidate.
         """
         try:
             variant = self.program.add_constraint(ie_predicate, attribute, feature, value)
         except Exception:
-            return float("inf"), 0.0
+            return float("inf"), 0.0, ExecutionStats()
         # validate=False: simulation deliberately tries constraints that
         # may be infeasible (the result is then 0 tuples, a fine answer)
         engine = IFlexEngine(
@@ -283,6 +332,8 @@ class RefinementSession:
             self.registry,
             self._simulation_config(),
             validate=False,
+            index_store=self._index_store,
+            eval_cache=self._eval_cache,
         )
         result = engine.execute(cache=_CacheCopy.copy(self._subset_cache))
         # tuple count first; narrowing measures as tie-breakers, so a
@@ -291,7 +342,7 @@ class RefinementSession:
         assignments = sum(t.assignment_count() for t in result.tables.values())
         values = sum(t.encoded_value_count() for t in result.tables.values())
         score = result.tuple_count + assignments * 1e-5 + values * 1e-10
-        return score, result.elapsed
+        return score, result.elapsed, result.stats
 
     def _simulation_config(self):
         """The candidate engines' config: always single-worker.
@@ -438,6 +489,7 @@ class RefinementSession:
             questions_asked=len(self.asked),
             questions_answered=self.developer.questions_answered,
             lint_warnings=lint_warnings,
+            exec_stats=self.exec_stats,
         )
 
     # ------------------------------------------------------------------
@@ -445,19 +497,33 @@ class RefinementSession:
         # the session lints explicitly (warnings as feedback, never
         # blocking), so its engines skip the pre-execution validation
         engine = IFlexEngine(
-            self.program, self.subset_corpus, self.registry, self.config, validate=False
+            self.program,
+            self.subset_corpus,
+            self.registry,
+            self.config,
+            validate=False,
+            index_store=self._index_store,
+            eval_cache=self._eval_cache,
         )
         result = engine.execute(cache=self._subset_cache)
         self.machine_seconds += result.elapsed
+        self.exec_stats.merge(result.stats)
         self._last_subset_result = result
         return result
 
     def _execute_full(self):
         engine = IFlexEngine(
-            self.program, self.corpus, self.registry, self.config, validate=False
+            self.program,
+            self.corpus,
+            self.registry,
+            self.config,
+            validate=False,
+            index_store=self._index_store,
+            eval_cache=self._eval_cache,
         )
         result = engine.execute(cache=self._full_cache)
         self.machine_seconds += result.elapsed
+        self.exec_stats.merge(result.stats)
         return result
 
     def _refine(self, record):

@@ -224,17 +224,22 @@ class SimulationStrategy:
         samples = self._sample_spans(session, question)
         if not samples:
             return [(v, 1.0 / len(values)) for v in values]
+        # probe through the session's shared EvalCache: the same anchor
+        # spans are re-sampled every iteration (and "no" re-verifies the
+        # "yes" answers), so most probes after the first iteration are
+        # cache hits
+        verify = session.verify_feature
         weighted = []
         for value in values:
             try:
-                hits = sum(1 for s in samples if feature.verify(s, value))
+                hits = sum(1 for s in samples if verify(feature, s, value))
             except ValueError:
                 hits = 0
             fraction = hits / len(samples)
             if value == "no":
                 # "no" competes with yes: its mass is what yes lacks
                 fraction = 1.0 - sum(
-                    1 for s in samples if feature.verify(s, "yes")
+                    1 for s in samples if verify(feature, s, "yes")
                 ) / len(samples)
             # an answer no sampled candidate supports is implausible —
             # simulating it would credit the question with a result

@@ -73,6 +73,19 @@ def build_parser():
             default="serial",
             help="scheduler for per-partition work (with --workers > 1)",
         )
+        p.add_argument(
+            "--no-index",
+            action="store_true",
+            help="disable per-document feature indexes: every "
+            "Verify/Refine evaluates naively, span by span "
+            "(escape hatch; results are identical either way)",
+        )
+        p.add_argument(
+            "--no-eval-cache",
+            action="store_true",
+            help="disable Verify/Refine memoization across constraint "
+            "chains, rules, and partitions",
+        )
 
     run = sub.add_parser("run", help="execute a program and print the result")
     add_program_args(run)
@@ -206,7 +219,12 @@ def load_program(args, corpus):
 def _exec_config(args):
     from repro.processor.context import ExecConfig
 
-    return ExecConfig(workers=args.workers, backend=args.backend)
+    return ExecConfig(
+        workers=args.workers,
+        backend=args.backend,
+        use_index=not getattr(args, "no_index", False),
+        use_eval_cache=not getattr(args, "no_eval_cache", False),
+    )
 
 
 def _cmd_run(args):

@@ -27,6 +27,10 @@ class SweepPoint:
     questions: int
     machine_seconds: float
     converged: bool
+    #: deterministic machine-work measure (compact tuples built across
+    #: all of the session's executions and simulations) — wall clock is
+    #: informative but load-sensitive, this is not
+    tuples_built: int = 0
 
     def row(self):
         return (
@@ -73,6 +77,7 @@ def alpha_sweep(task_id="T7", size=150, seed=0, alphas=(0.0, 0.2, 0.4, 0.6, 0.8)
                 questions=trace.questions_asked,
                 machine_seconds=trace.machine_seconds,
                 converged=trace.converged,
+                tuples_built=trace.exec_stats.tuples_built,
             )
         )
     return task, points
@@ -96,6 +101,7 @@ def subset_fraction_sweep(
                 questions=trace.questions_asked,
                 machine_seconds=trace.machine_seconds,
                 converged=trace.converged,
+                tuples_built=trace.exec_stats.tuples_built,
             )
         )
     return task, points
@@ -119,6 +125,7 @@ def k_sweep(task_id="T5", size=200, seed=0, ks=(2, 3, 4, 5)):
                 questions=trace.questions_asked,
                 machine_seconds=trace.machine_seconds,
                 converged=trace.converged,
+                tuples_built=trace.exec_stats.tuples_built,
             )
         )
     return task, points

@@ -81,6 +81,17 @@ class Feature:
         """Maximal satisfying sub-spans as ``(mode, span)`` hints."""
         raise NotImplementedError
 
+    def build_index(self, doc, arrays):
+        """A per-document :class:`~repro.features.index.FeatureIndex`.
+
+        The default ``None`` means "not indexable": every Verify/Refine
+        evaluates naively.  Indexable features override this (see the
+        ``IndexableFeature`` protocol in :mod:`repro.features.index`);
+        ``arrays`` is the document's shared
+        :class:`~repro.features.index.TokenArrays`.
+        """
+        return None
+
     # ------------------------------------------------------------------
     def candidate_values(self, spans):
         """Plausible parameter values, profiled from candidate ``spans``.

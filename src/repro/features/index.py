@@ -1,0 +1,397 @@
+"""Per-document feature indexes: ``Verify``/``Refine`` as array lookups.
+
+The naive feature implementations in :mod:`repro.features.syntactic` and
+:mod:`repro.features.formatting` re-scan a document's tokens (or region
+list) on every ``Verify``/``Refine`` call.  Constraint pushdown calls
+them once per assignment, per constraint, per rule — so the same linear
+scans repeat thousands of times over the same unchanged text.
+
+This module turns those scans into index lookups, SystemT-style: a
+feature that can be indexed builds one :class:`FeatureIndex` per
+document (sorted token-position arrays, region interval arrays,
+capitalised-run tables), after which ``Verify(s, f, v)`` is a pair of
+bisections and ``Refine(s, f, v)`` enumerates the maximal satisfying
+sub-spans directly from the precomputed arrays.
+
+Correctness contract
+--------------------
+An index is an *accelerator*, never a semantics change: for every
+``(span, value)`` it answers, the result must be byte-identical to the
+naive implementation — same hints, same modes, same order.  When an
+index cannot answer (an unsupported value, a feature aspect that
+depends on raw text the index does not capture), it returns ``None``
+and the caller falls back to the naive path.  The differential tests in
+``tests/processor/test_index_equivalence.py`` enforce this contract on
+generated documents.
+
+IndexableFeature protocol
+-------------------------
+A feature opts in by overriding :meth:`Feature.build_index
+<repro.features.base.Feature.build_index>` to return a
+:class:`FeatureIndex` (the default returns ``None``, meaning "not
+indexable").  :class:`IndexStore` calls ``build_index`` lazily, once per
+``(feature, document)``, and shares one :class:`TokenArrays` per
+document across all features.
+"""
+
+import bisect
+
+from repro.features.base import (
+    DISTINCT_NO,
+    DISTINCT_YES,
+    NO,
+    YES,
+)
+from repro.text.span import Span
+from repro.text.tokenize import NUMBER, WORD
+
+__all__ = [
+    "TokenArrays",
+    "FeatureIndex",
+    "IndexableFeature",
+    "IndexStore",
+    "NumericIndex",
+    "CapitalizedIndex",
+    "RegionIndex",
+    "TokenWindowIndex",
+]
+
+
+class TokenArrays:
+    """Sorted start/end offset arrays over one document's tokens.
+
+    Tokens are non-overlapping and emitted in document order, so both
+    arrays are sorted and the tokens fully inside ``[start, end)`` form
+    the contiguous index range returned by :meth:`range_in` — the
+    bisect-form of ``Document.tokens_in``.
+    """
+
+    __slots__ = ("tokens", "starts", "ends")
+
+    def __init__(self, doc):
+        self.tokens = doc.tokens
+        self.starts = [t.start for t in self.tokens]
+        self.ends = [t.end for t in self.tokens]
+
+    def range_in(self, start, end):
+        """``(lo, hi)`` such that ``tokens[lo:hi]`` lie fully inside."""
+        lo = bisect.bisect_left(self.starts, start)
+        return lo, max(lo, bisect.bisect_right(self.ends, end))
+
+    def has_token_in(self, start, end):
+        lo, hi = self.range_in(start, end)
+        return lo < hi
+
+
+class FeatureIndex:
+    """Base class for per-document feature indexes.
+
+    Both methods return ``None`` when the index cannot answer for the
+    given value; the execution context then falls back to the feature's
+    naive implementation.  Answers must match the naive path exactly.
+    """
+
+    def verify(self, span, value):
+        """``True``/``False``, or ``None`` to fall back."""
+        return None
+
+    def refine(self, span, value):
+        """A list of ``(mode, span)`` hints, or ``None`` to fall back."""
+        return None
+
+
+class IndexableFeature:
+    """The protocol an indexable feature implements (documentation aid).
+
+    Any :class:`~repro.features.base.Feature` whose ``build_index(doc,
+    arrays)`` returns a :class:`FeatureIndex` participates; features
+    inheriting the default (``None``) are evaluated naively.  The
+    built-in implementations: :class:`NumericIndex`,
+    :class:`CapitalizedIndex`, :class:`RegionIndex` (six formatting
+    features) and :class:`TokenWindowIndex` (``max_length``).
+    """
+
+    def build_index(self, doc, arrays):
+        raise NotImplementedError
+
+
+class IndexStore:
+    """Lazy cache of per-document feature indexes.
+
+    Keys are ``(feature name, doc_id)``; unsupported features cache
+    ``None`` so the build attempt happens once.  One store may be shared
+    across execution contexts, partitions, and assistant simulations —
+    indexes depend only on immutable document content, so there is
+    nothing to invalidate.  Under the thread backend two workers may
+    race to build the same index; both build the same value, so the
+    duplicate work is benign (``built`` is therefore a diagnostic
+    counter, not part of :class:`~repro.processor.context.ExecutionStats`).
+    """
+
+    __slots__ = ("_arrays", "_indexes", "built")
+
+    def __init__(self):
+        self._arrays = {}
+        self._indexes = {}
+        self.built = 0
+
+    def arrays(self, doc):
+        arrays = self._arrays.get(doc.doc_id)
+        if arrays is None:
+            arrays = TokenArrays(doc)
+            self._arrays[doc.doc_id] = arrays
+        return arrays
+
+    def index_for(self, feature, doc):
+        """The feature's index over ``doc``, or ``None`` if unindexable."""
+        key = (feature.name, doc.doc_id)
+        try:
+            return self._indexes[key]
+        except KeyError:
+            index = feature.build_index(doc, self.arrays(doc))
+            if index is not None:
+                self.built += 1
+            self._indexes[key] = index
+            return index
+
+    def __len__(self):
+        return len(self._indexes)
+
+
+# ----------------------------------------------------------------------
+# index implementations
+# ----------------------------------------------------------------------
+
+class NumericIndex(FeatureIndex):
+    """Positions of the document's NUMBER tokens.
+
+    Only ``refine`` is indexed: naive ``verify`` parses the span text
+    (``parse_number`` accepts ``$`` prefixes and comma separators that
+    cross token boundaries), so its answer cannot be derived from the
+    token table alone.
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, doc, arrays):
+        self.starts = []
+        self.ends = []
+        for token in arrays.tokens:
+            if token.kind == NUMBER:
+                self.starts.append(token.start)
+                self.ends.append(token.end)
+
+    def refine(self, span, value):
+        lo = bisect.bisect_left(self.starts, span.start)
+        hi = max(lo, bisect.bisect_right(self.ends, span.end))
+        if value in (YES, DISTINCT_YES):
+            return [
+                ("exact", Span(span.doc, s, e))
+                for s, e in zip(self.starts[lo:hi], self.ends[lo:hi])
+            ]
+        if value == NO:
+            from repro.features.base import complement_intervals
+
+            gaps = complement_intervals(
+                list(zip(self.starts[lo:hi], self.ends[lo:hi])),
+                span.start,
+                span.end,
+            )
+            return [("contain", Span(span.doc, s, e)) for s, e in gaps]
+        return None  # unsupported value: naive path raises
+
+
+class CapitalizedIndex(FeatureIndex):
+    """Word/capitalised-word positions plus maximal capitalised runs.
+
+    A *run* is a maximal sequence of capitalised WORD tokens not broken
+    by a lowercase WORD token (non-word tokens neither break nor extend
+    a run — mirroring ``CapitalizedFeature.refine``).  Tokens fully
+    inside a span are contiguous in document order, so a span clips each
+    run to its in-span cap tokens and two runs can never merge: the
+    lowercase word separating them is itself inside the span.
+    """
+
+    __slots__ = ("word_starts", "word_ends", "cap_starts", "cap_ends", "cap_run")
+
+    def __init__(self, doc, arrays):
+        self.word_starts = []
+        self.word_ends = []
+        self.cap_starts = []
+        self.cap_ends = []
+        self.cap_run = []
+        run_id = -1
+        in_run = False
+        for token in arrays.tokens:
+            if token.kind != WORD:
+                continue
+            self.word_starts.append(token.start)
+            self.word_ends.append(token.end)
+            if token.text[:1].isupper():
+                if not in_run:
+                    run_id += 1
+                    in_run = True
+                self.cap_starts.append(token.start)
+                self.cap_ends.append(token.end)
+                self.cap_run.append(run_id)
+            else:
+                in_run = False
+
+    def _word_count(self, span):
+        lo = bisect.bisect_left(self.word_starts, span.start)
+        return max(0, bisect.bisect_right(self.word_ends, span.end) - lo)
+
+    def _cap_range(self, span):
+        lo = bisect.bisect_left(self.cap_starts, span.start)
+        return lo, max(lo, bisect.bisect_right(self.cap_ends, span.end))
+
+    def verify(self, span, value):
+        words = self._word_count(span)
+        lo, hi = self._cap_range(span)
+        satisfied = words > 0 and (hi - lo) == words
+        if value == YES:
+            return satisfied
+        if value == NO:
+            return not satisfied
+        return None
+
+    def refine(self, span, value):
+        if value != YES:
+            return None  # naive path: one loose contain over the span
+        lo, hi = self._cap_range(span)
+        hints = []
+        i = lo
+        while i < hi:
+            run = self.cap_run[i]
+            j = i
+            while j + 1 < hi and self.cap_run[j + 1] == run:
+                j += 1
+            hints.append(
+                ("contain", Span(span.doc, self.cap_starts[i], self.cap_ends[j]))
+            )
+            i = j + 1
+        return hints
+
+
+class RegionIndex(FeatureIndex):
+    """One markup kind's regions with prefix-max ends and trim memo.
+
+    ``max_end_prefix[i]`` is the largest end among ``regions[: i + 1]``
+    — coverage and overlap tests become bisections that stay correct
+    even when regions of a kind overlap (the document model sorts but
+    does not merge them).  ``distinct`` checks reuse the token arrays,
+    and each region's token trim is computed once instead of per call.
+    """
+
+    __slots__ = ("regions", "starts", "max_end_prefix", "arrays", "_trimmed")
+
+    def __init__(self, doc, arrays, region_kind):
+        self.regions = doc.regions_of(region_kind)
+        self.starts = [s for s, _ in self.regions]
+        self.max_end_prefix = []
+        furthest = 0
+        for _, end in self.regions:
+            furthest = max(furthest, end)
+            self.max_end_prefix.append(furthest)
+        self.arrays = arrays
+        self._trimmed = {}
+
+    def _trim(self, rstart, rend):
+        """``trim_to_tokens`` of one region, memoized."""
+        key = (rstart, rend)
+        try:
+            return self._trimmed[key]
+        except KeyError:
+            lo, hi = self.arrays.range_in(rstart, rend)
+            trimmed = (
+                None if lo >= hi else (self.arrays.starts[lo], self.arrays.ends[hi - 1])
+            )
+            self._trimmed[key] = trimmed
+            return trimmed
+
+    def verify(self, span, value):
+        if value == YES:
+            # covered iff some region starts at/before the span and the
+            # furthest end among those reaches the span end
+            k = bisect.bisect_right(self.starts, span.start)
+            return k > 0 and self.max_end_prefix[k - 1] >= span.end
+        if value == NO:
+            # overlap iff some region starting before the span end
+            # reaches past the span start
+            k = bisect.bisect_left(self.starts, span.end)
+            return k == 0 or self.max_end_prefix[k - 1] <= span.start
+        if value == DISTINCT_YES:
+            # first containing region in sorted order, as the naive loop
+            k = bisect.bisect_right(self.starts, span.start)
+            for i in range(k):
+                if self.regions[i][1] >= span.end:
+                    trimmed = self._trim(*self.regions[i])
+                    return trimmed is not None and (
+                        trimmed[0] >= span.start and trimmed[1] <= span.end
+                    )
+            return False
+        if value == DISTINCT_NO:
+            k = bisect.bisect_left(self.starts, span.end)
+            for i in range(k):
+                rstart, rend = self.regions[i]
+                if rend <= span.start:
+                    continue
+                if self.arrays.has_token_in(
+                    max(rstart, span.start), min(rend, span.end)
+                ):
+                    return False
+            return True
+        return None
+
+    def refine(self, span, value):
+        if value != DISTINCT_YES:
+            # yes/no refine is a single interval clip/complement over
+            # the (short) region list; the naive path is already cheap
+            return None
+        hints = []
+        for i in range(bisect.bisect_left(self.starts, span.start), len(self.regions)):
+            rstart, rend = self.regions[i]
+            if rstart > span.end:
+                break
+            if rend <= span.end:
+                trimmed = self._trim(rstart, rend)
+                if trimmed is not None:
+                    hints.append(("exact", Span(span.doc, trimmed[0], trimmed[1])))
+        return hints
+
+
+class TokenWindowIndex(FeatureIndex):
+    """Token-window endpoints for length-capped refinement.
+
+    ``max_length`` refinement slides a token window: for each start
+    token the furthest end token still within the character budget.
+    With sorted end offsets that endpoint is one bisection instead of
+    the naive linear extension.
+    """
+
+    __slots__ = ("arrays",)
+
+    def __init__(self, doc, arrays):
+        self.arrays = arrays
+
+    def verify(self, span, value):
+        # length is span arithmetic, no document scan — answered here so
+        # the call is cached and counted as indexed work
+        return len(span) <= int(value)
+
+    def refine(self, span, value):
+        limit = int(value)
+        if len(span) <= limit:
+            return [("contain", span)]
+        starts, ends = self.arrays.starts, self.arrays.ends
+        lo, hi = self.arrays.range_in(span.start, span.end)
+        hints = []
+        prev_j = -1
+        for i in range(lo, hi):
+            if ends[i] - starts[i] > limit:
+                continue
+            j = bisect.bisect_right(ends, starts[i] + limit, i, hi) - 1
+            if j > prev_j:  # maximal: not contained in the previous window
+                hints.append(("contain", Span(span.doc, starts[i], ends[j])))
+                prev_j = j
+        return hints

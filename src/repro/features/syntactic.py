@@ -63,6 +63,11 @@ class NumericFeature(Feature):
             return [("contain", Span(span.doc, s, e)) for s, e in gaps]
         raise ValueError("unsupported value %r for numeric" % (value,))
 
+    def build_index(self, doc, arrays):
+        from repro.features.index import NumericIndex
+
+        return NumericIndex(doc, arrays)
+
 
 class CapitalizedFeature(Feature):
     """``capitalized(a) = yes``: every word token starts uppercase."""
@@ -102,6 +107,11 @@ class CapitalizedFeature(Feature):
         if run_start is not None:
             hints.append(("contain", Span(span.doc, run_start, last_end)))
         return hints
+
+    def build_index(self, doc, arrays):
+        from repro.features.index import CapitalizedIndex
+
+        return CapitalizedIndex(doc, arrays)
 
 
 class _RegexParamFeature(Feature):
@@ -199,6 +209,11 @@ class MaxLengthFeature(Feature):
                 hints.append(("contain", Span(span.doc, first.start, tokens[j].end)))
                 prev_j = j
         return hints
+
+    def build_index(self, doc, arrays):
+        from repro.features.index import TokenWindowIndex
+
+        return TokenWindowIndex(doc, arrays)
 
     def candidate_values(self, spans):
         lengths = sorted(len(s) for s in spans if len(s))

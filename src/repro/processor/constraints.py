@@ -12,26 +12,38 @@ a span produced while refining with ``kj`` may violate an earlier
 ``ki``; the paper mandates rechecking against all previously applied
 constraints, which is what ``prior_constraints`` carries.  (Any
 application order then yields the same final assignments.)
+
+Both Verify and Refine route through the execution context, which
+consults the :class:`~repro.processor.context.EvalCache` and the
+per-document feature indexes before falling back to the naive feature
+implementations — see :mod:`repro.features.index`.
 """
+
+import functools
+import re
 
 from repro.ctables.assignments import Contain, Exact, value_number, value_text
 from repro.text.span import Span
 
-__all__ = ["apply_constraint_to_cell", "verify_constraint_on_value"]
+__all__ = [
+    "apply_constraint_to_cell",
+    "verify_constraint_on_value",
+    "verify_scalar",
+]
 
 
-def verify_constraint_on_value(feature, value_obj, feature_value, stats=None):
-    """``Verify`` generalised to scalar cell values.
+@functools.lru_cache(maxsize=256)
+def _compiled_pattern(pattern):
+    return re.compile(pattern)
 
-    Spans go straight to the feature.  Scalars (already cast out of
-    their document) can only be checked against content features;
-    context/formatting features cannot reject them, so we keep them —
-    conservative, hence superset-safe.
+
+def verify_scalar(feature, value_obj, feature_value):
+    """``Verify`` for scalar (non-span) cell values.
+
+    Scalars (already cast out of their document) can only be checked
+    against content features; context/formatting features cannot reject
+    them, so we keep them — conservative, hence superset-safe.
     """
-    if stats is not None:
-        stats.verify_calls += 1
-    if isinstance(value_obj, Span):
-        return feature.verify(value_obj, feature_value)
     name = feature.name
     if name == "numeric":
         is_number = value_number(value_obj) is not None
@@ -47,16 +59,31 @@ def verify_constraint_on_value(feature, value_obj, feature_value, stats=None):
     if name == "min_length":
         return len(value_text(value_obj)) >= int(feature_value)
     if name == "pattern":
-        import re
-
-        return re.fullmatch(str(feature_value), value_text(value_obj)) is not None
+        return (
+            _compiled_pattern(str(feature_value)).fullmatch(value_text(value_obj))
+            is not None
+        )
     return True  # context/formatting features cannot reject a scalar
+
+
+def verify_constraint_on_value(feature, value_obj, feature_value, stats=None):
+    """``Verify`` generalised to scalar cell values (uncached path).
+
+    Spans go straight to the feature; scalars to :func:`verify_scalar`.
+    The execution context's ``verify_value`` is the cached, index-aware
+    equivalent — this function remains the plain one-shot entry point.
+    """
+    if stats is not None:
+        stats.verify_calls += 1
+    if isinstance(value_obj, Span):
+        return feature.verify(value_obj, feature_value)
+    return verify_scalar(feature, value_obj, feature_value)
 
 
 def _passes_all(span, constraints, context):
     for feature_name, feature_value in constraints:
         feature = context.feature(feature_name)
-        if not verify_constraint_on_value(feature, span, feature_value, context.stats):
+        if not context.verify_value(feature, span, feature_value):
             return False
     return True
 
@@ -79,14 +106,11 @@ def apply_constraint_to_cell(cell, feature_name, feature_value, prior_constraint
 
     for assignment in cell.assignments:
         if isinstance(assignment, Exact):
-            if verify_constraint_on_value(
-                feature, assignment.value, feature_value, context.stats
-            ):
+            if context.verify_value(feature, assignment.value, feature_value):
                 emit(assignment)
             continue
         # contain(s): refine, then recheck each produced span
-        context.stats.refine_calls += 1
-        for mode, span in feature.refine(assignment.span, feature_value):
+        for mode, span in context.refine_span(feature, assignment.span, feature_value):
             if mode == "exact":
                 if _passes_all(span, prior_constraints, context):
                     emit(Exact(span))

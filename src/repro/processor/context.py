@@ -2,9 +2,17 @@
 
 from dataclasses import dataclass
 
+from repro.features.index import IndexStore
 from repro.features.registry import default_registry
+from repro.text.span import Span
 
-__all__ = ["ExecConfig", "ExecutionContext", "ExecutionStats"]
+__all__ = [
+    "EvalCache",
+    "ExecConfig",
+    "ExecutionContext",
+    "ExecutionStats",
+    "FeatureEvaluator",
+]
 
 
 @dataclass
@@ -36,14 +44,36 @@ class ExecConfig:
     #: Scheduler for per-partition work: ``serial`` | ``thread`` |
     #: ``process`` (see :mod:`repro.processor.schedulers`).
     backend: str = "serial"
+    #: Consult per-document feature indexes for Verify/Refine (see
+    #: :mod:`repro.features.index`); ``False`` forces the naive
+    #: span-by-span path (the CLI's ``--no-index``).
+    use_index: bool = True
+    #: Memoize Verify/Refine results across constraint chains, rules and
+    #: partitions (the :class:`EvalCache`).
+    use_eval_cache: bool = True
 
 
 @dataclass
 class ExecutionStats:
-    """Counters the benchmarks and the assistant report on."""
+    """Counters the benchmarks and the assistant report on.
+
+    ``verify_calls`` / ``refine_calls`` count *naive* feature
+    evaluations actually performed; work answered by a per-document
+    index counts under ``index_verify_calls`` / ``index_refine_calls``
+    instead, and work answered from the :class:`EvalCache` counts only
+    as a hit.  The total number of Verify requests the processor made
+    is therefore ``verify_calls + index_verify_calls +
+    verify_cache_hits`` (likewise for Refine).
+    """
 
     verify_calls: int = 0
     refine_calls: int = 0
+    index_verify_calls: int = 0
+    index_refine_calls: int = 0
+    verify_cache_hits: int = 0
+    verify_cache_misses: int = 0
+    refine_cache_hits: int = 0
+    refine_cache_misses: int = 0
     tuples_built: int = 0
     values_enumerated: int = 0
     cap_hits: int = 0
@@ -54,20 +84,176 @@ class ExecutionStats:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
 
-class ExecutionContext:
-    """Everything operators need while a plan runs."""
+class EvalCache:
+    """Memoized ``Verify``/``Refine`` results.
 
-    def __init__(self, program, corpus, features=None, config=None):
+    Keys are ``(feature name, value, doc_id, start, end)`` — the span's
+    interned identity, matching ``Span.__hash__``.  Results depend only
+    on immutable document content, never on the program being executed,
+    so one cache is sound across constraint chains, rules, engine runs,
+    partitions, and assistant candidate simulations with nothing to
+    invalidate.  Refine hints are stored as tuples (an empty result is a
+    valid, cacheable answer).
+    """
+
+    __slots__ = ("verify", "refine")
+
+    def __init__(self):
+        self.verify = {}
+        self.refine = {}
+
+    def clear(self):
+        self.verify.clear()
+        self.refine.clear()
+
+    def __len__(self):
+        return len(self.verify) + len(self.refine)
+
+
+#: sentinel distinguishing "not cached" from cached falsy results
+_MISSING = object()
+
+
+class FeatureEvaluator:
+    """Verify/Refine dispatch: :class:`EvalCache` → index → naive.
+
+    Owns no policy beyond the lookup order; pass ``index_store`` /
+    ``eval_cache`` as ``None`` to disable either layer.  ``stats``
+    receives the counters (see :class:`ExecutionStats`).
+    """
+
+    __slots__ = ("index_store", "eval_cache", "stats")
+
+    def __init__(self, index_store=None, eval_cache=None, stats=None):
+        self.index_store = index_store
+        self.eval_cache = eval_cache
+        self.stats = stats if stats is not None else ExecutionStats()
+
+    def verify_value(self, feature, value_obj, feature_value):
+        """``Verify`` generalised to scalar cell values, accelerated."""
+        if isinstance(value_obj, Span):
+            return self.verify_span(feature, value_obj, feature_value)
+        from repro.processor.constraints import verify_scalar
+
+        self.stats.verify_calls += 1
+        return verify_scalar(feature, value_obj, feature_value)
+
+    def _cache_key(self, feature, span, feature_value):
+        key = (feature.name, feature_value, span.doc.doc_id, span.start, span.end)
+        try:
+            hash(key)
+        except TypeError:  # unhashable feature value: bypass the cache
+            return None
+        return key
+
+    def verify_span(self, feature, span, feature_value):
+        cache = self.eval_cache
+        key = None
+        if cache is not None:
+            key = self._cache_key(feature, span, feature_value)
+            if key is not None:
+                cached = cache.verify.get(key, _MISSING)
+                if cached is not _MISSING:
+                    self.stats.verify_cache_hits += 1
+                    return cached
+                self.stats.verify_cache_misses += 1
+        result = None
+        if self.index_store is not None:
+            index = self.index_store.index_for(feature, span.doc)
+            if index is not None:
+                result = index.verify(span, feature_value)
+        if result is None:
+            self.stats.verify_calls += 1
+            result = feature.verify(span, feature_value)
+        else:
+            self.stats.index_verify_calls += 1
+        if key is not None:
+            cache.verify[key] = result
+        return result
+
+    def refine_span(self, feature, span, feature_value):
+        """Refine hints for ``contain(span)`` as a tuple of
+        ``(mode, span)`` pairs."""
+        cache = self.eval_cache
+        key = None
+        if cache is not None:
+            key = self._cache_key(feature, span, feature_value)
+            if key is not None:
+                cached = cache.refine.get(key, _MISSING)
+                if cached is not _MISSING:
+                    self.stats.refine_cache_hits += 1
+                    return cached
+                self.stats.refine_cache_misses += 1
+        hints = None
+        if self.index_store is not None:
+            index = self.index_store.index_for(feature, span.doc)
+            if index is not None:
+                hints = index.refine(span, feature_value)
+        if hints is None:
+            self.stats.refine_calls += 1
+            hints = feature.refine(span, feature_value)
+        else:
+            self.stats.index_refine_calls += 1
+        hints = tuple(hints)
+        if key is not None:
+            cache.refine[key] = hints
+        return hints
+
+
+class ExecutionContext:
+    """Everything operators need while a plan runs.
+
+    ``index_store`` / ``eval_cache`` may be passed in to share across
+    contexts (the engine shares one store across partitions; the
+    assistant session shares both across simulations).  When omitted,
+    fresh ones are created per the config switches — so parallel
+    partition contexts get *fresh* eval caches, keeping per-partition
+    hit/miss counters identical to a serial run over the same documents
+    (cache keys are document-scoped and partitions are document-disjoint).
+    """
+
+    def __init__(
+        self,
+        program,
+        corpus,
+        features=None,
+        config=None,
+        index_store=None,
+        eval_cache=None,
+    ):
         self.program = program
         self.corpus = corpus
         self.features = features or default_registry()
         self.config = config or ExecConfig()
         self.stats = ExecutionStats()
+        if not getattr(self.config, "use_index", True):
+            index_store = None
+        elif index_store is None:
+            index_store = IndexStore()
+        if not getattr(self.config, "use_eval_cache", True):
+            eval_cache = None
+        elif eval_cache is None:
+            eval_cache = EvalCache()
+        self.evaluator = FeatureEvaluator(index_store, eval_cache, self.stats)
         #: name -> CompactTable for already-evaluated intensional preds
         self.relations = {}
 
+    @property
+    def index_store(self):
+        return self.evaluator.index_store
+
+    @property
+    def eval_cache(self):
+        return self.evaluator.eval_cache
+
     def feature(self, name):
         return self.features.get(name)
+
+    def verify_value(self, feature, value_obj, feature_value):
+        return self.evaluator.verify_value(feature, value_obj, feature_value)
+
+    def refine_span(self, feature, span, feature_value):
+        return self.evaluator.refine_span(feature, span, feature_value)
 
     def p_function(self, name):
         return self.program.p_functions[name]

@@ -25,7 +25,8 @@ from repro.errors import (
     UnknownFeatureError,
     UnknownPredicateError,
 )
-from repro.processor.context import ExecConfig, ExecutionContext
+from repro.features.index import IndexStore
+from repro.processor.context import EvalCache, ExecConfig, ExecutionContext
 from repro.processor.operators import apply_constraint_to_table
 from repro.processor.plan import compile_predicate
 from repro.xlog.ast import ConstraintAtom, PredicateAtom, Rule
@@ -214,11 +215,33 @@ class IFlexEngine:
     deliberately partial program.
     """
 
-    def __init__(self, program, corpus, features=None, config=None, validate=True):
+    def __init__(
+        self,
+        program,
+        corpus,
+        features=None,
+        config=None,
+        validate=True,
+        index_store=None,
+        eval_cache=None,
+    ):
         self.program = program
         self.corpus = corpus
         self.features = features
         self.config = config or ExecConfig()
+        # Verify/Refine acceleration state, shared by every execution of
+        # this engine (and across engines when the caller passes its own
+        # — the assistant session shares one pair session-wide).  Both
+        # are keyed by immutable document content, so sharing never
+        # changes results.
+        if getattr(self.config, "use_index", True):
+            self.index_store = index_store if index_store is not None else IndexStore()
+        else:
+            self.index_store = None
+        if getattr(self.config, "use_eval_cache", True):
+            self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
+        else:
+            self.eval_cache = None
         self.lint_result = None
         if validate:
             self.lint_result = self._validate()
@@ -237,7 +260,24 @@ class IFlexEngine:
             return None
         from repro.processor.physical import PhysicalExecutor
 
-        return PhysicalExecutor(self.unfolded, self.corpus, self.features, self.config)
+        return PhysicalExecutor(
+            self.unfolded,
+            self.corpus,
+            self.features,
+            self.config,
+            index_store=self.index_store,
+        )
+
+    def _context(self):
+        """A fresh whole-corpus execution context on the shared stores."""
+        return ExecutionContext(
+            self.unfolded,
+            self.corpus,
+            self.features,
+            self.config,
+            index_store=self.index_store,
+            eval_cache=self.eval_cache,
+        )
 
     def _validate(self):
         """Analyze the program; raise on the first error diagnostic.
@@ -265,7 +305,7 @@ class IFlexEngine:
     def execute(self, cache=None):
         """Run the program; returns an :class:`ExecutionResult`."""
         start = time.perf_counter()
-        context = ExecutionContext(self.unfolded, self.corpus, self.features, self.config)
+        context = self._context()
         tokens = {}
         reuse_summary = {}
         for name in self.order:
@@ -397,10 +437,10 @@ class IFlexEngine:
         counts) and reported nested under the suffix's gather leaves, so
         cost still attributes to individual operators.
         """
-        from repro.processor.tracing import render_traces, trace_plan
+        from repro.processor.tracing import render_cache_summary, render_traces, trace_plan
 
         start = time.perf_counter()
-        context = ExecutionContext(self.unfolded, self.corpus, self.features, self.config)
+        context = self._context()
         reports = []
         for name in self.order:
             if self.physical is not None:
@@ -411,6 +451,7 @@ class IFlexEngine:
                 traced = trace_plan(compile_predicate(name, self.unfolded))
                 context.relations[name] = traced.execute(context)
                 reports.append("%s:\n%s" % (name, traced.report()))
+        reports.append(render_cache_summary(context.stats))
         elapsed = time.perf_counter() - start
         result = ExecutionResult(
             query_table=context.relations[self.unfolded.query],

@@ -36,11 +36,16 @@ __all__ = ["PhysicalExecutor"]
 class PhysicalExecutor:
     """Executes one (unfolded) program's plans over a partitioned corpus."""
 
-    def __init__(self, program, corpus, features, config, scheduler=None):
+    def __init__(
+        self, program, corpus, features, config, scheduler=None, index_store=None
+    ):
         self.program = program
         self.corpus = corpus
         self.features = features
         self.config = config
+        #: shared per-document feature indexes (thread-shared /
+        #: fork-inherited; content-keyed, so sharing is always sound)
+        self.index_store = index_store
         self.scheduler = scheduler or make_scheduler(
             getattr(config, "backend", "serial"), getattr(config, "workers", 1)
         )
@@ -73,8 +78,17 @@ class PhysicalExecutor:
     # partition-level execution
     # ------------------------------------------------------------------
     def _partition_context(self, pid):
+        # The index store is shared (document content never changes);
+        # the eval cache is *fresh* per partition so hit/miss counters
+        # are backend-independent and sum to the serial counts — cache
+        # keys are document-scoped and partitions document-disjoint, so
+        # a shared cache could not produce extra hits anyway.
         return ExecutionContext(
-            self.program, self.partitions[pid], self.features, self.config
+            self.program,
+            self.partitions[pid],
+            self.features,
+            self.config,
+            index_store=self.index_store,
         )
 
     def execute_local_partitions(self, name, pids=None):
@@ -200,6 +214,8 @@ def _collect_with_prefixes(traced, merged_by_index):
                     out_tuples=row.out_tuples,
                     out_assignments=row.out_assignments,
                     maybe_tuples=row.maybe_tuples,
+                    cache_hits=row.cache_hits,
+                    cache_misses=row.cache_misses,
                 )
             )
     for child in traced.children():

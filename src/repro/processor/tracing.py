@@ -1,8 +1,8 @@
 """Operator-level execution tracing (EXPLAIN ANALYZE).
 
-Wraps a compiled plan so each operator records its output cardinality
-and wall time.  Used by ``IFlexEngine.explain_analyze`` and by the
-benchmarks to attribute cost inside a plan.
+Wraps a compiled plan so each operator records its output cardinality,
+wall time, and EvalCache traffic.  Used by ``IFlexEngine.explain_analyze``
+and by the benchmarks to attribute cost inside a plan.
 """
 
 import time
@@ -14,12 +14,18 @@ __all__ = [
     "trace_plan",
     "merge_traces",
     "render_traces",
+    "render_cache_summary",
 ]
 
 
 @dataclass
 class OperatorTrace:
-    """One operator's measurements for one execution."""
+    """One operator's measurements for one execution.
+
+    ``cache_hits`` / ``cache_misses`` are the operator's own EvalCache
+    traffic (verify + refine combined), excluding its children — like
+    ``elapsed``, which is self time.
+    """
 
     describe: str
     depth: int
@@ -27,6 +33,8 @@ class OperatorTrace:
     out_tuples: int = 0
     out_assignments: int = 0
     maybe_tuples: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def row(self):
         return (
@@ -35,7 +43,20 @@ class OperatorTrace:
             self.out_tuples,
             self.out_assignments,
             self.maybe_tuples,
+            self.cache_hits,
+            self.cache_misses,
         )
+
+
+_TRACE_HEADERS = (
+    "operator",
+    "self time",
+    "tuples",
+    "assignments",
+    "maybe",
+    "cache hits",
+    "cache misses",
+)
 
 
 class TracedPlan:
@@ -45,6 +66,12 @@ class TracedPlan:
         self._operator = operator
         self.attrs = operator.attrs
         self.trace = OperatorTrace(operator.describe(), depth)
+        # subtree totals; self values are derived by subtracting the
+        # children's *subtree* totals (subtracting their self values
+        # would re-attribute grandchild time/traffic to this operator)
+        self._subtree_elapsed = 0.0
+        self._subtree_hits = 0
+        self._subtree_misses = 0
         self._children = [
             TracedPlan(child, depth + 1) for child in operator.children()
         ]
@@ -74,15 +101,33 @@ class TracedPlan:
         return self._operator.explain(depth)
 
     def execute(self, context):
+        stats = context.stats
+        hits_before = stats.verify_cache_hits + stats.refine_cache_hits
+        misses_before = stats.verify_cache_misses + stats.refine_cache_misses
         start = time.perf_counter()
         table = self._operator.execute(context)
-        total = time.perf_counter() - start
-        # subtract child time so elapsed is *self* time
-        child_time = sum(t.trace.elapsed for t in self._children)
-        self.trace.elapsed = max(0.0, total - child_time)
-        self.trace.out_tuples = len(table)
-        self.trace.out_assignments = table.assignment_count()
-        self.trace.maybe_tuples = table.maybe_count()
+        self._subtree_elapsed = time.perf_counter() - start
+        self._subtree_hits = (
+            stats.verify_cache_hits + stats.refine_cache_hits - hits_before
+        )
+        self._subtree_misses = (
+            stats.verify_cache_misses + stats.refine_cache_misses - misses_before
+        )
+        trace = self.trace
+        trace.elapsed = max(
+            0.0,
+            self._subtree_elapsed
+            - sum(t._subtree_elapsed for t in self._children),
+        )
+        trace.cache_hits = self._subtree_hits - sum(
+            t._subtree_hits for t in self._children
+        )
+        trace.cache_misses = self._subtree_misses - sum(
+            t._subtree_misses for t in self._children
+        )
+        trace.out_tuples = len(table)
+        trace.out_assignments = table.assignment_count()
+        trace.maybe_tuples = table.maybe_count()
         return table
 
     # -- reporting ----------------------------------------------------------
@@ -95,10 +140,7 @@ class TracedPlan:
     def report(self):
         from repro.experiments.report import render_table
 
-        rows = [t.row() for t in self.collect()]
-        return render_table(
-            ("operator", "self time", "tuples", "assignments", "maybe"), rows
-        )
+        return render_table(_TRACE_HEADERS, [t.row() for t in self.collect()])
 
 
 def trace_plan(operator):
@@ -132,6 +174,8 @@ def merge_traces(trace_lists):
             out.out_tuples += other.out_tuples
             out.out_assignments += other.out_assignments
             out.maybe_tuples += other.maybe_tuples
+            out.cache_hits += other.cache_hits
+            out.cache_misses += other.cache_misses
         merged.append(out)
     return merged
 
@@ -140,7 +184,33 @@ def render_traces(traces):
     """The ``explain_analyze`` table for an already-collected trace list."""
     from repro.experiments.report import render_table
 
-    rows = [t.row() for t in traces]
-    return render_table(
-        ("operator", "self time", "tuples", "assignments", "maybe"), rows
+    return render_table(_TRACE_HEADERS, [t.row() for t in traces])
+
+
+def render_cache_summary(stats):
+    """One-paragraph EvalCache / feature-evaluation summary for a run."""
+
+    def rate(hits, misses):
+        total = hits + misses
+        return 100.0 * hits / total if total else 0.0
+
+    return (
+        "eval cache: verify %d hit / %d miss (%.1f%%), "
+        "refine %d hit / %d miss (%.1f%%); "
+        "evaluations: %d verify (%d indexed, %d naive), "
+        "%d refine (%d indexed, %d naive)"
+        % (
+            stats.verify_cache_hits,
+            stats.verify_cache_misses,
+            rate(stats.verify_cache_hits, stats.verify_cache_misses),
+            stats.refine_cache_hits,
+            stats.refine_cache_misses,
+            rate(stats.refine_cache_hits, stats.refine_cache_misses),
+            stats.index_verify_calls + stats.verify_calls,
+            stats.index_verify_calls,
+            stats.verify_calls,
+            stats.index_refine_calls + stats.refine_calls,
+            stats.index_refine_calls,
+            stats.refine_calls,
+        )
     )

@@ -34,6 +34,35 @@ class TestCell:
         assert complete
         assert len(values) == 1
 
+    def test_enumerate_values_limit_zero(self, doc):
+        # a zero budget yields nothing and reports the enumeration
+        # incomplete — the PPredicateOp cap check relies on this
+        cell = Cell((Exact(1), Exact(2)))
+        assert cell.enumerate_values(limit=0) == ([], False)
+
+    def test_enumerate_values_limit_zero_empty_cell_is_complete(self):
+        # with no assignments there is nothing left to enumerate, so
+        # even a zero budget covers everything
+        assert Cell(()).enumerate_values(limit=0) == ([], True)
+
+    def test_enumerate_values_limit_spans_assignments(self, doc):
+        cell = Cell((Exact(1), Exact(2), Exact(3)))
+        values, complete = cell.enumerate_values(limit=2)
+        assert values == [1, 2]
+        assert not complete
+        values, complete = cell.enumerate_values(limit=3)
+        assert values == [1, 2, 3]
+        assert complete
+
+    def test_enumerate_values_limit_counts_distinct(self, doc):
+        # duplicates don't consume budget: the limit bounds *distinct*
+        # values, matching the dedup in the unlimited path
+        span = Span(doc, 22, 24)  # "92"
+        cell = Cell((Exact(span), Contain(span), Exact(99)))
+        values, complete = cell.enumerate_values(limit=2)
+        assert complete
+        assert len(values) == 2
+
     def test_multiplicity(self, doc):
         choice = Cell((Exact(1), Exact(2)))
         assert choice.multiplicity() == 1

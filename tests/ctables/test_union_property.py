@@ -11,11 +11,12 @@ semantics over represented relations:
   each operand, and every operand world extends to a union world.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.ctables.assignments import Contain, Exact
 from repro.ctables.ctable import Cell, CompactTable, CompactTuple
 from repro.ctables.worlds import compact_worlds
+from repro.errors import EnumerationLimitError
 from repro.text.document import Document
 from repro.text.span import Span
 
@@ -91,9 +92,15 @@ def test_union_is_associative(first, second, third):
 @settings(max_examples=40, deadline=None)
 @given(tables(max_tuples=2), tables(max_tuples=2))
 def test_union_worlds_round_trip(left, right):
-    union_worlds = compact_worlds(CompactTable.union([left, right]))
-    left_worlds = compact_worlds(left)
-    right_worlds = compact_worlds(right)
+    # the worlds oracle counts options *before* deduplication, so a few
+    # maybe-flagged expansion cells can overflow its cap even on tiny
+    # tables; such examples say nothing about union semantics — skip
+    try:
+        union_worlds = compact_worlds(CompactTable.union([left, right]))
+        left_worlds = compact_worlds(left)
+        right_worlds = compact_worlds(right)
+    except EnumerationLimitError:
+        assume(False)
     # exact round-trip: the union's worlds are precisely the pairwise
     # unions of one world from each operand
     expected = {wl | wr for wl in left_worlds for wr in right_worlds}

@@ -28,12 +28,16 @@ class TestSubsetFractionSweep:
         for point in points:
             assert point.superset_pct == pytest.approx(100, abs=1)
 
-    def test_full_fraction_costs_more_machine_time(self):
+    def test_full_fraction_costs_more_machine_work(self):
         _, points = subset_fraction_sweep(
             task_id="T7", size=300, seed=1, fractions=(0.1, 1.0)
         )
         sampled, full = points
-        assert full.machine_seconds >= sampled.machine_seconds
+        # deterministic work measure: with verify/refine memoized, wall
+        # clock at this size is dominated by load noise, but iterating
+        # over the full input still *builds* far more tuples
+        assert full.tuples_built > sampled.tuples_built
+        assert full.machine_seconds > 0 and sampled.machine_seconds > 0
 
 
 class TestKSweep:

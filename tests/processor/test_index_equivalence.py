@@ -1,0 +1,326 @@
+"""Differential tests: indexed execution is byte-identical to naive.
+
+The indexing + memoization layer (feature indexes, ``EvalCache``) is an
+accelerator with a superset-semantics guarantee: for any document, span,
+feature and value, the indexed/cached path must produce exactly what the
+naive span-by-span path produces — same booleans, same refine hints in
+the same order, same compact tables including maybe flags and assignment
+multisets.  These tests enforce that on hypothesis-generated documents
+and constraint chains, and at engine level on a Table 2 task.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctables.assignments import Contain
+from repro.ctables.ctable import Cell
+from repro.processor.constraints import apply_constraint_to_cell
+from repro.processor.context import ExecConfig, ExecutionContext
+from repro.processor.executor import IFlexEngine
+from repro.text.corpus import Corpus
+from repro.text.document import Document
+from repro.text.span import Span, doc_span
+from repro.xlog.program import Program
+
+
+def fresh_contexts():
+    """One context per (index, cache) switch combination.
+
+    The first is the fully naive reference; every other combination must
+    match it exactly.
+    """
+    program = Program.parse("q(x) :- base(x).", extensional=["base"])
+    corpus = Corpus({"base": []})
+    configs = [
+        ExecConfig(use_index=False, use_eval_cache=False),
+        ExecConfig(use_index=True, use_eval_cache=False),
+        ExecConfig(use_index=False, use_eval_cache=True),
+        ExecConfig(use_index=True, use_eval_cache=True),
+    ]
+    return [ExecutionContext(program, corpus, config=c) for c in configs]
+
+
+# ----------------------------------------------------------------------
+# document / span / chain generators
+# ----------------------------------------------------------------------
+
+_PIECES = (
+    "Alice", "bob", "Carol", "dave", "X", "De-Vries", "THE",
+    "42", "3,500", "$99", "1999", "007",
+    ",", ".", ";", "$", "%", "  ", "\n",
+)
+
+
+@st.composite
+def documents(draw):
+    parts = draw(st.lists(st.sampled_from(_PIECES), min_size=1, max_size=30))
+    text = " ".join(parts)
+    n = len(text)
+
+    def interval():
+        start = draw(st.integers(0, n))
+        end = draw(st.integers(start, n))
+        return (start, end)
+
+    # possibly-overlapping regions: the document model sorts but does
+    # not merge them, and the index must match the naive path anyway
+    regions = {
+        kind: [interval() for _ in range(draw(st.integers(0, 3)))]
+        for kind in ("bold", "italic", "hyperlink")
+    }
+    return Document("h%d" % draw(st.integers(0, 10**9)), text, regions=regions)
+
+
+@st.composite
+def spans_of(draw, doc):
+    n = len(doc.text)
+    start = draw(st.integers(0, n))
+    end = draw(st.integers(start, n))
+    return Span(doc, start, end)
+
+
+#: (feature, value) pool for chains — indexed and unindexed features mixed
+_CONSTRAINTS = (
+    ("numeric", "yes"),
+    ("numeric", "no"),
+    ("numeric", "distinct_yes"),
+    ("capitalized", "yes"),
+    ("capitalized", "no"),
+    ("bold_font", "yes"),
+    ("bold_font", "no"),
+    ("bold_font", "distinct_yes"),
+    ("bold_font", "distinct_no"),
+    ("italic_font", "yes"),
+    ("italic_font", "distinct_yes"),
+    ("hyperlinked", "no"),
+    ("max_length", 12),
+    ("max_length", 3),
+    ("min_length", 2),
+    ("preceded_by", "$"),
+)
+
+#: every (feature, value) an index implementation may answer
+_INDEXED = (
+    ("numeric", "yes"),
+    ("numeric", "no"),
+    ("numeric", "distinct_yes"),
+    ("capitalized", "yes"),
+    ("capitalized", "no"),
+    ("bold_font", "yes"),
+    ("bold_font", "no"),
+    ("bold_font", "distinct_yes"),
+    ("bold_font", "distinct_no"),
+    ("italic_font", "yes"),
+    ("italic_font", "no"),
+    ("italic_font", "distinct_yes"),
+    ("italic_font", "distinct_no"),
+    ("max_length", 7),
+)
+
+
+class TestVerifyRefineEquivalence:
+    """Raw dispatch equivalence on arbitrary spans and values."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_all_switch_combinations_agree(self, data):
+        doc = data.draw(documents())
+        span = data.draw(spans_of(doc))
+        reference, *others = fresh_contexts()
+        for feature_name, value in _INDEXED:
+            feature = reference.feature(feature_name)
+            want_verify = reference.verify_value(feature, span, value)
+            want_refine = list(reference.refine_span(feature, span, value))
+            for context in others:
+                f = context.feature(feature_name)
+                assert context.verify_value(f, span, value) == want_verify
+                assert list(context.refine_span(f, span, value)) == want_refine
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_cached_second_lookup_identical(self, data):
+        doc = data.draw(documents())
+        span = data.draw(spans_of(doc))
+        context = fresh_contexts()[3]  # index + cache
+        for feature_name, value in _INDEXED:
+            feature = context.feature(feature_name)
+            first = (
+                context.verify_value(feature, span, value),
+                context.refine_span(feature, span, value),
+            )
+            second = (
+                context.verify_value(feature, span, value),
+                context.refine_span(feature, span, value),
+            )
+            assert first == second
+        assert context.stats.verify_cache_hits >= len(_INDEXED)
+        assert context.stats.refine_cache_hits >= len(_INDEXED)
+
+
+class TestConstraintChainEquivalence:
+    """``apply_constraint_to_cell`` chains with prior rechecks."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_chain_over_contain_cell(self, data):
+        doc = data.draw(documents())
+        chain = data.draw(
+            st.lists(st.sampled_from(_CONSTRAINTS), min_size=1, max_size=4)
+        )
+        contexts = fresh_contexts()
+        cells = [Cell((Contain(doc_span(doc)),))] * len(contexts)
+        priors = []
+        for feature_name, value in chain:
+            cells = [
+                apply_constraint_to_cell(
+                    cell, feature_name, value, tuple(priors), context
+                )
+                for cell, context in zip(cells, contexts)
+            ]
+            priors.append((feature_name, value))
+            reference = repr(cells[0])
+            for cell in cells[1:]:
+                assert repr(cell) == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_chain_over_expansion_cell(self, data):
+        doc = data.draw(documents())
+        span = data.draw(spans_of(doc))
+        chain = data.draw(
+            st.lists(st.sampled_from(_CONSTRAINTS), min_size=1, max_size=3)
+        )
+        contexts = fresh_contexts()
+        cells = [Cell.expansion([Contain(doc_span(doc)), Contain(span)])] * len(
+            contexts
+        )
+        priors = []
+        for feature_name, value in chain:
+            cells = [
+                apply_constraint_to_cell(
+                    cell, feature_name, value, tuple(priors), context
+                )
+                for cell, context in zip(cells, contexts)
+            ]
+            priors.append((feature_name, value))
+        reference = repr(cells[0])
+        assert all(repr(cell) == reference for cell in cells[1:])
+
+
+def table_image(table):
+    """Everything observable: cells, multisets, maybe flags, in order."""
+    return (table.attrs, [repr(t) for t in table.tuples])
+
+
+def result_image(result):
+    return {name: table_image(t) for name, t in result.tables.items()}
+
+
+class TestEngineEquivalence:
+    """Whole-program differential on a Table 2 task and a maybe-heavy
+    threshold program."""
+
+    def test_t1_task_byte_identical(self):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=14, seed=0)
+        program = task.program.add_constraint(
+            "extractIMDB", "title", "max_length", 60
+        )
+        naive = IFlexEngine(
+            program,
+            task.corpus,
+            config=ExecConfig(use_index=False, use_eval_cache=False),
+            validate=False,
+        ).execute()
+        fast = IFlexEngine(program, task.corpus, validate=False).execute()
+        assert result_image(fast) == result_image(naive)
+        # the accelerated run performs strictly fewer naive evaluations
+        assert fast.stats.verify_calls <= naive.stats.verify_calls
+        assert fast.stats.refine_calls <= naive.stats.refine_calls
+        assert fast.stats.index_refine_calls > 0
+
+    def test_maybe_flags_identical(self):
+        corpus = Corpus(
+            {
+                "base": [
+                    Document("d%d" % i, "%d %d" % (5 + i, 500 + i))
+                    for i in range(6)
+                ]
+            }
+        )
+        program = Program.parse(
+            """
+            vals(x, <p>) :- base(x), ie(@x, p).
+            q(p) :- vals(x, p), p > 150.
+            ie(@x, p) :- from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["base"],
+            query="q",
+        )
+        naive = IFlexEngine(
+            program,
+            corpus,
+            config=ExecConfig(use_index=False, use_eval_cache=False),
+            validate=False,
+        ).execute()
+        fast = IFlexEngine(program, corpus, validate=False).execute()
+        assert naive.query_table.maybe_count() > 0
+        assert result_image(fast) == result_image(naive)
+
+
+class TestPartitionCounterMerge:
+    """Cache hit/miss counters merge across parallel partitions to the
+    serial counts (acceptance criterion; the determinism suite pins the
+    full stats image, this pins the cache counters specifically)."""
+
+    def test_counters_match_serial_and_are_live(self):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=24, seed=0)
+        # a constraint chain on top of numeric(votes): the max_length
+        # selection verifies every exact span the refinement produced
+        program = task.program.add_constraint(
+            "extractIMDB", "votes", "max_length", 30
+        )
+        serial = IFlexEngine(program, task.corpus, validate=False).execute()
+        parallel = IFlexEngine(
+            program,
+            task.corpus,
+            config=ExecConfig(workers=4, backend="thread"),
+            validate=False,
+        ).execute()
+        assert serial.stats.verify_cache_misses > 0
+        assert serial.stats.refine_cache_misses > 0
+        for counter in (
+            "verify_cache_hits",
+            "verify_cache_misses",
+            "refine_cache_hits",
+            "refine_cache_misses",
+            "index_verify_calls",
+            "index_refine_calls",
+        ):
+            assert getattr(parallel.stats, counter) == getattr(
+                serial.stats, counter
+            ), counter
+
+    def test_second_run_hits_the_engine_cache(self):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=10, seed=0)
+        engine = IFlexEngine(task.program, task.corpus, validate=False)
+        first = engine.execute()
+        second = engine.execute()
+        assert result_image(second) == result_image(first)
+        # the engine-level EvalCache is warm: every Refine is a hit
+        assert second.stats.refine_cache_hits > 0
+        assert second.stats.refine_calls == 0
+        assert second.stats.index_refine_calls == 0
+
+    def test_explain_analyze_reports_cache_counters(self):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=10, seed=0)
+        engine = IFlexEngine(task.program, task.corpus, validate=False)
+        _, report = engine.explain_analyze()
+        assert "eval cache:" in report
+        assert "cache hits" in report  # per-operator column

@@ -280,3 +280,25 @@ class TestPPredicateOp:
             PPredicateOp(
                 src, "proc", self.spec(lambda v: [(v,)]), ["a"], ["b"]
             ).execute(context)
+
+    def test_cap_enforced_for_wide_expansion_input(self):
+        # an unconstrained contain family on an *input* attribute must
+        # hit the cap instead of materialising every sub-span
+        doc = Document("d", "a b c d e f g h i j")
+        context = make_context(config=ExecConfig(ppredicate_cap=10))
+        wide = Cell.expansion([Contain(doc_span(doc))])
+        src = table_of(("a",), CompactTuple([wide]))
+        with pytest.raises(EnumerationLimitError, match="too wide"):
+            PPredicateOp(
+                src, "proc", self.spec(lambda v: [(v,)]), ["a"], ["b"]
+            ).execute(context)
+
+    def test_cap_allows_exactly_cap_values(self):
+        # the cap is inclusive: exactly ``cap`` combinations execute
+        context = make_context(config=ExecConfig(ppredicate_cap=3))
+        src = table_of(("a",), CompactTuple([choice(1, 2, 3)]))
+        table = PPredicateOp(
+            src, "proc", self.spec(lambda v: [(v,)]), ["a"], ["b"]
+        ).execute(context)
+        assert len(table) == 3
+        assert context.stats.ppredicate_calls == 3
