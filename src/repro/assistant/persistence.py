@@ -29,6 +29,7 @@ def trace_to_dict(trace):
         "questions_answered": trace.questions_answered,
         "final_tuples": trace.final_result.tuple_count,
         "program": trace.program.source(),
+        "failures": [vars(record) for record in getattr(trace, "failure_records", [])],
         "iterations": [
             {
                 "index": r.index,
@@ -91,12 +92,69 @@ def save_session(session, path, trace=None):
     return path
 
 
+class _RestoredQuestion:
+    """A question rebuilt from a save file.
+
+    Carries exactly the attributes trace serialisation and reporting
+    read (``ie_predicate`` / ``attribute`` / ``feature_name``), so a
+    continued session's trace — prior iterations included — round-trips
+    through :func:`trace_to_dict` again.
+    """
+
+    __slots__ = ("ie_predicate", "attribute", "feature_name")
+
+    def __init__(self, ie_predicate, attribute, feature_name):
+        self.ie_predicate = ie_predicate
+        self.attribute = attribute
+        self.feature_name = feature_name
+
+    def key(self):
+        return (self.ie_predicate, self.attribute, self.feature_name)
+
+
+def _restore_trace(session, trace_payload):
+    """Load a saved trace into ``session.prior_records`` (and quarantine
+    state), so continued runs extend the trace instead of restarting it.
+    """
+    from repro.assistant.session import IterationRecord
+    from repro.errors import FailureRecord
+
+    for item in trace_payload.get("iterations", []):
+        session.prior_records.append(
+            IterationRecord(
+                index=item["index"],
+                mode=item["mode"],
+                tuples=item["tuples"],
+                assignments=item["assignments"],
+                elapsed=item["elapsed"],
+                questions=[
+                    (
+                        _RestoredQuestion(
+                            q["ie_predicate"], q["attribute"], q["feature"]
+                        ),
+                        q["answer"],
+                    )
+                    for q in item.get("questions", [])
+                ],
+            )
+        )
+    restored = [FailureRecord(**record) for record in trace_payload.get("failures", [])]
+    if restored:
+        session.failure_records.extend(restored)
+        poisoned = {record.doc_id for record in restored}
+        session.poisoned_docs |= poisoned
+        session.subset_corpus = session.subset_corpus.without(poisoned)
+        session.corpus = session.corpus.without(poisoned)
+
+
 def resume_session(path, corpus, developer, strategy=None, **session_kwargs):
     """Rebuild a session from a save file over a supplied corpus.
 
     The program (with every refinement applied), the asked-question
-    set, and the examples are restored; p-functions must be re-supplied
-    via ``session_kwargs['p_functions']`` if the program used any.
+    set, the examples, and — when the save carried a trace — the
+    iteration history and quarantined-document state are restored;
+    p-functions must be re-supplied via ``session_kwargs['p_functions']``
+    if the program used any.
     """
     from repro.assistant.session import RefinementSession
 
@@ -131,4 +189,6 @@ def resume_session(path, corpus, developer, strategy=None, **session_kwargs):
             example["attribute"],
             Span(doc, example["start"], example["end"]),
         )
+    if payload.get("trace"):
+        _restore_trace(session, payload["trace"])
     return session

@@ -84,6 +84,10 @@ class SessionTrace:
     #: candidate simulations) plus the strategy's prior-estimation
     #: probes, merged
     exec_stats: object = None
+    #: :class:`~repro.errors.FailureRecord` rows for every document the
+    #: error policy quarantined during the session (empty when clean or
+    #: under ``fail-fast``)
+    failure_records: list = field(default_factory=list)
 
     @property
     def iterations(self):
@@ -143,8 +147,20 @@ class RefinementSession:
         self.machine_seconds = 0.0
         #: how many candidate refinements were simulated (section 5.1)
         self.simulations = 0
+        #: contained failures across every engine run this session made
+        #: (``config.on_error`` = ``skip`` / ``retry``): one
+        #: FailureRecord per quarantined document, in discovery order
+        self.failure_records = []
+        #: doc_ids already quarantined — later iterations run over the
+        #: reduced corpus directly instead of re-discovering the fault
+        self.poisoned_docs = set()
         self._subset_cache = RuleCache()
         self._full_cache = RuleCache()
+        #: iteration records restored from a saved trace
+        #: (:func:`repro.assistant.persistence.resume_session`); a
+        #: continued run's trace starts with these and numbers its own
+        #: iterations after them
+        self.prior_records = []
         self._last_subset_result = None
         self._known_warnings = set()
         #: One corpus-wide index store + eval cache shared by *every*
@@ -429,11 +445,18 @@ class RefinementSession:
 
     # ------------------------------------------------------------------
     def run(self):
-        """Run the session to convergence (or exhaustion)."""
+        """Run the session to convergence (or exhaustion).
+
+        A session resumed from a save file continues its trace: restored
+        iteration records lead the returned trace and new iterations
+        number after them.
+        """
         lint_warnings = self._surface_warnings()
+        prior = list(self.prior_records)
+        base = max((r.index for r in prior), default=0)
         records = []
         converged = False
-        for index in range(1, self.max_iterations + 1):
+        for index in range(base + 1, base + self.max_iterations + 1):
             result = self._execute_subset()
             # the monitor watches the result size, the number of
             # assignments the whole extraction produced, and the total
@@ -469,7 +492,7 @@ class RefinementSession:
         final_result = self._execute_full()
         records.append(
             IterationRecord(
-                index=len(records) + 1,
+                index=base + len(records) + 1,
                 mode="reuse",
                 tuples=final_result.tuple_count,
                 assignments=sum(
@@ -480,7 +503,7 @@ class RefinementSession:
             )
         )
         return SessionTrace(
-            records=records,
+            records=prior + records,
             converged=converged,
             final_result=final_result,
             program=self.program,
@@ -490,9 +513,29 @@ class RefinementSession:
             questions_answered=self.developer.questions_answered,
             lint_warnings=lint_warnings,
             exec_stats=self.exec_stats,
+            failure_records=list(self.failure_records),
         )
 
     # ------------------------------------------------------------------
+    def _absorb_report(self, result):
+        """Fold an execution's contained failures into session state.
+
+        A poisoned document discovered mid-refinement (under the
+        ``skip`` / ``retry`` policies) is removed from both the subset
+        and the full corpus, so the session survives it *and* stops
+        paying its quarantine re-run on every subsequent iteration —
+        the fault is discovered once, recorded once, excluded forever.
+        """
+        report = getattr(result, "report", None)
+        if report is None or not report.records:
+            return
+        self.failure_records.extend(report.records)
+        fresh = {r.doc_id for r in report.records} - self.poisoned_docs
+        if fresh:
+            self.poisoned_docs |= fresh
+            self.subset_corpus = self.subset_corpus.without(fresh)
+            self.corpus = self.corpus.without(fresh)
+
     def _execute_subset(self):
         # the session lints explicitly (warnings as feedback, never
         # blocking), so its engines skip the pre-execution validation
@@ -508,6 +551,7 @@ class RefinementSession:
         result = engine.execute(cache=self._subset_cache)
         self.machine_seconds += result.elapsed
         self.exec_stats.merge(result.stats)
+        self._absorb_report(result)
         self._last_subset_result = result
         return result
 
@@ -524,6 +568,7 @@ class RefinementSession:
         result = engine.execute(cache=self._full_cache)
         self.machine_seconds += result.elapsed
         self.exec_stats.merge(result.stats)
+        self._absorb_report(result)
         return result
 
     def _refine(self, record):

@@ -28,6 +28,7 @@ import sys
 from repro.assistant.interactive import InteractiveDeveloper
 from repro.assistant.session import RefinementSession
 from repro.assistant.strategies import SequentialStrategy, SimulationStrategy
+from repro.errors import ReproError
 from repro.processor.executor import IFlexEngine
 from repro.processor.library import make_similar
 from repro.text.corpus import Corpus
@@ -85,6 +86,31 @@ def build_parser():
             action="store_true",
             help="disable Verify/Refine memoization across constraint "
             "chains, rules, and partitions",
+        )
+        p.add_argument(
+            "--on-error",
+            choices=("fail-fast", "skip", "retry"),
+            default="fail-fast",
+            help="error policy for document-attributable failures: "
+            "fail-fast aborts with the enriched error (non-zero exit); "
+            "skip quarantines the offending document and continues "
+            "(result identical to a clean run without it); retry "
+            "re-attempts with capped exponential backoff, then skips",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            help="retry attempts per failure site under --on-error retry",
+        )
+        p.add_argument(
+            "--partition-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="abort any partition running longer than this (enforced "
+            "by the process backend; detect-only on serial/thread); "
+            "timeouts always fail the run, whatever --on-error says",
         )
 
     run = sub.add_parser("run", help="execute a program and print the result")
@@ -224,7 +250,17 @@ def _exec_config(args):
         backend=args.backend,
         use_index=not getattr(args, "no_index", False),
         use_eval_cache=not getattr(args, "no_eval_cache", False),
+        on_error=getattr(args, "on_error", "fail-fast"),
+        max_retries=getattr(args, "max_retries", 2),
+        partition_timeout=getattr(args, "partition_timeout", None),
     )
+
+
+def _print_failure_report(result):
+    """Contained failures go to stderr so piped table output stays clean."""
+    report = getattr(result, "report", None)
+    if report is not None and report:
+        print(report.render(), file=sys.stderr)
 
 
 def _cmd_run(args):
@@ -240,12 +276,19 @@ def _cmd_run(args):
             print(lint_result.summary_line(), file=sys.stderr)
             return 1
     engine = IFlexEngine(program, corpus, config=_exec_config(args), validate=False)
-    if args.analyze:
-        result, report = engine.explain_analyze()
-        print(report)
-        print()
-    else:
-        result = engine.execute()
+    try:
+        if args.analyze:
+            result, report = engine.explain_analyze()
+            print(report)
+            print()
+        else:
+            result = engine.execute()
+    except ReproError as exc:
+        # under fail-fast (or a non-containable failure) the run exits
+        # non-zero with the enriched message, never a bare traceback
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 1
+    _print_failure_report(result)
     if args.json:
         from repro.ctables.export import table_to_json
 
@@ -317,7 +360,18 @@ def _cmd_session(args):
         max_iterations=args.max_iterations,
     )
     developer.session = session
-    trace = session.run()
+    try:
+        trace = session.run()
+    except ReproError as exc:
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 1
+    if trace.failure_records:
+        print(
+            "%d document(s) quarantined during the session:" % len(trace.failure_records),
+            file=sys.stderr,
+        )
+        for record in trace.failure_records:
+            print("  " + record.describe(), file=sys.stderr)
     print("\n=== session finished (converged: %s) ===" % trace.converged)
     print(trace.final_result.query_table.pretty())
     print("\nrefined program:\n%s" % trace.program.source())

@@ -25,6 +25,7 @@ import re
 from dataclasses import dataclass
 
 from repro.ctables.assignments import Contain, Exact, value_key, value_number
+from repro.errors import ExecutionFailure
 from repro.text.span import Span
 from repro.text.tokenize import NUMBER
 from repro.xlog.comparisons import comparison_holds
@@ -343,7 +344,18 @@ class PFunctionCondition:
         some = False
         all_flag = True
         for combo in combos:
-            if bool(self.func(*combo)):
+            try:
+                truth = bool(self.func(*combo))
+            except Exception as exc:
+                from repro.processor.operators import combo_doc_id
+
+                raise ExecutionFailure.wrap(
+                    exc,
+                    doc_id=combo_doc_id(combo),
+                    operator="p-function",
+                    predicate=self.name,
+                ) from exc
+            if truth:
                 some = True
                 for sat, v in zip(sat_per_side, combo):
                     sat.add(value_key(v))

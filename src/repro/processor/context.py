@@ -2,11 +2,13 @@
 
 from dataclasses import dataclass
 
+from repro.errors import ExecutionFailure
 from repro.features.index import IndexStore
 from repro.features.registry import default_registry
 from repro.text.span import Span
 
 __all__ = [
+    "ERROR_POLICIES",
     "EvalCache",
     "ExecConfig",
     "ExecutionContext",
@@ -51,6 +53,26 @@ class ExecConfig:
     #: Memoize Verify/Refine results across constraint chains, rules and
     #: partitions (the :class:`EvalCache`).
     use_eval_cache: bool = True
+    #: Error policy for document-attributable failures (a feature or
+    #: p-predicate raising on a malformed document): ``fail-fast``
+    #: surfaces the enriched exception, ``skip`` quarantines the
+    #: offending document and re-runs (result identical to a clean run
+    #: over the corpus minus that document), ``retry`` retries the
+    #: failing site with capped exponential backoff before skipping.
+    #: See :data:`ERROR_POLICIES` and ``docs/robustness.md``.
+    on_error: str = "fail-fast"
+    #: Retry attempts per failure site under the ``retry`` policy.
+    max_retries: int = 2
+    #: Base backoff delay in seconds for ``retry`` (doubles per attempt,
+    #: capped at 2s); 0 disables sleeping (deterministic tests).
+    retry_backoff: float = 0.05
+    #: Seconds one partition may run before the scheduler raises a
+    #: :class:`~repro.errors.PartitionTimeout`; ``None`` means no limit.
+    partition_timeout: object = None
+
+
+#: Valid ``ExecConfig.on_error`` values.
+ERROR_POLICIES = ("fail-fast", "skip", "retry")
 
 
 @dataclass
@@ -78,6 +100,11 @@ class ExecutionStats:
     values_enumerated: int = 0
     cap_hits: int = 0
     ppredicate_calls: int = 0
+    #: documents quarantined by the error policy (``skip`` / exhausted
+    #: ``retry``); matches ``len(ExecutionReport.records)``
+    failures: int = 0
+    #: retry attempts consumed by the ``retry`` policy
+    retries: int = 0
 
     def merge(self, other):
         for name in vars(other):
@@ -147,57 +174,80 @@ class FeatureEvaluator:
         return key
 
     def verify_span(self, feature, span, feature_value):
-        cache = self.eval_cache
-        key = None
-        if cache is not None:
-            key = self._cache_key(feature, span, feature_value)
+        try:
+            cache = self.eval_cache
+            key = None
+            if cache is not None:
+                key = self._cache_key(feature, span, feature_value)
+                if key is not None:
+                    cached = cache.verify.get(key, _MISSING)
+                    if cached is not _MISSING:
+                        self.stats.verify_cache_hits += 1
+                        return cached
+                    self.stats.verify_cache_misses += 1
+            result = None
+            if self.index_store is not None:
+                index = self.index_store.index_for(feature, span.doc)
+                if index is not None:
+                    result = index.verify(span, feature_value)
+            if result is None:
+                self.stats.verify_calls += 1
+                result = feature.verify(span, feature_value)
+            else:
+                self.stats.index_verify_calls += 1
             if key is not None:
-                cached = cache.verify.get(key, _MISSING)
-                if cached is not _MISSING:
-                    self.stats.verify_cache_hits += 1
-                    return cached
-                self.stats.verify_cache_misses += 1
-        result = None
-        if self.index_store is not None:
-            index = self.index_store.index_for(feature, span.doc)
-            if index is not None:
-                result = index.verify(span, feature_value)
-        if result is None:
-            self.stats.verify_calls += 1
-            result = feature.verify(span, feature_value)
-        else:
-            self.stats.index_verify_calls += 1
-        if key is not None:
-            cache.verify[key] = result
-        return result
+                cache.verify[key] = result
+            return result
+        except ExecutionFailure:
+            raise
+        except Exception as exc:
+            # the failure channel: a raising feature (or index build over
+            # a malformed document) becomes a document-attributable
+            # ExecutionFailure the error policy can act on
+            raise ExecutionFailure.wrap(
+                exc,
+                doc_id=span.doc.doc_id,
+                operator="Verify",
+                feature=feature.name,
+            ) from exc
 
     def refine_span(self, feature, span, feature_value):
         """Refine hints for ``contain(span)`` as a tuple of
         ``(mode, span)`` pairs."""
-        cache = self.eval_cache
-        key = None
-        if cache is not None:
-            key = self._cache_key(feature, span, feature_value)
+        try:
+            cache = self.eval_cache
+            key = None
+            if cache is not None:
+                key = self._cache_key(feature, span, feature_value)
+                if key is not None:
+                    cached = cache.refine.get(key, _MISSING)
+                    if cached is not _MISSING:
+                        self.stats.refine_cache_hits += 1
+                        return cached
+                    self.stats.refine_cache_misses += 1
+            hints = None
+            if self.index_store is not None:
+                index = self.index_store.index_for(feature, span.doc)
+                if index is not None:
+                    hints = index.refine(span, feature_value)
+            if hints is None:
+                self.stats.refine_calls += 1
+                hints = feature.refine(span, feature_value)
+            else:
+                self.stats.index_refine_calls += 1
+            hints = tuple(hints)
             if key is not None:
-                cached = cache.refine.get(key, _MISSING)
-                if cached is not _MISSING:
-                    self.stats.refine_cache_hits += 1
-                    return cached
-                self.stats.refine_cache_misses += 1
-        hints = None
-        if self.index_store is not None:
-            index = self.index_store.index_for(feature, span.doc)
-            if index is not None:
-                hints = index.refine(span, feature_value)
-        if hints is None:
-            self.stats.refine_calls += 1
-            hints = feature.refine(span, feature_value)
-        else:
-            self.stats.index_refine_calls += 1
-        hints = tuple(hints)
-        if key is not None:
-            cache.refine[key] = hints
-        return hints
+                cache.refine[key] = hints
+            return hints
+        except ExecutionFailure:
+            raise
+        except Exception as exc:
+            raise ExecutionFailure.wrap(
+                exc,
+                doc_id=span.doc.doc_id,
+                operator="Refine",
+                feature=feature.name,
+            ) from exc
 
 
 class ExecutionContext:

@@ -20,13 +20,16 @@ from dataclasses import dataclass, field
 from repro.alog.unfold import unfold_program
 from repro.errors import (
     EvaluationError,
+    ExecutionFailure,
+    ExecutionReport,
+    PartitionTimeout,
     ProgramLintError,
     SafetyError,
     UnknownFeatureError,
     UnknownPredicateError,
 )
 from repro.features.index import IndexStore
-from repro.processor.context import EvalCache, ExecConfig, ExecutionContext
+from repro.processor.context import ERROR_POLICIES, EvalCache, ExecConfig, ExecutionContext
 from repro.processor.operators import apply_constraint_to_table
 from repro.processor.plan import compile_predicate
 from repro.xlog.ast import ConstraintAtom, PredicateAtom, Rule
@@ -130,6 +133,9 @@ class ExecutionResult:
     stats: object
     elapsed: float
     reuse_summary: dict = field(default_factory=dict)
+    #: :class:`~repro.errors.ExecutionReport` of contained failures
+    #: (``None`` only on legacy construction paths)
+    report: object = None
 
     @property
     def tuple_count(self):
@@ -204,6 +210,84 @@ def _split_rule(rule):
     return repr(Rule(rule.head, body)), constraints
 
 
+class _PolicyDriver:
+    """Applies ``ExecConfig.on_error`` around whole-execution attempts.
+
+    Best-effort fault tolerance works by *quarantine and re-run*: when
+    an attempt dies on a document-attributable
+    :class:`~repro.errors.ExecutionFailure`, the offending document is
+    excluded from the engine's active corpus and the execution restarts.
+    The surviving result is therefore literally a clean run over the
+    corpus minus the quarantined documents — the byte-identical
+    invariant holds by construction, on every scheduler backend, for
+    global plans and joins included.  Cost is bounded by k+1 attempts
+    for k poisoned documents, and the engine-level Verify/Refine caches
+    stay warm across attempts, so re-runs mostly replay memoized work.
+
+    ``retry`` re-runs the *same* corpus first: each failure site (doc,
+    operator, feature/predicate, exception class) gets up to
+    ``max_retries`` attempts with capped exponential backoff before the
+    document is quarantined as under ``skip``.  Failures with no
+    document attribution — and :class:`PartitionTimeout`, where the
+    guilty document is unknown — always surface, whatever the policy.
+    """
+
+    def __init__(self, engine):
+        config = engine.config
+        policy = getattr(config, "on_error", "fail-fast")
+        if policy not in ERROR_POLICIES:
+            raise ValueError(
+                "unknown error policy %r (choose from %s)"
+                % (policy, ", ".join(ERROR_POLICIES))
+            )
+        self.engine = engine
+        self.policy = policy
+        self.max_retries = max(0, int(getattr(config, "max_retries", 2)))
+        self.backoff = getattr(config, "retry_backoff", 0.05)
+        self.report = ExecutionReport(policy=policy)
+        self._attempts = {}  # failure site_key -> retries consumed
+
+    def run(self, attempt):
+        while True:
+            try:
+                return attempt()
+            except ExecutionFailure as failure:
+                self._handle(failure)
+
+    def finish(self, result):
+        """Stamp the report onto a completed result."""
+        result.report = self.report
+        result.stats.failures += len(self.report.records)
+        result.stats.retries += self.report.retries
+        return result
+
+    def _handle(self, failure):
+        if self.policy == "fail-fast":
+            raise failure
+        if failure.doc_id is None or isinstance(failure, PartitionTimeout):
+            # not attributable to one document: quarantining cannot help
+            raise failure
+        retries_used = 0
+        if self.policy == "retry":
+            key = failure.site_key()
+            retries_used = self._attempts.get(key, 0)
+            if retries_used < self.max_retries:
+                self._attempts[key] = retries_used + 1
+                self.report.retries += 1
+                if self.backoff:
+                    time.sleep(min(self.backoff * (2 ** retries_used), 2.0))
+                logger.debug(
+                    "retrying after failure at %r (attempt %d/%d)",
+                    key,
+                    retries_used + 1,
+                    self.max_retries,
+                )
+                return
+        self.engine._exclude_document(failure.doc_id)
+        self.report.records.append(failure.to_record(retry_count=retries_used))
+        logger.warning("quarantined document %r: %s", failure.doc_id, failure)
+
+
 class IFlexEngine:
     """Approximate executor for one program over one corpus.
 
@@ -247,6 +331,21 @@ class IFlexEngine:
             self.lint_result = self._validate()
         self.unfolded = unfold_program(program)
         self.order = evaluation_order(self.unfolded)
+        #: documents quarantined by the error policy; the *active*
+        #: corpus (what executions actually see) excludes them
+        self.excluded_docs = set()
+        self._active = self.corpus
+        self.physical = self._make_physical()
+
+    @property
+    def active_corpus(self):
+        """The corpus minus quarantined documents."""
+        return self._active
+
+    def _exclude_document(self, doc_id):
+        """Quarantine one document and rebuild the partitioned view."""
+        self.excluded_docs.add(doc_id)
+        self._active = self.corpus.without(self.excluded_docs)
         self.physical = self._make_physical()
 
     def _make_physical(self):
@@ -262,7 +361,7 @@ class IFlexEngine:
 
         return PhysicalExecutor(
             self.unfolded,
-            self.corpus,
+            self._active,
             self.features,
             self.config,
             index_store=self.index_store,
@@ -272,7 +371,7 @@ class IFlexEngine:
         """A fresh whole-corpus execution context on the shared stores."""
         return ExecutionContext(
             self.unfolded,
-            self.corpus,
+            self._active,
             self.features,
             self.config,
             index_store=self.index_store,
@@ -303,7 +402,20 @@ class IFlexEngine:
 
     # ------------------------------------------------------------------
     def execute(self, cache=None):
-        """Run the program; returns an :class:`ExecutionResult`."""
+        """Run the program; returns an :class:`ExecutionResult`.
+
+        The configured error policy (``ExecConfig.on_error``) is applied
+        around the whole execution: under ``skip`` / ``retry`` a
+        document-attributable failure quarantines the document and
+        re-runs, and the result carries an
+        :class:`~repro.errors.ExecutionReport` describing every
+        contained incident (``result.report``).
+        """
+        driver = _PolicyDriver(self)
+        return driver.finish(driver.run(lambda: self._execute_attempt(cache)))
+
+    def _execute_attempt(self, cache=None):
+        """One uninterrupted execution over the active corpus."""
         start = time.perf_counter()
         context = self._context()
         tokens = {}
@@ -435,8 +547,21 @@ class IFlexEngine:
         Under parallel execution the per-partition measurements of the
         document-local prefix are merged (counts sum to the serial
         counts) and reported nested under the suffix's gather leaves, so
-        cost still attributes to individual operators.
+        cost still attributes to individual operators.  The error policy
+        applies exactly as in :meth:`execute`; contained failures are
+        appended to the text report.
         """
+        from repro.processor.tracing import render_failures
+
+        driver = _PolicyDriver(self)
+        result, text = driver.run(self._explain_analyze_attempt)
+        driver.finish(result)
+        failure_text = render_failures(result.report)
+        if failure_text:
+            text = "%s\n\n%s" % (text, failure_text)
+        return result, text
+
+    def _explain_analyze_attempt(self):
         from repro.processor.tracing import render_cache_summary, render_traces, trace_plan
 
         start = time.perf_counter()
@@ -484,7 +609,7 @@ class IFlexEngine:
             bases=tuple(bases),
             constraints=tuple(constraints),
             upstream=tuple(sorted(set(upstream))),
-            corpus_sig=self.corpus.signature if corpus_sig is None else corpus_sig,
+            corpus_sig=self._active.signature if corpus_sig is None else corpus_sig,
         )
 
     def _incremental(self, name, entry, fingerprint, context):

@@ -10,10 +10,25 @@ the maybe-flag logic errs conservative; see
 
 from repro.ctables.assignments import Contain
 from repro.ctables.ctable import Cell, CompactTable, CompactTuple
-from repro.errors import EnumerationLimitError, EvaluationError
+from repro.errors import EnumerationLimitError, EvaluationError, ExecutionFailure
 from repro.processor.bannotate import annotate_table
 from repro.processor.constraints import apply_constraint_to_cell
-from repro.text.span import doc_span
+from repro.text.span import Span, doc_span
+
+
+def combo_doc_id(values):
+    """The document a value combination is attributable to, or ``None``.
+
+    Best-effort failure isolation quarantines *documents*; a raising
+    p-predicate or p-function is attributed to the document of the first
+    span among its arguments (document-local plans guarantee all spans
+    share one document).
+    """
+    for value in values:
+        if isinstance(value, Span):
+            return value.doc.doc_id
+    return None
+
 
 __all__ = [
     "Operator",
@@ -28,6 +43,7 @@ __all__ = [
     "PPredicateOp",
     "AnnotateOp",
     "UnionOp",
+    "combo_doc_id",
 ]
 
 
@@ -413,7 +429,16 @@ class PPredicateOp(Operator):
                 value_lists.append(values)
             for combo in itertools.product(*value_lists):
                 context.stats.ppredicate_calls += 1
-                for output in self.spec.func(*combo):
+                try:
+                    outputs = list(self.spec.func(*combo))
+                except Exception as exc:
+                    raise ExecutionFailure.wrap(
+                        exc,
+                        doc_id=combo_doc_id(combo),
+                        operator="PPredicate",
+                        predicate=self.name,
+                    ) from exc
+                for output in outputs:
                     cells = list(t.cells)
                     for i, v in zip(input_indexes, combo):
                         cells[i] = Cell.exact(v)

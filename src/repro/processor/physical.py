@@ -26,7 +26,7 @@ fresh trees mean no operator state is shared across workers.
 from repro.ctables.ctable import CompactTable
 from repro.processor.context import ExecutionContext
 from repro.processor.plan import compile_predicate
-from repro.processor.schedulers import make_scheduler
+from repro.processor.schedulers import TaskError, make_scheduler
 from repro.processor.split import PlanSplit, bind_tables
 from repro.processor.tracing import merge_traces, trace_plan
 
@@ -51,6 +51,7 @@ class PhysicalExecutor:
         )
         workers = getattr(config, "workers", 1)
         self.partitions = corpus.partition(workers) if workers > 1 else [corpus]
+        self.timeout = getattr(config, "partition_timeout", None)
         self._splits = {}
         #: fork-inherited objects result spans point into; the process
         #: backend ships these by reference instead of re-pickling the
@@ -77,6 +78,27 @@ class PhysicalExecutor:
     # ------------------------------------------------------------------
     # partition-level execution
     # ------------------------------------------------------------------
+    def _map(self, work, pids):
+        """Scheduler ``map`` with partition-attributed failures.
+
+        The scheduler reports failures by *task index*; this layer knows
+        which corpus partition each task was, stamps it onto the
+        failure, and re-raises the bare :class:`ExecutionFailure` so the
+        engine's error policy sees the same exception type whether the
+        plan ran serially or partitioned.
+        """
+        try:
+            return self.scheduler.map(
+                work, pids, shared=self._shared, timeout=self.timeout
+            )
+        except TaskError as error:
+            failure = error.failure if error.failure is not None else error
+            if failure.partition is None and error.task_index is not None:
+                failure.partition = pids[error.task_index]
+            if failure.__cause__ is None:
+                failure.__cause__ = error.__cause__
+            raise failure from error.__cause__
+
     def _partition_context(self, pid):
         # The index store is shared (document content never changes);
         # the eval cache is *fresh* per partition so hit/miss counters
@@ -105,7 +127,7 @@ class PhysicalExecutor:
             table = compile_predicate(name, self.program).execute(context)
             return table, context.stats
 
-        return self.scheduler.map(work, pids, shared=self._shared)
+        return self._map(work, pids)
 
     # ------------------------------------------------------------------
     # whole-plan execution
@@ -129,9 +151,7 @@ class PhysicalExecutor:
             tables = [op.execute(partition_context) for op in split.local_roots]
             return tables, partition_context.stats
 
-        per_partition = self.scheduler.map(
-            work, list(range(len(self.partitions))), shared=self._shared
-        )
+        per_partition = self._map(work, list(range(len(self.partitions))))
         for _, stats in per_partition:
             context.stats.merge(stats)
         gathered = self._gather(info, [tables for tables, _ in per_partition])
@@ -166,9 +186,7 @@ class PhysicalExecutor:
             tables = [t.execute(partition_context) for t in traced]
             return tables, [t.collect() for t in traced], partition_context.stats
 
-        per_partition = self.scheduler.map(
-            work, list(range(len(self.partitions))), shared=self._shared
-        )
+        per_partition = self._map(work, list(range(len(self.partitions))))
         for _, _, stats in per_partition:
             context.stats.merge(stats)
         gathered = self._gather(info, [tables for tables, _, _ in per_partition])

@@ -13,30 +13,117 @@ per-partition tasks run:
 ``ProcessBackend``
     a ``fork``-based process pool.  Programs carry arbitrary Python
     callables (p-functions are often closures), which do not pickle —
-    the task payload is therefore published in a module-level slot
-    *before* forking so children inherit it, and only partition indexes
-    cross the pipe going in.  Results (compact tables, stats) come back
-    pickled.
+    the task payload is therefore published in a module-level registry
+    *before* forking so children inherit it, and only ``(token, index)``
+    pairs cross the pipe going in.  Results (compact tables, stats)
+    come back pickled.
 
 All backends preserve task order: ``map(fn, items)[i] == fn(items[i])``,
 which is what makes partitioned execution byte-identical to serial.
+
+Failure transport
+-----------------
+A raising task never surfaces as a bare, context-free exception from
+the pool.  Every backend wraps task execution: the failure reaches the
+caller as a :class:`TaskError` carrying the task index and an enriched,
+picklable :class:`~repro.errors.ExecutionFailure` (the transport for
+the best-effort error policy's ``FailureRecord``).  ``timeout`` bounds
+how long one task's result may take; exceeding it raises a
+:class:`TaskError` wrapping a :class:`~repro.errors.PartitionTimeout`.
+
+Reentrancy
+----------
+The fork payload registry is keyed by a per-``map`` token, so nested or
+concurrent ``map`` calls (a session simulating candidates while a
+partitioned run is in flight; a task that itself maps) never clobber
+each other's payloads — each call publishes under its own token and
+removes exactly that token when done.
 """
 
 import io
+import itertools
 import logging
 import multiprocessing
 import pickle
+import time
+
+from repro.errors import ExecutionFailure, PartitionTimeout
 
 __all__ = [
     "Scheduler",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "TaskError",
     "make_scheduler",
     "BACKENDS",
 ]
 
 logger = logging.getLogger("repro.processor")
+
+
+class TaskError(ExecutionFailure):
+    """A task of a scheduler ``map`` failed.
+
+    ``task_index`` is the position of the failing item; ``failure`` is
+    the enriched :class:`ExecutionFailure` describing what happened in
+    the worker (for in-process backends it chains the original
+    exception via ``__cause__``; across a process boundary only the
+    picklable summary survives).
+    """
+
+    def __init__(self, message, task_index=None, failure=None, **context):
+        super().__init__(message, **context)
+        self.task_index = task_index
+        self.failure = failure
+
+    def __reduce__(self):  # pragma: no cover - TaskError stays in-process
+        return (_rebuild_task_error, (self.args[0], self.task_index, self.failure))
+
+
+def _rebuild_task_error(message, task_index, failure):  # pragma: no cover
+    return TaskError(message, task_index=task_index, failure=failure)
+
+
+def _task_error(index, total, exc):
+    """Wrap a worker exception with its task position."""
+    failure = ExecutionFailure.wrap(exc)
+    error = TaskError(
+        "task %d (of %d) failed: %s" % (index, total, failure),
+        task_index=index,
+        failure=failure,
+    )
+    error.__cause__ = exc if exc is not failure else failure.__cause__
+    return error
+
+
+def _timeout_error(index, total, timeout):
+    failure = PartitionTimeout(
+        "task %d (of %d) exceeded the partition timeout of %.3gs"
+        % (index, total, timeout),
+        operator="partition",
+        exc_type="PartitionTimeout",
+    )
+    return TaskError(str(failure), task_index=index, failure=failure)
+
+
+def _serial_map(fn, items, timeout=None):
+    """In-process, order-preserving map with guarded tasks.
+
+    Serial execution cannot preempt a running task, so ``timeout`` is
+    detect-only: a task that took too long raises *after* it returns
+    (a hung task hangs — use the process backend to enforce timeouts).
+    """
+    out = []
+    for index, item in enumerate(items):
+        start = time.perf_counter()
+        try:
+            out.append(fn(item))
+        except Exception as exc:
+            raise _task_error(index, len(items), exc) from exc
+        if timeout is not None and time.perf_counter() - start > timeout:
+            raise _timeout_error(index, len(items), timeout)
+    return out
 
 
 class Scheduler:
@@ -46,12 +133,14 @@ class Scheduler:
     process boundary already hold (fork-inherited corpus documents);
     backends that ship results between address spaces send them by
     reference instead of by value.  In-process backends ignore it.
+    ``timeout`` bounds one task's result in seconds (see the module
+    docstring for per-backend enforcement strength).
     """
 
     name = "abstract"
     workers = 1
 
-    def map(self, fn, items, shared=()):
+    def map(self, fn, items, shared=(), timeout=None):
         raise NotImplementedError
 
 
@@ -65,66 +154,98 @@ class SerialBackend(Scheduler):
         # partitioned semantics can be tested without concurrency)
         self.workers = max(1, int(workers))
 
-    def map(self, fn, items, shared=()):
-        return [fn(item) for item in items]
+    def map(self, fn, items, shared=(), timeout=None):
+        return _serial_map(fn, list(items), timeout)
 
 
 class ThreadBackend(Scheduler):
-    """A thread pool; shared memory, order-preserving."""
+    """A thread pool; shared memory, order-preserving.
+
+    On timeout the pool is abandoned without waiting (``cancel_futures``
+    drops queued tasks); already-running threads cannot be killed, only
+    detected — the process backend is the one that enforces.
+    """
 
     name = "thread"
+
+    def map(self, fn, items, shared=(), timeout=None):
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return _serial_map(fn, items, timeout)
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        wait_for_pool = True
+        try:
+            futures = [pool.submit(fn, item) for item in items]
+            results = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout))
+                except FutureTimeout:
+                    wait_for_pool = False
+                    raise _timeout_error(index, len(items), timeout)
+                except Exception as exc:
+                    raise _task_error(index, len(items), exc) from exc
+            return results
+        finally:
+            pool.shutdown(wait=wait_for_pool, cancel_futures=not wait_for_pool)
 
     def __init__(self, workers):
         self.workers = max(1, int(workers))
 
-    def map(self, fn, items, shared=()):
-        items = list(items)
-        if self.workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(fn, items))
-
-
-#: The payload slot ``ProcessBackend`` children inherit through fork.
-_FORK_PAYLOAD = None
-#: Objects registered *before* forking, and ``id(obj) -> position``
-#: over them.  Fork gives parent and children the same objects at the
-#: same positions, so a list index is a stable cross-process reference
-#: for exactly as long as the pool lives — the span of one ``map``.
-_FORK_SHARED = []
-_FORK_SHARED_INDEX = {}
+#: Fork payload registry: ``map``-call token -> :class:`_ForkPayload`.
+#: Children inherit the whole registry at fork time; each ``map`` call
+#: publishes under a fresh token and deletes exactly that token when it
+#: finishes, so nested or concurrent calls never clobber one another
+#: (the regression this replaces: single module-level slots that a
+#: second in-flight ``map`` silently overwrote).
+_FORK_PAYLOADS = {}
+_FORK_TOKENS = itertools.count(1)
 
 
-def _resolve_shared(index):
-    """Unpickling hook: position in :data:`_FORK_SHARED` -> live object."""
-    return _FORK_SHARED[index]
+class _ForkPayload:
+    """One ``map`` call's task closure plus its shared-object table.
 
-
-def _reduce_shared(obj):
-    """Reduce a registered shared object to a by-reference token.
-
-    Compact tables are mostly spans, and every span drags its source
-    document (full text + markup regions) along; shipping those back
-    from a worker would pickle the corpus once per partition.  Objects
-    registered in :data:`_FORK_SHARED` are fork-inherited, so the
-    parent resolves the token to its own copy instead.  Unregistered
-    instances of a registered class pickle normally.
+    ``shared`` holds objects registered *before* forking, and
+    ``shared_index`` maps ``id(obj) -> position`` over them.  Fork gives
+    parent and children the same objects at the same positions, so a
+    ``(token, position)`` pair is a stable cross-process reference for
+    exactly as long as the payload is published — the span of one
+    ``map``.
     """
-    index = _FORK_SHARED_INDEX.get(id(obj))
-    if index is not None and _FORK_SHARED[index] is obj:
-        return (_resolve_shared, (index,))
-    return obj.__reduce_ex__(pickle.HIGHEST_PROTOCOL)
+
+    __slots__ = ("fn", "items", "shared", "shared_index")
+
+    def __init__(self, fn, items, shared):
+        self.fn = fn
+        self.items = items
+        self.shared = list(shared)
+        self.shared_index = {id(obj): i for i, obj in enumerate(self.shared)}
 
 
-def _shared_dumps(value):
+def _resolve_shared(token, index):
+    """Unpickling hook: registry position -> live object."""
+    return _FORK_PAYLOADS[token].shared[index]
+
+
+def _shared_dumps(value, token):
+    payload = _FORK_PAYLOADS[token]
+
+    def reduce_shared(obj):
+        index = payload.shared_index.get(id(obj))
+        if index is not None and payload.shared[index] is obj:
+            return (_resolve_shared, (token, index))
+        return obj.__reduce_ex__(pickle.HIGHEST_PROTOCOL)
+
     buffer = io.BytesIO()
     pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
     # dispatch_table is keyed by class, so the per-object hook only
     # fires for shared-object classes (documents); everything else
     # pickles on the C fast path, unlike a persistent_id callback
-    pickler.dispatch_table = {type(obj): _reduce_shared for obj in _FORK_SHARED}
+    pickler.dispatch_table = {type(obj): reduce_shared for obj in payload.shared}
     pickler.dump(value)
     return buffer.getvalue()
 
@@ -135,9 +256,24 @@ def _shared_loads(blob):
     return pickle.loads(blob)
 
 
-def _invoke_fork_payload(index):
-    fn, items = _FORK_PAYLOAD
-    return _shared_dumps(fn(items[index]))
+def _invoke_fork_payload(task):
+    """Child-side task runner: ``(ok, blob)`` or ``(err, failure)``.
+
+    Both the task body *and* the result pickling are guarded: a result
+    that cannot pickle (or a half-pickled blob abandoned mid-``dump``)
+    must surface as a contextful failure in the parent, never as a
+    bare pipe error — and must leave no stale module state behind.
+    """
+    token, index = task
+    payload = _FORK_PAYLOADS[token]
+    try:
+        result = payload.fn(payload.items[index])
+    except Exception as exc:
+        return ("err", ExecutionFailure.wrap(exc))
+    try:
+        return ("ok", _shared_dumps(result, token))
+    except Exception as exc:
+        return ("err", ExecutionFailure.wrap(exc, operator="result-pickling"))
 
 
 class ProcessBackend(Scheduler):
@@ -147,7 +283,9 @@ class ProcessBackend(Scheduler):
     start method (the scheduler protocol promises results, not a
     mechanism).  A fresh pool is forked per :meth:`map` call so the
     children always see the current payload; fork is cheap relative to
-    the extraction work a partition represents.
+    the extraction work a partition represents.  On timeout the pool is
+    terminated, killing the hung worker — the only backend that can
+    enforce, not just detect.
     """
 
     name = "process"
@@ -159,24 +297,41 @@ class ProcessBackend(Scheduler):
         except ValueError:  # pragma: no cover - non-POSIX platforms
             self._context = None
 
-    def map(self, fn, items, shared=()):
-        global _FORK_PAYLOAD, _FORK_SHARED, _FORK_SHARED_INDEX
+    def map(self, fn, items, shared=(), timeout=None):
         items = list(items)
         if self.workers == 1 or len(items) <= 1 or self._context is None:
             if self._context is None:  # pragma: no cover
                 logger.warning("fork unavailable; process backend running serially")
-            return [fn(item) for item in items]
-        _FORK_PAYLOAD = (fn, items)
-        _FORK_SHARED = list(shared)
-        _FORK_SHARED_INDEX = {id(obj): i for i, obj in enumerate(_FORK_SHARED)}
+            return _serial_map(fn, items, timeout)
+        token = next(_FORK_TOKENS)
+        _FORK_PAYLOADS[token] = _ForkPayload(fn, items, shared)
         try:
             with self._context.Pool(min(self.workers, len(items))) as pool:
-                blobs = pool.map(_invoke_fork_payload, range(len(items)))
-            return [_shared_loads(blob) for blob in blobs]
+                handles = [
+                    pool.apply_async(_invoke_fork_payload, ((token, i),))
+                    for i in range(len(items))
+                ]
+                outcomes = []
+                for index, handle in enumerate(handles):
+                    try:
+                        outcomes.append(handle.get(timeout))
+                    except multiprocessing.TimeoutError:
+                        # leaving the ``with`` terminates the pool, so
+                        # the hung child is killed, not leaked
+                        raise _timeout_error(index, len(items), timeout)
+                results = []
+                for index, (status, value) in enumerate(outcomes):
+                    if status == "err":
+                        error = TaskError(
+                            "task %d (of %d) failed: %s" % (index, len(items), value),
+                            task_index=index,
+                            failure=value,
+                        )
+                        raise error
+                    results.append(_shared_loads(value))
+                return results
         finally:
-            _FORK_PAYLOAD = None
-            _FORK_SHARED = []
-            _FORK_SHARED_INDEX = {}
+            del _FORK_PAYLOADS[token]
 
 
 BACKENDS = {

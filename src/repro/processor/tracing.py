@@ -15,6 +15,7 @@ __all__ = [
     "merge_traces",
     "render_traces",
     "render_cache_summary",
+    "render_failures",
 ]
 
 
@@ -214,3 +215,16 @@ def render_cache_summary(stats):
             stats.refine_calls,
         )
     )
+
+
+def render_failures(report):
+    """The ``explain_analyze`` failure section, or ``""`` when clean.
+
+    ``report`` is the execution's :class:`~repro.errors.ExecutionReport`
+    (``None`` tolerated for legacy callers).  Clean fail-fast runs —
+    the overwhelmingly common case — render nothing, so the analyze
+    report only grows a section when there is something to say.
+    """
+    if report is None or not report:
+        return ""
+    return report.render()

@@ -107,6 +107,24 @@ class Corpus:
             out = out.restrict(name, count, seed=seed)
         return out
 
+    def without(self, doc_ids):
+        """A new corpus with the given documents removed from every table.
+
+        The error policy's quarantine step: skipping a poisoned document
+        means re-running over ``corpus.without({doc_id})``, which keeps
+        the best-effort invariant — the result is *exactly* a clean run
+        over the remaining documents, because it literally is one.
+        Table order and the relative order of surviving documents are
+        preserved (partitioning stays deterministic).
+        """
+        doc_ids = set(doc_ids)
+        out = Corpus()
+        for name in self.table_names():
+            out.add_table(
+                name, [d for d in self._tables[name] if d.doc_id not in doc_ids]
+            )
+        return out
+
     def partition(self, n):
         """Split into at most ``n`` corpora of contiguous document slices.
 

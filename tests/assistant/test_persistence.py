@@ -123,3 +123,89 @@ class TestTraceSerialisation:
         path = save_session(session, tmp_path / "full.json", trace=trace)
         payload = json.loads(path.read_text(encoding="utf-8"))
         assert payload["trace"]["final_tuples"] == trace.final_result.tuple_count
+
+
+class TestTraceContinuation:
+    """save → resume → continue must preserve the iteration trace and
+    the asked-question dedup, not just the refined program."""
+
+    def _partial(self, setup, tmp_path):
+        corpus, program, truth = setup
+        first = RefinementSession(
+            program, corpus, SimulatedDeveloper(truth, seed=3),
+            strategy=SequentialStrategy(), seed=3, max_iterations=2,
+        )
+        first_trace = first.run()
+        path = save_session(first, tmp_path / "s.json", trace=first_trace)
+        return corpus, truth, first, first_trace, path
+
+    def test_resume_restores_prior_records(self, setup, tmp_path):
+        corpus, truth, first, first_trace, path = self._partial(setup, tmp_path)
+        resumed = resume_session(
+            path, corpus, SimulatedDeveloper(truth, seed=3),
+            strategy=SequentialStrategy(), seed=3,
+        )
+        assert [r.index for r in resumed.prior_records] == [
+            r.index for r in first_trace.records
+        ]
+        assert [r.tuples for r in resumed.prior_records] == [
+            r.tuples for r in first_trace.records
+        ]
+        # restored questions carry the attributes dedup and reporting use
+        restored_keys = [
+            q.key() for r in resumed.prior_records for q, _ in r.questions
+        ]
+        original_keys = [
+            q.key() for r in first_trace.records for q, _ in r.questions
+        ]
+        assert restored_keys == original_keys
+
+    def test_continued_trace_extends_the_saved_one(self, setup, tmp_path):
+        corpus, truth, first, first_trace, path = self._partial(setup, tmp_path)
+        resumed = resume_session(
+            path, corpus, SimulatedDeveloper(truth, seed=3),
+            strategy=SequentialStrategy(), seed=3,
+        )
+        trace = resumed.run()
+        saved = len(first_trace.records)
+        assert len(trace.records) > saved
+        # the continued trace leads with the saved iterations, verbatim
+        assert [(r.index, r.mode, r.tuples) for r in trace.records[:saved]] == [
+            (r.index, r.mode, r.tuples) for r in first_trace.records
+        ]
+        # new iterations number strictly after the saved maximum
+        prior_max = max(r.index for r in first_trace.records)
+        assert all(r.index > prior_max for r in trace.records[saved:])
+        indexes = [r.index for r in trace.records]
+        assert indexes == sorted(indexes) and len(set(indexes)) == len(indexes)
+        # dedup survived the round trip: nothing asked twice
+        keys = [q.key() for r in trace.records for q, _ in r.questions]
+        assert len(keys) == len(set(keys))
+
+    def test_continued_trace_round_trips_again(self, setup, tmp_path):
+        corpus, truth, first, first_trace, path = self._partial(setup, tmp_path)
+        resumed = resume_session(
+            path, corpus, SimulatedDeveloper(truth, seed=3),
+            strategy=SequentialStrategy(), seed=3,
+        )
+        trace = resumed.run()
+        payload = trace_to_dict(trace)
+        json.dumps(payload)  # restored questions serialise like live ones
+        assert len(payload["iterations"]) == len(trace.records)
+        report = trace_report(trace)
+        assert str(first_trace.records[0].tuples) in report
+
+    def test_resume_without_trace_starts_fresh(self, setup, tmp_path):
+        corpus, program, truth = setup
+        session = RefinementSession(
+            program, corpus, SimulatedDeveloper(truth, seed=3), seed=3,
+            max_iterations=2,
+        )
+        session.run()
+        path = save_session(session, tmp_path / "no-trace.json")  # trace=None
+        resumed = resume_session(
+            path, corpus, SimulatedDeveloper(truth, seed=3), seed=3
+        )
+        assert resumed.prior_records == []
+        trace = resumed.run()
+        assert trace.records[0].index == 1

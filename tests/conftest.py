@@ -1,8 +1,46 @@
-"""Shared fixtures: small documents and the paper's running example."""
+"""Shared fixtures: small documents and the paper's running example.
+
+Also home of the ``@pytest.mark.timeout(seconds)`` marker — a
+SIGALRM-based, dependency-free implementation so a hung partition fails
+the build instead of stalling it (``pytest-timeout`` is deliberately
+not required).
+"""
+
+import signal
 
 import pytest
 
 from repro.text import Corpus, parse_html
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than the "
+        "limit (SIGALRM wall-clock alarm; POSIX main thread only)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            "%s exceeded its %.3gs timeout" % (item.nodeid, seconds)
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,97 @@
+"""A refinement session must survive a poisoned document mid-refinement:
+quarantine it once, record it, and keep iterating over the reduced
+corpus.
+"""
+
+import pytest
+
+from repro.assistant.oracle import GroundTruth, SimulatedDeveloper
+from repro.assistant.session import RefinementSession
+from repro.errors import ExecutionFailure
+from repro.features.registry import default_registry
+from repro.processor.context import ExecConfig
+from repro.processor.executor import IFlexEngine
+from repro.text.span import Span
+from tests.faults.harness import build_corpus, build_program, faulting_registry
+from tests.processor.test_parallel import result_image
+
+POISONED = ("d2",)
+
+
+def make_truth(corpus):
+    spans = []
+    for doc in corpus.table("pages"):
+        start = doc.text.index("$") + 1
+        spans.append(Span(doc, start, doc.text.index(".00") + 3))
+    return GroundTruth({("ie", "p"): spans})
+
+
+def make_session(corpus, registry, **config_kwargs):
+    developer = SimulatedDeveloper(make_truth(corpus), seed=1)
+    return RefinementSession(
+        build_program(),
+        corpus,
+        developer,
+        features=registry,
+        config=ExecConfig(**config_kwargs),
+        seed=1,
+        max_iterations=3,
+    )
+
+
+class TestSessionSurvival:
+    def test_session_survives_poisoned_document(self):
+        corpus = build_corpus(6)
+        session = make_session(corpus, faulting_registry(POISONED), on_error="skip")
+        trace = session.run()
+        assert session.poisoned_docs == set(POISONED)
+        assert [r.doc_id for r in trace.failure_records][:1] == ["d2"]
+        assert trace.final_result is not None
+        # the poisoned doc was excluded from both corpora, so later
+        # iterations (and the final full run) never re-pay discovery
+        assert all(
+            d.doc_id != "d2"
+            for d in session.corpus.table("pages")
+        )
+        assert all(
+            d.doc_id != "d2"
+            for d in session.subset_corpus.table("pages")
+        )
+
+    def test_final_result_matches_clean_session(self):
+        corpus = build_corpus(6)
+        poisoned_session = make_session(
+            corpus, faulting_registry(POISONED), on_error="skip"
+        )
+        trace = poisoned_session.run()
+        clean_session = make_session(
+            corpus.without(POISONED), default_registry(), on_error="skip"
+        )
+        clean_trace = clean_session.run()
+        assert result_image(trace.final_result) == result_image(
+            clean_trace.final_result
+        )
+        assert clean_trace.failure_records == []
+
+    def test_fail_fast_session_propagates(self):
+        corpus = build_corpus(6)
+        session = make_session(corpus, faulting_registry(POISONED))
+        with pytest.raises(ExecutionFailure) as excinfo:
+            session.run()
+        assert excinfo.value.doc_id == "d2"
+
+    def test_discovery_happens_once(self):
+        # after the session quarantines the doc, a fresh engine over the
+        # session's reduced corpus runs clean with the faulting registry
+        corpus = build_corpus(6)
+        registry = faulting_registry(POISONED)
+        session = make_session(corpus, registry, on_error="skip")
+        session.run()
+        result = IFlexEngine(
+            build_program(),
+            session.corpus,
+            registry,
+            ExecConfig(on_error="fail-fast"),
+            validate=False,
+        ).execute()
+        assert not result.report
