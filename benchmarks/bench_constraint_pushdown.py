@@ -120,7 +120,8 @@ def _point(stats, seconds, identical):
     }
 
 
-def pushdown_comparison(task_id, size, chain, scale, seed):
+def pushdown_comparison(task_id, size, chain, scale, seed, metrics=None):
+    from repro.observability.metrics import record_stats
     from repro.processor import ExecConfig
 
     size = max(20, int(round(size * scale)))
@@ -136,6 +137,10 @@ def pushdown_comparison(task_id, size, chain, scale, seed):
     start = time.perf_counter()
     warm_result = engine.execute()
     warm_seconds = time.perf_counter() - start
+    if metrics is not None:
+        record_stats(metrics, naive_result.stats, task=task_id, config="unindexed")
+        record_stats(metrics, indexed_result.stats, task=task_id, config="indexed")
+        record_stats(metrics, warm_result.stats, task=task_id, config="indexed_warm")
     identical = _image(indexed_result) == _image(naive_result)
     naive = _point(naive_result.stats, naive_seconds, True)
     indexed = _point(indexed_result.stats, indexed_seconds, identical)
@@ -161,9 +166,14 @@ def pushdown_comparison(task_id, size, chain, scale, seed):
 
 
 def test_constraint_pushdown(benchmark, bench_scale, bench_seed, artifacts):
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
     comparisons = benchmark.pedantic(
         lambda: [
-            pushdown_comparison(task_id, size, chain, bench_scale, bench_seed)
+            pushdown_comparison(
+                task_id, size, chain, bench_scale, bench_seed, metrics=registry
+            )
             for task_id, size, chain in TASKS
         ],
         rounds=1,
@@ -190,6 +200,7 @@ def test_constraint_pushdown(benchmark, bench_scale, bench_seed, artifacts):
         render_table(HEADERS, rows, title="constraint pushdown — indexed vs unindexed")
     )
     artifacts.table("constraint_pushdown", HEADERS, rows)
+    artifacts.metrics("constraint_pushdown", registry)
 
     total_naive = sum(c["unindexed"]["verify_calls"] for c in comparisons)
     total_indexed = sum(c["indexed"]["verify_calls"] for c in comparisons)

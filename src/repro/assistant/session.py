@@ -15,13 +15,14 @@ The trace records exactly what the paper's Table 4 reports per
 iteration: result size, execution mode, questions asked, and time.
 """
 
-import logging
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.assistant.convergence import ConvergenceMonitor
 from repro.assistant.strategies import SequentialStrategy
 from repro.features.index import IndexStore
 from repro.features.registry import default_registry
+from repro.observability.logs import get_logger
 from repro.processor.context import (
     EvalCache,
     ExecConfig,
@@ -33,7 +34,7 @@ from repro.xlog.ast import PredicateAtom, Var
 
 __all__ = ["RefinementSession", "SessionTrace", "IterationRecord", "auto_subset_fraction"]
 
-logger = logging.getLogger("repro.assistant")
+logger = get_logger("assistant")
 
 
 def auto_subset_fraction(corpus):
@@ -123,7 +124,20 @@ class RefinementSession:
         max_iterations=20,
         k_convergence=3,
         questions_per_iteration=2,
+        telemetry=None,
+        tracer=None,
+        metrics=None,
     ):
+        #: optional :class:`~repro.observability.telemetry.TelemetrySink`;
+        #: the session emits one ``iteration`` record per loop turn plus
+        #: a closing ``session`` summary (the paper's Table-4 columns)
+        self.telemetry = telemetry
+        #: optional tracer shared with the subset/full engines (never
+        #: with candidate simulations, which may run on worker threads)
+        self.tracer = tracer
+        #: optional metrics registry the subset/full engine runs record
+        #: into
+        self.metrics = metrics
         self.program = program
         self.corpus = corpus
         self.developer = developer
@@ -341,7 +355,9 @@ class RefinementSession:
         except Exception:
             return float("inf"), 0.0, ExecutionStats()
         # validate=False: simulation deliberately tries constraints that
-        # may be infeasible (the result is then 0 tuples, a fine answer)
+        # may be infeasible (the result is then 0 tuples, a fine answer).
+        # No tracer/metrics here: candidate batches may run on worker
+        # threads, and the session's Tracer is not thread-safe.
         engine = IFlexEngine(
             variant,
             self.subset_corpus,
@@ -457,52 +473,59 @@ class RefinementSession:
         records = []
         converged = False
         for index in range(base + 1, base + self.max_iterations + 1):
-            result = self._execute_subset()
-            # the monitor watches the result size, the number of
-            # assignments the whole extraction produced, and the total
-            # number of encoded values (sensitive to narrowing)
-            extraction_assignments = sum(
-                table.assignment_count() for table in result.tables.values()
-            )
-            extraction_values = sum(
-                table.encoded_value_count() for table in result.tables.values()
-            )
-            record = IterationRecord(
-                index=index,
-                mode="subset",
-                tuples=result.tuple_count,
-                assignments=extraction_assignments,
-                elapsed=result.elapsed,
-            )
-            records.append(record)
-            logger.debug(
-                "iteration %d: %d tuples, %d assignments, %d values",
-                index,
-                result.tuple_count,
-                extraction_assignments,
-                extraction_values,
-            )
-            if self.monitor.observe(
-                result.tuple_count, extraction_assignments, extraction_values
-            ):
-                converged = True
+            before = self._progress_snapshot()
+            exhausted = False
+            with self._iteration_span(index, "subset"):
+                result = self._execute_subset()
+                # the monitor watches the result size, the number of
+                # assignments the whole extraction produced, and the total
+                # number of encoded values (sensitive to narrowing)
+                extraction_assignments = sum(
+                    table.assignment_count() for table in result.tables.values()
+                )
+                extraction_values = sum(
+                    table.encoded_value_count() for table in result.tables.values()
+                )
+                record = IterationRecord(
+                    index=index,
+                    mode="subset",
+                    tuples=result.tuple_count,
+                    assignments=extraction_assignments,
+                    elapsed=result.elapsed,
+                )
+                records.append(record)
+                logger.debug(
+                    "iteration %d: %d tuples, %d assignments, %d values",
+                    index,
+                    result.tuple_count,
+                    extraction_assignments,
+                    extraction_values,
+                )
+                converged = self.monitor.observe(
+                    result.tuple_count, extraction_assignments, extraction_values
+                )
+                if not converged:
+                    exhausted = not self._refine(record)
+            self._emit_iteration(record, before)
+            if converged or exhausted:
                 break
-            if not self._refine(record):
-                break  # question space exhausted
-        final_result = self._execute_full()
-        records.append(
-            IterationRecord(
-                index=base + len(records) + 1,
-                mode="reuse",
-                tuples=final_result.tuple_count,
-                assignments=sum(
-                    table.assignment_count()
-                    for table in final_result.tables.values()
-                ),
-                elapsed=final_result.elapsed,
-            )
+        before = self._progress_snapshot()
+        final_index = base + len(records) + 1
+        with self._iteration_span(final_index, "reuse"):
+            final_result = self._execute_full()
+        final_record = IterationRecord(
+            index=final_index,
+            mode="reuse",
+            tuples=final_result.tuple_count,
+            assignments=sum(
+                table.assignment_count()
+                for table in final_result.tables.values()
+            ),
+            elapsed=final_result.elapsed,
         )
-        return SessionTrace(
+        records.append(final_record)
+        self._emit_iteration(final_record, before)
+        trace = SessionTrace(
             records=prior + records,
             converged=converged,
             final_result=final_result,
@@ -514,6 +537,66 @@ class RefinementSession:
             lint_warnings=lint_warnings,
             exec_stats=self.exec_stats,
             failure_records=list(self.failure_records),
+        )
+        self._emit_session(trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _iteration_span(self, index, mode):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(
+            "iteration[%d]" % index, category="session", index=index, mode=mode
+        )
+
+    def _progress_snapshot(self):
+        """Cumulative counters, snapshotted so iterations report deltas."""
+        snapshot = dict(vars(self.exec_stats))
+        snapshot["_failures"] = len(self.failure_records)
+        snapshot["_simulations"] = self.simulations
+        return snapshot
+
+    def _emit_iteration(self, record, before):
+        """One ``iteration`` telemetry record (Table-4 columns + cost)."""
+        if self.telemetry is None:
+            return
+        stats = vars(self.exec_stats)
+        delta = {name: stats[name] - before.get(name, 0) for name in stats}
+        self.telemetry.emit(
+            "iteration",
+            index=record.index,
+            mode=record.mode,
+            tuples=record.tuples,
+            assignments=record.assignments,
+            questions_asked=len(record.questions),
+            questions_answered=len(record.answered),
+            elapsed_s=record.elapsed,
+            cache_hits=delta["verify_cache_hits"] + delta["refine_cache_hits"],
+            cache_misses=delta["verify_cache_misses"] + delta["refine_cache_misses"],
+            verify_evals=delta["verify_calls"] + delta["index_verify_calls"],
+            refine_evals=delta["refine_calls"] + delta["index_refine_calls"],
+            simulations=self.simulations - before["_simulations"],
+            failures=len(self.failure_records) - before["_failures"],
+        )
+
+    def _emit_session(self, trace):
+        """The closing ``session`` summary telemetry record."""
+        if self.telemetry is None:
+            return
+        self.telemetry.emit(
+            "session",
+            converged=trace.converged,
+            iterations=trace.iterations,
+            subset_fraction=trace.subset_fraction,
+            machine_seconds=trace.machine_seconds,
+            questions_asked=trace.questions_asked,
+            questions_answered=trace.questions_answered,
+            simulations=self.simulations,
+            failures=len(trace.failure_records),
+            tuples=trace.final_result.tuple_count,
+            assignments=trace.final_result.assignment_count,
         )
 
     # ------------------------------------------------------------------
@@ -547,6 +630,8 @@ class RefinementSession:
             validate=False,
             index_store=self._index_store,
             eval_cache=self._eval_cache,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         result = engine.execute(cache=self._subset_cache)
         self.machine_seconds += result.elapsed
@@ -564,6 +649,8 @@ class RefinementSession:
             validate=False,
             index_store=self._index_store,
             eval_cache=self._eval_cache,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         result = engine.execute(cache=self._full_cache)
         self.machine_seconds += result.elapsed

@@ -38,6 +38,39 @@ from repro.xlog.program import PFunction, Program
 __all__ = ["main", "build_parser", "load_corpus", "load_program"]
 
 
+def _positive_int(text):
+    """argparse type: an integer >= 1 (exit code 2 otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % (text,))
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer, got %d" % value)
+    return value
+
+
+def _nonnegative_int(text):
+    """argparse type: an integer >= 0 (exit code 2 otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % (text,))
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0, got %d" % value)
+    return value
+
+
+def _positive_float(text):
+    """argparse type: a number > 0 (exit code 2 otherwise)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected a number, got %r" % (text,))
+    if not value > 0:
+        raise argparse.ArgumentTypeError("must be > 0, got %g" % value)
+    return value
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -63,7 +96,7 @@ def build_parser():
         )
         p.add_argument(
             "--workers",
-            type=int,
+            type=_positive_int,
             default=1,
             help="corpus partitions for the document-local plan prefix "
             "(default 1: single-threaded execution)",
@@ -99,18 +132,39 @@ def build_parser():
         )
         p.add_argument(
             "--max-retries",
-            type=int,
+            type=_nonnegative_int,
             default=2,
             help="retry attempts per failure site under --on-error retry",
         )
         p.add_argument(
             "--partition-timeout",
-            type=float,
+            type=_positive_float,
             default=None,
             metavar="SECONDS",
             help="abort any partition running longer than this (enforced "
-            "by the process backend; detect-only on serial/thread); "
-            "timeouts always fail the run, whatever --on-error says",
+            "by the process backend; detected within one polling "
+            "interval on serial/thread, where the hung work itself "
+            "cannot be killed); timeouts always fail the run, whatever "
+            "--on-error says",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            help="write a Chrome trace-event file (chrome://tracing, "
+            "Perfetto) with engine, plan, operator, partition, and "
+            "scheduler spans for the run",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            help="write a deterministic metrics-registry snapshot (JSON); "
+            "byte-identical across scheduler backends for the same run",
+        )
+        p.add_argument(
+            "--log-level",
+            choices=("debug", "info", "warning", "error", "critical"),
+            default="warning",
+            help="threshold for the repro.* logger hierarchy (stderr)",
         )
 
     run = sub.add_parser("run", help="execute a program and print the result")
@@ -171,7 +225,13 @@ def build_parser():
     session.add_argument(
         "--strategy", choices=("sequential", "simulation"), default="sequential"
     )
-    session.add_argument("--max-iterations", type=int, default=10)
+    session.add_argument("--max-iterations", type=_positive_int, default=10)
+    session.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="write per-iteration session telemetry as JSONL (one "
+        "iteration record per line plus a closing session summary)",
+    )
 
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument(
@@ -263,6 +323,37 @@ def _print_failure_report(result):
         print(report.render(), file=sys.stderr)
 
 
+def _observability(args):
+    """``(tracer, metrics)`` per the CLI flags (``None`` when unset)."""
+    tracer = None
+    metrics = None
+    if getattr(args, "trace_out", None):
+        from repro.observability.spans import Tracer
+
+        tracer = Tracer()
+    if getattr(args, "metrics_out", None):
+        from repro.observability.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    return tracer, metrics
+
+
+def _write_observability(args, tracer, metrics):
+    """Flush trace / metrics sinks (also called after a failed run, so
+    a fail-fast abort still leaves the partial trace for debugging)."""
+    if tracer is not None:
+        from repro.observability.spans import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, tracer.spans)
+        print(
+            "wrote trace (%d spans) to %s" % (len(tracer.spans), args.trace_out),
+            file=sys.stderr,
+        )
+    if metrics is not None:
+        metrics.write(args.metrics_out)
+        print("wrote metrics snapshot to %s" % (args.metrics_out,), file=sys.stderr)
+
+
 def _cmd_run(args):
     corpus = load_corpus(args.table)
     program = load_program(args, corpus)
@@ -275,7 +366,15 @@ def _cmd_run(args):
         if lint_result.errors:
             print(lint_result.summary_line(), file=sys.stderr)
             return 1
-    engine = IFlexEngine(program, corpus, config=_exec_config(args), validate=False)
+    tracer, metrics = _observability(args)
+    engine = IFlexEngine(
+        program,
+        corpus,
+        config=_exec_config(args),
+        validate=False,
+        tracer=tracer,
+        metrics=metrics,
+    )
     try:
         if args.analyze:
             result, report = engine.explain_analyze()
@@ -287,7 +386,9 @@ def _cmd_run(args):
         # under fail-fast (or a non-containable failure) the run exits
         # non-zero with the enriched message, never a bare traceback
         print("error: %s" % (exc,), file=sys.stderr)
+        _write_observability(args, tracer, metrics)
         return 1
+    _write_observability(args, tracer, metrics)
     _print_failure_report(result)
     if args.json:
         from repro.ctables.export import table_to_json
@@ -351,6 +452,12 @@ def _cmd_session(args):
     strategy = (
         SimulationStrategy() if args.strategy == "simulation" else SequentialStrategy()
     )
+    tracer, metrics = _observability(args)
+    telemetry = None
+    if getattr(args, "telemetry_out", None):
+        from repro.observability.telemetry import TelemetrySink
+
+        telemetry = TelemetrySink(path=args.telemetry_out)
     session = RefinementSession(
         program,
         corpus,
@@ -358,13 +465,23 @@ def _cmd_session(args):
         strategy=strategy,
         config=_exec_config(args),
         max_iterations=args.max_iterations,
+        telemetry=telemetry,
+        tracer=tracer,
+        metrics=metrics,
     )
     developer.session = session
     try:
         trace = session.run()
     except ReproError as exc:
         print("error: %s" % (exc,), file=sys.stderr)
+        _write_observability(args, tracer, metrics)
+        if telemetry is not None:
+            telemetry.close()
         return 1
+    _write_observability(args, tracer, metrics)
+    if telemetry is not None:
+        telemetry.close()
+        print("wrote session telemetry to %s" % (args.telemetry_out,), file=sys.stderr)
     if trace.failure_records:
         print(
             "%d document(s) quarantined during the session:" % len(trace.failure_records),
@@ -493,6 +610,10 @@ def _run_demo():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if getattr(args, "log_level", None):
+        from repro.observability.logs import configure_logging
+
+        configure_logging(args.log_level)
     commands = {
         "run": _cmd_run,
         "lint": _cmd_lint,

@@ -69,6 +69,16 @@ class ArtifactWriter:
         self.written.append(path)
         return path
 
+    def metrics(self, name, registry):
+        """Write ``<name>.metrics.json`` — a metrics-registry snapshot
+        (:class:`repro.observability.MetricsRegistry`) next to the
+        bench's JSON results."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / ("%s.metrics.json" % name)
+        registry.write(path)
+        self.written.append(path)
+        return path
+
     def finish(self, extra=None):
         manifest = {
             "written": [str(p) for p in self.written],

@@ -1,0 +1,65 @@
+"""The shared ``repro.*`` logger hierarchy.
+
+Every module logs through a child of the single ``repro`` root logger
+(``repro.processor``, ``repro.assistant``, ``repro.cli``, ...), so one
+:func:`configure_logging` call — or one ``logging.getLogger("repro")``
+from an embedding application — controls the whole library.  The
+library itself never attaches handlers at import time: silence stays
+the default, exactly as :mod:`logging` recommends for libraries.
+"""
+
+import logging
+
+__all__ = ["LOG_LEVELS", "ROOT_LOGGER_NAME", "configure_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: CLI-facing level names (``--log-level``), lowest to highest.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: marker attribute identifying the handler :func:`configure_logging`
+#: installed, so repeated calls reconfigure instead of stacking handlers
+_HANDLER_MARKER = "_repro_observability_handler"
+
+DEFAULT_FORMAT = "%(asctime)s %(levelname)-8s %(name)s: %(message)s"
+
+
+def get_logger(name=""):
+    """A logger under the shared ``repro`` hierarchy.
+
+    ``get_logger("processor")`` and ``get_logger("repro.processor")``
+    both return the ``repro.processor`` logger; an empty name returns
+    the ``repro`` root itself.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger("%s.%s" % (ROOT_LOGGER_NAME, name))
+
+
+def configure_logging(level="warning", stream=None, fmt=DEFAULT_FORMAT):
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: calling again replaces the previously installed handler
+    (and its level/format) instead of duplicating log lines.  Returns
+    the configured root logger.  ``level`` accepts a name from
+    :data:`LOG_LEVELS` (case-insensitive) or a numeric level.
+    """
+    if isinstance(level, str):
+        name = level.strip().lower()
+        if name not in LOG_LEVELS:
+            raise ValueError(
+                "unknown log level %r (choose from %s)" % (level, ", ".join(LOG_LEVELS))
+            )
+        level = getattr(logging, name.upper())
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_MARKER, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

@@ -1,0 +1,134 @@
+"""JSONL session telemetry.
+
+A :class:`TelemetrySink` appends one JSON object per line — per
+refinement-session iteration, plus a closing session summary — so the
+paper's Table-4-style per-iteration reports (result size, execution
+mode, questions, cost) come from machine-readable telemetry instead of
+bespoke harness code.  Records are plain dicts with sorted keys; a
+monotonically increasing ``seq`` stamps emission order.
+
+:func:`read_telemetry` loads a file back, and
+:func:`render_iteration_report` turns iteration records into the
+familiar text table (same renderer as ``repro tables``).
+"""
+
+import json
+
+from repro.observability.logs import get_logger
+
+__all__ = [
+    "ITERATION_HEADERS",
+    "TelemetrySink",
+    "iteration_rows",
+    "read_telemetry",
+    "render_iteration_report",
+]
+
+logger = get_logger("observability")
+
+ITERATION_HEADERS = (
+    "iter",
+    "mode",
+    "tuples",
+    "assignments",
+    "questions",
+    "answered",
+    "cache hit rate",
+    "failures",
+    "seconds",
+)
+
+
+class TelemetrySink:
+    """Append-only JSONL writer (file path or ready stream).
+
+    Safe to call after :meth:`close` (emits are dropped with a debug
+    log), so long-lived sessions never die on a closed sink.
+    """
+
+    def __init__(self, path=None, stream=None):
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path= or stream=")
+        self.path = path
+        self._stream = stream
+        self._owns_stream = stream is None
+        self._seq = 0
+        self.records = 0
+
+    def _ensure_stream(self):
+        if self._stream is None and self._owns_stream and self.path is not None:
+            self._stream = open(self.path, "w", encoding="utf-8")
+        return self._stream
+
+    def emit(self, kind, **fields):
+        """Write one record; returns the record dict (or None if closed)."""
+        stream = self._ensure_stream()
+        if stream is None:
+            logger.debug("telemetry sink closed; dropped %r record", kind)
+            return None
+        self._seq += 1
+        record = {"kind": kind, "seq": self._seq}
+        record.update(fields)
+        stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        stream.flush()
+        self.records += 1
+        return record
+
+    def close(self):
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+        self.path = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_telemetry(path):
+    """Load a JSONL telemetry file into a list of dicts (in ``seq`` order)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    records.sort(key=lambda r: r.get("seq", 0))
+    return records
+
+
+def _rate(record):
+    hits = record.get("cache_hits", 0)
+    total = hits + record.get("cache_misses", 0)
+    return "%.1f%%" % (100.0 * hits / total) if total else "n/a"
+
+
+def iteration_rows(records):
+    """Table-4-style rows from ``iteration`` telemetry records."""
+    rows = []
+    for record in records:
+        if record.get("kind") != "iteration":
+            continue
+        rows.append(
+            (
+                record.get("index", ""),
+                record.get("mode", ""),
+                record.get("tuples", 0),
+                record.get("assignments", 0),
+                record.get("questions_asked", 0),
+                record.get("questions_answered", 0),
+                _rate(record),
+                record.get("failures", 0),
+                "%.3f" % record.get("elapsed_s", 0.0),
+            )
+        )
+    return rows
+
+
+def render_iteration_report(records, title=None):
+    """The per-iteration report as an aligned text table."""
+    from repro.experiments.report import render_table
+
+    return render_table(ITERATION_HEADERS, iteration_rows(records), title=title)

@@ -270,12 +270,16 @@ class ExecutionContext:
         config=None,
         index_store=None,
         eval_cache=None,
+        tracer=None,
     ):
         self.program = program
         self.corpus = corpus
         self.features = features or default_registry()
         self.config = config or ExecConfig()
         self.stats = ExecutionStats()
+        #: optional :class:`~repro.observability.spans.Tracer`; operators
+        #: that batch feature work record spans on it when present
+        self.tracer = tracer
         if not getattr(self.config, "use_index", True):
             index_store = None
         elif index_store is None:

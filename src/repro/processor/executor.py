@@ -13,8 +13,8 @@ constraints commute, section 4.2) instead of re-extracting from
 scratch; anything downstream re-executes against the updated table.
 """
 
-import logging
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.alog.unfold import unfold_program
@@ -29,6 +29,7 @@ from repro.errors import (
     UnknownPredicateError,
 )
 from repro.features.index import IndexStore
+from repro.observability.logs import get_logger
 from repro.processor.context import ERROR_POLICIES, EvalCache, ExecConfig, ExecutionContext
 from repro.processor.operators import apply_constraint_to_table
 from repro.processor.plan import compile_predicate
@@ -36,7 +37,7 @@ from repro.xlog.ast import ConstraintAtom, PredicateAtom, Rule
 
 __all__ = ["IFlexEngine", "ExecutionResult", "RuleCache", "evaluation_order"]
 
-logger = logging.getLogger("repro.processor")
+logger = get_logger("processor")
 
 #: diagnostic code -> the exception type API callers historically caught
 _LEGACY_ERROR_TYPES = {
@@ -308,11 +309,21 @@ class IFlexEngine:
         validate=True,
         index_store=None,
         eval_cache=None,
+        tracer=None,
+        metrics=None,
     ):
         self.program = program
         self.corpus = corpus
         self.features = features
         self.config = config or ExecConfig()
+        #: optional :class:`~repro.observability.spans.Tracer`; when set,
+        #: executions run their plans traced and emit engine, plan,
+        #: operator, partition, and scheduler spans
+        self.tracer = tracer
+        #: optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        #: every completed execution folds its (backend-deterministic)
+        #: counters into it
+        self.metrics = metrics
         # Verify/Refine acceleration state, shared by every execution of
         # this engine (and across engines when the caller passes its own
         # — the assistant session shares one pair session-wide).  Both
@@ -365,6 +376,7 @@ class IFlexEngine:
             self.features,
             self.config,
             index_store=self.index_store,
+            tracer=self.tracer,
         )
 
     def _context(self):
@@ -376,7 +388,14 @@ class IFlexEngine:
             self.config,
             index_store=self.index_store,
             eval_cache=self.eval_cache,
+            tracer=self.tracer,
         )
+
+    def _span(self, name, category, **attrs):
+        """A tracer span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, category, **attrs)
 
     def _validate(self):
         """Analyze the program; raise on the first error diagnostic.
@@ -412,7 +431,15 @@ class IFlexEngine:
         contained incident (``result.report``).
         """
         driver = _PolicyDriver(self)
-        return driver.finish(driver.run(lambda: self._execute_attempt(cache)))
+        with self._span(
+            "execute", "engine", policy=driver.policy, query=self.unfolded.query
+        ):
+            result = driver.finish(driver.run(lambda: self._execute_attempt(cache)))
+        if self.metrics is not None:
+            from repro.observability.metrics import record_execution
+
+            record_execution(self.metrics, result)
+        return result
 
     def _execute_attempt(self, cache=None):
         """One uninterrupted execution over the active corpus."""
@@ -424,24 +451,25 @@ class IFlexEngine:
             fingerprint = self._fingerprint(name, tokens)
             table = None
             kind = None
-            if cache is not None:
-                entry = cache.get(name)
-                if entry is not None and entry.fingerprint.token == fingerprint.token:
-                    table = entry.table
-                    kind = "full"
-                elif (
-                    self.physical is not None
-                    and self.physical.parallel
-                    and self.physical.fully_local(name)
-                ):
-                    table, kind = self._execute_partitioned(name, context, cache)
-                elif entry is not None:
-                    table = self._incremental(name, entry, fingerprint, context)
-                    if table is not None:
-                        kind = "incremental"
-            if table is None:
-                table = self._execute_plan(name, context)
-                kind = "computed"
+            with self._span("predicate:%s" % name, "plan", predicate=name):
+                if cache is not None:
+                    entry = cache.get(name)
+                    if entry is not None and entry.fingerprint.token == fingerprint.token:
+                        table = entry.table
+                        kind = "full"
+                    elif (
+                        self.physical is not None
+                        and self.physical.parallel
+                        and self.physical.fully_local(name)
+                    ):
+                        table, kind = self._execute_partitioned(name, context, cache)
+                    elif entry is not None:
+                        table = self._incremental(name, entry, fingerprint, context)
+                        if table is not None:
+                            kind = "incremental"
+                if table is None:
+                    table = self._execute_plan(name, context)
+                    kind = "computed"
             reuse_summary[name] = kind
             context.relations[name] = table
             tokens[name] = fingerprint.token
@@ -472,8 +500,24 @@ class IFlexEngine:
     def _execute_plan(self, name, context):
         """One predicate's table: direct on the serial path, partitioned
 
-        through the physical layer when workers > 1.
+        through the physical layer when workers > 1.  With a tracer the
+        plan runs through the operator-tracing decorator and the
+        collected rows become nested operator spans, so ``--trace-out``
+        runs carry per-operator timing without the caller asking for
+        ``explain_analyze``.
         """
+        if self.tracer is not None:
+            from repro.observability.spans import spans_from_traces
+            from repro.processor.tracing import trace_plan
+
+            if self.physical is not None:
+                table, traces = self.physical.execute_plan_traced(name, context)
+            else:
+                traced = trace_plan(compile_predicate(name, self.unfolded))
+                table = traced.execute(context)
+                traces = traced.collect()
+            spans_from_traces(traces, self.tracer)
+            return table
         if self.physical is not None:
             return self.physical.execute_plan(name, context)
         return compile_predicate(name, self.unfolded).execute(context)
@@ -554,8 +598,15 @@ class IFlexEngine:
         from repro.processor.tracing import render_failures
 
         driver = _PolicyDriver(self)
-        result, text = driver.run(self._explain_analyze_attempt)
-        driver.finish(result)
+        with self._span(
+            "explain_analyze", "engine", policy=driver.policy, query=self.unfolded.query
+        ):
+            result, text = driver.run(self._explain_analyze_attempt)
+            driver.finish(result)
+        if self.metrics is not None:
+            from repro.observability.metrics import record_execution
+
+            record_execution(self.metrics, result)
         failure_text = render_failures(result.report)
         if failure_text:
             text = "%s\n\n%s" % (text, failure_text)
@@ -568,14 +619,20 @@ class IFlexEngine:
         context = self._context()
         reports = []
         for name in self.order:
-            if self.physical is not None:
-                table, traces = self.physical.execute_plan_traced(name, context)
-                context.relations[name] = table
-                reports.append("%s:\n%s" % (name, render_traces(traces)))
-            else:
-                traced = trace_plan(compile_predicate(name, self.unfolded))
-                context.relations[name] = traced.execute(context)
-                reports.append("%s:\n%s" % (name, traced.report()))
+            with self._span("predicate:%s" % name, "plan", predicate=name):
+                if self.physical is not None:
+                    table, traces = self.physical.execute_plan_traced(name, context)
+                    context.relations[name] = table
+                    reports.append("%s:\n%s" % (name, render_traces(traces)))
+                else:
+                    traced = trace_plan(compile_predicate(name, self.unfolded))
+                    context.relations[name] = traced.execute(context)
+                    traces = traced.collect()
+                    reports.append("%s:\n%s" % (name, render_traces(traces)))
+                if self.tracer is not None:
+                    from repro.observability.spans import spans_from_traces
+
+                    spans_from_traces(traces, self.tracer)
         reports.append(render_cache_summary(context.stats))
         elapsed = time.perf_counter() - start
         result = ExecutionResult(

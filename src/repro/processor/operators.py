@@ -193,7 +193,46 @@ def apply_constraint_to_table(source, attr, feature, value, priors, context, mar
     *annotated* attribute of the rule: the new constraint commutes past
     ψ (it trims each group's value pool before the one-per-group
     choice), so a group with any surviving value keeps a certain tuple.
+
+    With a tracer on the context, the whole pass over the table — one
+    Verify/Refine *batch* for this constraint — records a feature span
+    attributed with the evaluation traffic it caused (stats deltas).
     """
+    tracer = getattr(context, "tracer", None)
+    if tracer is None:
+        return _constraint_pass(source, attr, feature, value, priors, context, mark_maybe)
+    stats = context.stats
+    before = (
+        stats.verify_calls + stats.index_verify_calls,
+        stats.refine_calls + stats.index_refine_calls,
+        stats.verify_cache_hits + stats.refine_cache_hits,
+        stats.verify_cache_misses + stats.refine_cache_misses,
+    )
+    with tracer.span(
+        "verify-batch:%s(%s)" % (feature, attr),
+        category="feature",
+        feature=str(feature),
+        attribute=attr,
+        value=str(value),
+    ) as span:
+        table = _constraint_pass(source, attr, feature, value, priors, context, mark_maybe)
+        span.attrs["verify_evals"] = (
+            stats.verify_calls + stats.index_verify_calls - before[0]
+        )
+        span.attrs["refine_evals"] = (
+            stats.refine_calls + stats.index_refine_calls - before[1]
+        )
+        span.attrs["cache_hits"] = (
+            stats.verify_cache_hits + stats.refine_cache_hits - before[2]
+        )
+        span.attrs["cache_misses"] = (
+            stats.verify_cache_misses + stats.refine_cache_misses - before[3]
+        )
+        span.attrs["out_tuples"] = len(table)
+    return table
+
+
+def _constraint_pass(source, attr, feature, value, priors, context, mark_maybe):
     index = source.attr_index(attr)
     table = CompactTable(source.attrs)
     for t in source:

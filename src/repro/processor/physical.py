@@ -23,7 +23,10 @@ compilation is deterministic and cheap relative to extraction, and
 fresh trees mean no operator state is shared across workers.
 """
 
+from contextlib import nullcontext
+
 from repro.ctables.ctable import CompactTable
+from repro.observability.logs import get_logger
 from repro.processor.context import ExecutionContext
 from repro.processor.plan import compile_predicate
 from repro.processor.schedulers import TaskError, make_scheduler
@@ -32,17 +35,49 @@ from repro.processor.tracing import merge_traces, trace_plan
 
 __all__ = ["PhysicalExecutor"]
 
+logger = get_logger("processor")
+
+
+def _partition_span(tracer, corpus, pid):
+    """The per-partition root span (or a no-op without a tracer)."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(
+        "partition[%d]" % pid,
+        category="partition",
+        partition=pid,
+        documents=sum(corpus.size_of(name) for name in corpus.table_names()),
+    )
+
 
 class PhysicalExecutor:
-    """Executes one (unfolded) program's plans over a partitioned corpus."""
+    """Executes one (unfolded) program's plans over a partitioned corpus.
+
+    With a ``tracer``, every scheduler ``map`` records a scheduler span
+    and each partition task builds its *own*
+    :class:`~repro.observability.spans.Tracer` whose spans ride back as
+    the last element of the task's result tuple — across the process
+    backend's fork result pipe exactly like ``ExecutionStats`` — and are
+    grafted under the scheduler span on arrival.  Timestamps stay
+    comparable because ``time.perf_counter`` is the system-wide
+    monotonic clock, shared by forked children.
+    """
 
     def __init__(
-        self, program, corpus, features, config, scheduler=None, index_store=None
+        self,
+        program,
+        corpus,
+        features,
+        config,
+        scheduler=None,
+        index_store=None,
+        tracer=None,
     ):
         self.program = program
         self.corpus = corpus
         self.features = features
         self.config = config
+        self.tracer = tracer
         #: shared per-document feature indexes (thread-shared /
         #: fork-inherited; content-keyed, so sharing is always sound)
         self.index_store = index_store
@@ -78,7 +113,7 @@ class PhysicalExecutor:
     # ------------------------------------------------------------------
     # partition-level execution
     # ------------------------------------------------------------------
-    def _map(self, work, pids):
+    def _map(self, work, pids, label=""):
         """Scheduler ``map`` with partition-attributed failures.
 
         The scheduler reports failures by *task index*; this layer knows
@@ -86,7 +121,32 @@ class PhysicalExecutor:
         failure, and re-raises the bare :class:`ExecutionFailure` so the
         engine's error policy sees the same exception type whether the
         plan ran serially or partitioned.
+
+        With a tracer, the whole ``map`` is recorded as a scheduler
+        span, and each task's result tuple carries its partition span
+        list as the *last* element; that element is stripped here and
+        adopted into the tracer, so callers see the untraced result
+        shapes.
         """
+        if self.tracer is None:
+            return self._map_raw(work, pids)
+        with self.tracer.span(
+            "scheduler.map",
+            category="scheduler",
+            backend=self.scheduler.name,
+            workers=self.scheduler.workers,
+            tasks=len(pids),
+            predicate=label,
+        ) as scheduler_span:
+            results = self._map_raw(work, pids)
+            stripped = []
+            for result in results:
+                *rest, spans = result
+                self.tracer.adopt(spans, parent=scheduler_span)
+                stripped.append(tuple(rest))
+            return stripped
+
+    def _map_raw(self, work, pids):
         try:
             return self.scheduler.map(
                 work, pids, shared=self._shared, timeout=self.timeout
@@ -99,7 +159,7 @@ class PhysicalExecutor:
                 failure.__cause__ = error.__cause__
             raise failure from error.__cause__
 
-    def _partition_context(self, pid):
+    def _partition_context(self, pid, tracer=None):
         # The index store is shared (document content never changes);
         # the eval cache is *fresh* per partition so hit/miss counters
         # are backend-independent and sum to the serial counts — cache
@@ -111,7 +171,21 @@ class PhysicalExecutor:
             self.features,
             self.config,
             index_store=self.index_store,
+            tracer=tracer,
         )
+
+    def _worker_tracer(self):
+        """A fresh tracer for one partition task, or ``None``.
+
+        Workers never write to the executor's own tracer (thread races;
+        fork children mutate a dead copy) — each task records into its
+        own and the spans travel home inside the result tuple.
+        """
+        if self.tracer is None:
+            return None
+        from repro.observability.spans import Tracer
+
+        return Tracer()
 
     def execute_local_partitions(self, name, pids=None):
         """Run a *fully local* predicate plan on each requested partition.
@@ -123,11 +197,15 @@ class PhysicalExecutor:
         pids = list(range(len(self.partitions)) if pids is None else pids)
 
         def work(pid):
-            context = self._partition_context(pid)
-            table = compile_predicate(name, self.program).execute(context)
-            return table, context.stats
+            tracer = self._worker_tracer()
+            context = self._partition_context(pid, tracer)
+            with _partition_span(tracer, self.partitions[pid], pid):
+                table = compile_predicate(name, self.program).execute(context)
+            if tracer is None:
+                return table, context.stats
+            return table, context.stats, tracer.spans
 
-        return self._map(work, pids)
+        return self._map(work, pids, label=name)
 
     # ------------------------------------------------------------------
     # whole-plan execution
@@ -146,12 +224,16 @@ class PhysicalExecutor:
             return compile_predicate(name, self.program).execute(context)
 
         def work(pid):
-            partition_context = self._partition_context(pid)
+            tracer = self._worker_tracer()
+            partition_context = self._partition_context(pid, tracer)
             split = PlanSplit(compile_predicate(name, self.program))
-            tables = [op.execute(partition_context) for op in split.local_roots]
-            return tables, partition_context.stats
+            with _partition_span(tracer, self.partitions[pid], pid):
+                tables = [op.execute(partition_context) for op in split.local_roots]
+            if tracer is None:
+                return tables, partition_context.stats
+            return tables, partition_context.stats, tracer.spans
 
-        per_partition = self._map(work, list(range(len(self.partitions))))
+        per_partition = self._map(work, list(range(len(self.partitions))), label=name)
         for _, stats in per_partition:
             context.stats.merge(stats)
         gathered = self._gather(info, [tables for tables, _ in per_partition])
@@ -180,13 +262,18 @@ class PhysicalExecutor:
             return table, traced.collect()
 
         def work(pid):
-            partition_context = self._partition_context(pid)
+            tracer = self._worker_tracer()
+            partition_context = self._partition_context(pid, tracer)
             split = PlanSplit(compile_predicate(name, self.program))
             traced = [trace_plan(op) for op in split.local_roots]
-            tables = [t.execute(partition_context) for t in traced]
-            return tables, [t.collect() for t in traced], partition_context.stats
+            with _partition_span(tracer, self.partitions[pid], pid):
+                tables = [t.execute(partition_context) for t in traced]
+            collected = [t.collect() for t in traced]
+            if tracer is None:
+                return tables, collected, partition_context.stats
+            return tables, collected, partition_context.stats, tracer.spans
 
-        per_partition = self._map(work, list(range(len(self.partitions))))
+        per_partition = self._map(work, list(range(len(self.partitions))), label=name)
         for _, _, stats in per_partition:
             context.stats.merge(stats)
         gathered = self._gather(info, [tables for tables, _, _ in per_partition])
@@ -229,6 +316,7 @@ def _collect_with_prefixes(traced, merged_by_index):
                     describe=row.describe,
                     depth=row.depth + base_depth,
                     elapsed=row.elapsed,
+                    subtree_elapsed=row.subtree_elapsed,
                     out_tuples=row.out_tuples,
                     out_assignments=row.out_assignments,
                     maybe_tuples=row.maybe_tuples,

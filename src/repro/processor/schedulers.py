@@ -42,12 +42,13 @@ removes exactly that token when done.
 
 import io
 import itertools
-import logging
 import multiprocessing
 import pickle
+import threading
 import time
 
 from repro.errors import ExecutionFailure, PartitionTimeout
+from repro.observability.logs import get_logger
 
 __all__ = [
     "Scheduler",
@@ -59,7 +60,16 @@ __all__ = [
     "BACKENDS",
 ]
 
-logger = logging.getLogger("repro.processor")
+logger = get_logger("processor")
+
+#: upper bound on the wait between timeout-deadline checks; detection
+#: of a hung task happens within about one such interval of the deadline
+_POLL_INTERVAL = 0.05
+
+
+def _poll_interval(timeout):
+    """Bounded wait between deadline checks (~timeout/10, capped)."""
+    return max(min(_POLL_INTERVAL, timeout / 10.0), 0.001)
 
 
 class TaskError(ExecutionFailure):
@@ -107,22 +117,70 @@ def _timeout_error(index, total, timeout):
     return TaskError(str(failure), task_index=index, failure=failure)
 
 
+def _watched_call(fn, item, index, total, timeout):
+    """Run one task on a watchdog thread, polling the deadline.
+
+    The caller learns about a hung task within about one polling
+    interval of ``timeout`` instead of blocking until (unless) the task
+    returns.  Detection is still not enforcement: the stuck thread
+    cannot be killed and leaks as a daemon — the process backend is the
+    one that terminates hung work.  A task that *completes* past the
+    deadline between two polls still raises (after-the-fact detection,
+    the historical serial behaviour).
+    """
+    outcome = {}
+
+    def runner():
+        try:
+            outcome["result"] = fn(item)
+        except BaseException as exc:  # transported to the calling thread
+            outcome["error"] = exc
+
+    thread = threading.Thread(
+        target=runner, name="repro-task-watchdog-%d" % index, daemon=True
+    )
+    deadline = time.perf_counter() + timeout
+    poll = _poll_interval(timeout)
+    thread.start()
+    while True:
+        thread.join(poll)
+        if not thread.is_alive():
+            break
+        if time.perf_counter() > deadline:
+            logger.warning(
+                "task %d hung past the %.3gs partition timeout; "
+                "abandoning its watchdog thread",
+                index,
+                timeout,
+            )
+            raise _timeout_error(index, total, timeout)
+    if "error" in outcome:
+        exc = outcome["error"]
+        raise _task_error(index, total, exc) from exc
+    if time.perf_counter() > deadline:
+        raise _timeout_error(index, total, timeout)
+    return outcome["result"]
+
+
 def _serial_map(fn, items, timeout=None):
     """In-process, order-preserving map with guarded tasks.
 
-    Serial execution cannot preempt a running task, so ``timeout`` is
-    detect-only: a task that took too long raises *after* it returns
-    (a hung task hangs — use the process backend to enforce timeouts).
+    Without a ``timeout`` every task runs inline.  With one, each task
+    runs under :func:`_watched_call`, so even a hung task surfaces as a
+    :class:`TaskError` within about one polling interval of the
+    deadline (previously the timeout was checked only after the task
+    returned, so a hang was never detected at all).
     """
+    items = list(items)
     out = []
     for index, item in enumerate(items):
-        start = time.perf_counter()
-        try:
-            out.append(fn(item))
-        except Exception as exc:
-            raise _task_error(index, len(items), exc) from exc
-        if timeout is not None and time.perf_counter() - start > timeout:
-            raise _timeout_error(index, len(items), timeout)
+        if timeout is None:
+            try:
+                out.append(fn(item))
+            except Exception as exc:
+                raise _task_error(index, len(items), exc) from exc
+        else:
+            out.append(_watched_call(fn, item, index, len(items), timeout))
     return out
 
 
@@ -158,12 +216,36 @@ class SerialBackend(Scheduler):
         return _serial_map(fn, list(items), timeout)
 
 
+def _first_overdue(futures, starts, timeout):
+    """Index of the first started, unfinished task past its deadline.
+
+    Each task's clock starts when a worker actually picks it up (its
+    entry appears in ``starts``), not when it was queued — the timeout
+    bounds partition *work*, and queued tasks behind a hung one are
+    flagged through the hung task itself.
+    """
+    now = time.perf_counter()
+    for index, future in enumerate(futures):
+        started = starts.get(index)
+        if started is not None and not future.done() and now - started > timeout:
+            return index
+    return None
+
+
 class ThreadBackend(Scheduler):
     """A thread pool; shared memory, order-preserving.
 
-    On timeout the pool is abandoned without waiting (``cancel_futures``
-    drops queued tasks); already-running threads cannot be killed, only
-    detected — the process backend is the one that enforces.
+    Timeouts are detected by polling: every task stamps its start time
+    when a worker picks it up, and the result loop waits in bounded
+    slices, checking *all* running tasks against their own deadlines —
+    so a hang anywhere in the batch surfaces within about one polling
+    interval of ``timeout``, regardless of which future the loop happens
+    to be waiting on (previously each ``future.result(timeout)`` clock
+    started only once the loop reached that future, inflating detection
+    latency by everything in front of it).  On timeout the pool is
+    abandoned without waiting (``cancel_futures`` drops queued tasks);
+    already-running threads cannot be killed, only detected — the
+    process backend is the one that enforces.
     """
 
     name = "thread"
@@ -175,19 +257,33 @@ class ThreadBackend(Scheduler):
         from concurrent.futures import TimeoutError as FutureTimeout
         from concurrent.futures import ThreadPoolExecutor
 
+        starts = {}
+
+        def stamped(index, item):
+            starts[index] = time.perf_counter()
+            return fn(item)
+
+        poll = None if timeout is None else _poll_interval(timeout)
         pool = ThreadPoolExecutor(max_workers=self.workers)
         wait_for_pool = True
         try:
-            futures = [pool.submit(fn, item) for item in items]
+            futures = [
+                pool.submit(stamped, index, item)
+                for index, item in enumerate(items)
+            ]
             results = []
             for index, future in enumerate(futures):
-                try:
-                    results.append(future.result(timeout))
-                except FutureTimeout:
-                    wait_for_pool = False
-                    raise _timeout_error(index, len(items), timeout)
-                except Exception as exc:
-                    raise _task_error(index, len(items), exc) from exc
+                while True:
+                    try:
+                        results.append(future.result(poll))
+                        break
+                    except FutureTimeout:
+                        overdue = _first_overdue(futures, starts, timeout)
+                        if overdue is not None:
+                            wait_for_pool = False
+                            raise _timeout_error(overdue, len(items), timeout)
+                    except Exception as exc:
+                        raise _task_error(index, len(items), exc) from exc
             return results
         finally:
             pool.shutdown(wait=wait_for_pool, cancel_futures=not wait_for_pool)

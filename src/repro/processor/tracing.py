@@ -31,6 +31,9 @@ class OperatorTrace:
     describe: str
     depth: int
     elapsed: float = 0.0
+    #: wall time of the whole subtree rooted here (self + descendants);
+    #: what the span exporter uses as the operator's window
+    subtree_elapsed: float = 0.0
     out_tuples: int = 0
     out_assignments: int = 0
     maybe_tuples: int = 0
@@ -115,6 +118,7 @@ class TracedPlan:
             stats.verify_cache_misses + stats.refine_cache_misses - misses_before
         )
         trace = self.trace
+        trace.subtree_elapsed = self._subtree_elapsed
         trace.elapsed = max(
             0.0,
             self._subtree_elapsed
@@ -172,6 +176,7 @@ def merge_traces(trace_lists):
                 )
             other = traces[i]
             out.elapsed += other.elapsed
+            out.subtree_elapsed += other.subtree_elapsed
             out.out_tuples += other.out_tuples
             out.out_assignments += other.out_assignments
             out.maybe_tuples += other.maybe_tuples
@@ -182,31 +187,48 @@ def merge_traces(trace_lists):
 
 
 def render_traces(traces):
-    """The ``explain_analyze`` table for an already-collected trace list."""
+    """The ``explain_analyze`` table for an already-collected trace list.
+
+    An empty trace list (a plan over an empty corpus, a predicate whose
+    every partition was answered from the reuse cache) renders a valid
+    placeholder line instead of a headers-only table fragment.
+    """
     from repro.experiments.report import render_table
 
+    traces = list(traces)
+    if not traces:
+        return "(no traced operators)"
     return render_table(_TRACE_HEADERS, [t.row() for t in traces])
+
+
+def _rate(hits, misses):
+    """``"12.3%"``, or ``"n/a"`` when there were no lookups at all.
+
+    Guarding the zero-lookup case here matters twice over: it is the
+    division-by-zero hazard, and rendering it as ``0.0%`` (or ``nan%``)
+    misreads as "the cache never hit" when the truth is "the cache was
+    never consulted" (e.g. ``--no-eval-cache`` runs).
+    """
+    total = hits + misses
+    if total <= 0:
+        return "n/a"
+    return "%.1f%%" % (100.0 * hits / total)
 
 
 def render_cache_summary(stats):
     """One-paragraph EvalCache / feature-evaluation summary for a run."""
-
-    def rate(hits, misses):
-        total = hits + misses
-        return 100.0 * hits / total if total else 0.0
-
     return (
-        "eval cache: verify %d hit / %d miss (%.1f%%), "
-        "refine %d hit / %d miss (%.1f%%); "
+        "eval cache: verify %d hit / %d miss (%s), "
+        "refine %d hit / %d miss (%s); "
         "evaluations: %d verify (%d indexed, %d naive), "
         "%d refine (%d indexed, %d naive)"
         % (
             stats.verify_cache_hits,
             stats.verify_cache_misses,
-            rate(stats.verify_cache_hits, stats.verify_cache_misses),
+            _rate(stats.verify_cache_hits, stats.verify_cache_misses),
             stats.refine_cache_hits,
             stats.refine_cache_misses,
-            rate(stats.refine_cache_hits, stats.refine_cache_misses),
+            _rate(stats.refine_cache_hits, stats.refine_cache_misses),
             stats.index_verify_calls + stats.verify_calls,
             stats.index_verify_calls,
             stats.verify_calls,

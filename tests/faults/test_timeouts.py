@@ -28,6 +28,45 @@ class TestSchedulerTimeouts:
         assert excinfo.value.task_index == 0
 
     @pytest.mark.timeout(60)
+    def test_serial_detects_hung_task_promptly(self):
+        # regression: a task that never returns used to hang the serial
+        # backend forever (timeout was checked only after the task
+        # completed); the watchdog now raises within ~1 poll interval
+        backend = SerialBackend()
+        start = time.perf_counter()
+        with pytest.raises(TaskError) as excinfo:
+            backend.map(lambda s: time.sleep(s), [10.0], timeout=0.2)
+        assert time.perf_counter() - start < 2.0
+        assert isinstance(excinfo.value.failure, PartitionTimeout)
+        assert excinfo.value.task_index == 0
+
+    @pytest.mark.timeout(60)
+    def test_thread_single_worker_detects_hung_task(self):
+        # regression: workers=1 (and single-item maps) fall back to the
+        # serial path, which also must detect a hang, not sit in it
+        backend = ThreadBackend(1)
+        start = time.perf_counter()
+        with pytest.raises(TaskError) as excinfo:
+            backend.map(lambda s: time.sleep(s), [10.0, 0.01], timeout=0.2)
+        assert time.perf_counter() - start < 2.0
+        assert isinstance(excinfo.value.failure, PartitionTimeout)
+        assert excinfo.value.task_index == 0
+
+    @pytest.mark.timeout(60)
+    def test_thread_detects_hang_beyond_awaited_future(self):
+        # both workers hang on later tasks while the result loop waits
+        # on the fast first future; per-task start stamps mean the hung
+        # tasks are flagged on their own deadlines, not when the loop
+        # eventually reaches them
+        backend = ThreadBackend(2)
+        start = time.perf_counter()
+        with pytest.raises(TaskError) as excinfo:
+            backend.map(lambda s: time.sleep(s), [0.01, 10.0, 10.0], timeout=0.25)
+        assert time.perf_counter() - start < 2.5
+        assert isinstance(excinfo.value.failure, PartitionTimeout)
+        assert excinfo.value.task_index in (1, 2)
+
+    @pytest.mark.timeout(60)
     def test_thread_detects_while_running(self):
         backend = ThreadBackend(2)
         start = time.perf_counter()

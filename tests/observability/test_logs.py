@@ -1,0 +1,57 @@
+"""The shared ``repro.*`` logger hierarchy and configure_logging."""
+
+import io
+import logging
+
+import pytest
+
+from repro.observability.logs import configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def clean_root_handlers():
+    root = logging.getLogger("repro")
+    before = list(root.handlers)
+    before_level = root.level
+    yield
+    root.handlers = before
+    root.setLevel(before_level)
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self):
+        assert get_logger("processor").name == "repro.processor"
+
+    def test_keeps_qualified_names(self):
+        assert get_logger("repro.assistant").name == "repro.assistant"
+
+    def test_empty_name_is_root(self):
+        assert get_logger().name == "repro"
+
+
+class TestConfigureLogging:
+    def test_attaches_one_handler(self):
+        stream = io.StringIO()
+        root = configure_logging("info", stream=stream)
+        get_logger("processor").info("hello %s", "world")
+        assert "hello world" in stream.getvalue()
+        assert root.level == logging.INFO
+
+    def test_idempotent(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging("info", stream=first)
+        root = configure_logging("debug", stream=second)
+        get_logger("x").info("once")
+        # the second call replaced the first handler: one line, one stream
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+        assert root.level == logging.DEBUG
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+
+    def test_numeric_level_accepted(self):
+        root = configure_logging(logging.ERROR, stream=io.StringIO())
+        assert root.level == logging.ERROR

@@ -1,0 +1,176 @@
+"""Span recording and the two export formats (lossless JSON + Chrome)."""
+
+import json
+
+import pytest
+
+from repro.observability.spans import (
+    Span,
+    Tracer,
+    span_tree_image,
+    spans_from_chrome,
+    spans_from_json,
+    spans_from_traces,
+    spans_to_chrome,
+    spans_to_json,
+    write_chrome_trace,
+)
+from repro.processor.tracing import OperatorTrace
+
+
+def make_tree():
+    """engine > (plan > operator, scheduler) — a small realistic tree."""
+    tracer = Tracer()
+    with tracer.span("execute", "engine", policy="fail-fast"):
+        with tracer.span("predicate:q", "plan"):
+            tracer.add("Scan[pages]", "operator", start=1.0, end=2.0, tuples=4)
+        with tracer.span("scheduler.map", "scheduler", backend="serial"):
+            pass
+    return tracer
+
+
+class TestTracer:
+    def test_nesting_assigns_parents(self):
+        tracer = make_tree()
+        image = span_tree_image(tracer.spans)
+        parents = {name: parent for name, _, parent, _ in image}
+        assert parents["predicate:q"] == "execute"
+        assert parents["Scan[pages]"] == "predicate:q"
+        assert parents["scheduler.map"] == "execute"
+        assert parents["execute"] is None
+
+    def test_span_ids_unique(self):
+        tracer = make_tree()
+        ids = [s.span_id for s in tracer.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_end_without_open_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().end()
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError()
+        assert len(tracer.spans) == 1
+        assert tracer.current is None
+
+    def test_adopt_remaps_ids_and_preserves_structure(self):
+        worker = Tracer()
+        with worker.span("partition[0]", "partition", partition=0):
+            with worker.span("verify-batch:numeric(p)", "feature"):
+                pass
+        parent = Tracer()
+        with parent.span("scheduler.map", "scheduler") as scheduler_span:
+            adopted = parent.adopt(worker.spans, parent=scheduler_span)
+        assert len(adopted) == 2
+        image = span_tree_image(parent.spans)
+        parents = {name: parent_name for name, _, parent_name, _ in image}
+        assert parents["partition[0]"] == "scheduler.map"
+        assert parents["verify-batch:numeric(p)"] == "partition[0]"
+        # ids re-assigned from the adopting tracer's sequence
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+
+class TestSpansFromTraces:
+    def traces(self):
+        # depth-first rows of: root(project) > select > scan
+        return [
+            OperatorTrace("Project", 0, elapsed=0.1, subtree_elapsed=0.6, out_tuples=2),
+            OperatorTrace("Select", 1, elapsed=0.2, subtree_elapsed=0.5, out_tuples=2),
+            OperatorTrace("Scan", 2, elapsed=0.3, subtree_elapsed=0.3, out_tuples=5),
+        ]
+
+    def test_nesting_follows_depth(self):
+        tracer = Tracer()
+        spans = spans_from_traces(self.traces(), tracer, anchor=0.0)
+        parents = {
+            s.name: parent
+            for s, parent in (
+                (span, {x.span_id: x.name for x in spans}.get(span.parent_id))
+                for span in spans
+            )
+        }
+        assert parents == {"Project": None, "Select": "Project", "Scan": "Select"}
+
+    def test_windows_use_subtree_time_and_nest(self):
+        spans = spans_from_traces(self.traces(), Tracer(), anchor=0.0)
+        by_name = {s.name: s for s in spans}
+        assert by_name["Project"].duration == pytest.approx(0.6)
+        assert by_name["Select"].duration == pytest.approx(0.5)
+        # each child's window lies inside its parent's window
+        assert by_name["Select"].start >= by_name["Project"].start
+        assert by_name["Select"].end <= by_name["Project"].end + 1e-9
+        assert by_name["Scan"].start >= by_name["Select"].start
+        assert by_name["Scan"].end <= by_name["Select"].end + 1e-9
+
+    def test_attrs_carry_counts(self):
+        spans = spans_from_traces(self.traces(), Tracer(), anchor=0.0)
+        assert spans[2].attrs["tuples"] == 5
+        assert spans[0].attrs["self_time_s"] == pytest.approx(0.1)
+
+    def test_empty_traces(self):
+        assert spans_from_traces([], Tracer()) == []
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        spans = make_tree().spans
+        restored = spans_from_json(spans_to_json(spans))
+        assert sorted(restored, key=lambda s: s.span_id) == sorted(
+            spans, key=lambda s: s.span_id
+        )
+
+
+class TestChromeExport:
+    def test_schema_validity(self):
+        text = spans_to_chrome(make_tree().spans)
+        payload = json.loads(text)
+        assert isinstance(payload["traceEvents"], list)
+        for event in payload["traceEvents"]:
+            assert event["ph"] == "X"
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["cat"], str) and event["cat"]
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["args"], dict)
+
+    def test_timestamps_are_relative_microseconds(self):
+        tracer = Tracer()
+        tracer.add("a", start=10.0, end=10.5)
+        tracer.add("b", start=11.0, end=11.25)
+        events = json.loads(spans_to_chrome(tracer.spans))["traceEvents"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["a"]["ts"] == pytest.approx(0.0)
+        assert by_name["a"]["dur"] == pytest.approx(0.5e6)
+        assert by_name["b"]["ts"] == pytest.approx(1.0e6)
+
+    def test_round_trip_reproduces_tree(self):
+        spans = make_tree().spans
+        restored = spans_from_chrome(spans_to_chrome(spans))
+        assert span_tree_image(restored) == span_tree_image(spans)
+
+    def test_partition_spans_get_own_lane(self):
+        tracer = Tracer()
+        tracer.add("partition[0]", "partition", partition=0)
+        tracer.add("partition[1]", "partition", partition=1)
+        tracer.add("execute", "engine")
+        events = json.loads(spans_to_chrome(tracer.spans))["traceEvents"]
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids["partition[0]"] != tids["partition[1]"]
+        assert tids["execute"] == 0
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(path, make_tree().spans)
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 4
+
+
+class TestSpanDataclass:
+    def test_duration_never_negative(self):
+        assert Span("x", start=2.0, end=1.0).duration == 0.0

@@ -1,0 +1,153 @@
+"""Telemetry sinks and the session's per-iteration JSONL records."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability.telemetry import (
+    TelemetrySink,
+    iteration_rows,
+    read_telemetry,
+    render_iteration_report,
+)
+
+
+class TestTelemetrySink:
+    def test_requires_exactly_one_target(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetrySink()
+        with pytest.raises(ValueError):
+            TelemetrySink(path=tmp_path / "t.jsonl", stream=io.StringIO())
+
+    def test_emit_stamps_sequence(self):
+        stream = io.StringIO()
+        sink = TelemetrySink(stream=stream)
+        sink.emit("iteration", index=1)
+        sink.emit("session", converged=True)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [r["seq"] for r in lines] == [1, 2]
+        assert lines[0]["kind"] == "iteration"
+        assert lines[1]["converged"] is True
+
+    def test_emit_after_close_is_dropped(self):
+        stream = io.StringIO()
+        sink = TelemetrySink(stream=stream)
+        sink.close()
+        assert sink.emit("iteration") is None
+        assert sink.records == 0
+
+    def test_path_sink_round_trips(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        with TelemetrySink(path=path) as sink:
+            sink.emit("iteration", index=1, mode="subset")
+            sink.emit("iteration", index=2, mode="reuse")
+        records = read_telemetry(path)
+        assert [r["index"] for r in records] == [1, 2]
+
+    def test_records_serialize_deterministically(self):
+        stream = io.StringIO()
+        TelemetrySink(stream=stream).emit("iteration", b=1, a=2)
+        line = stream.getvalue().strip()
+        assert line.index('"a"') < line.index('"b"')
+
+
+class TestIterationReport:
+    def records(self):
+        return [
+            {
+                "kind": "iteration",
+                "seq": 1,
+                "index": 1,
+                "mode": "subset",
+                "tuples": 9,
+                "assignments": 12,
+                "questions_asked": 2,
+                "questions_answered": 1,
+                "cache_hits": 3,
+                "cache_misses": 1,
+                "failures": 0,
+                "elapsed_s": 0.25,
+            },
+            {"kind": "session", "seq": 2, "converged": True},
+        ]
+
+    def test_rows_filter_to_iterations(self):
+        rows = iteration_rows(self.records())
+        assert len(rows) == 1
+        assert rows[0][0] == 1 and rows[0][1] == "subset"
+        assert rows[0][6] == "75.0%"
+
+    def test_zero_lookups_render_na(self):
+        record = dict(self.records()[0], cache_hits=0, cache_misses=0)
+        assert iteration_rows([record])[0][6] == "n/a"
+
+    def test_render_report(self):
+        text = render_iteration_report(self.records(), title="Session")
+        assert "subset" in text
+        assert "75.0%" in text
+
+
+class TestSessionTelemetry:
+    def build_session(self, telemetry):
+        from repro.assistant.oracle import GroundTruth, SimulatedDeveloper
+        from repro.assistant.session import RefinementSession
+        from repro.assistant.strategies import SequentialStrategy
+        from repro.text.corpus import Corpus
+        from repro.text.html_parser import parse_html
+        from repro.text.span import Span
+        from repro.xlog.program import Program
+
+        docs, spans = [], []
+        for i in range(4):
+            doc = parse_html(
+                "tm%d" % i, "<p><b>X%d</b> Price: $%d.00</p>" % (i, 90 + i * 10)
+            )
+            start = doc.text.index("$") + 1
+            spans.append(Span(doc, start, start + 5))
+            docs.append(doc)
+        corpus = Corpus({"base": docs})
+        program = Program.parse(
+            """
+            rows(x, <t>, <p>) :- base(x), ie(@x, t, p).
+            q(t) :- rows(x, t, p), p > 100.
+            ie(@x, t, p) :- from(@x, t), from(@x, p), numeric(p) = yes.
+            """,
+            extensional=["base"],
+            query="q",
+        )
+        return RefinementSession(
+            program,
+            corpus,
+            SimulatedDeveloper(GroundTruth({("ie", "p"): spans}), seed=1),
+            strategy=SequentialStrategy(),
+            seed=1,
+            max_iterations=3,
+            telemetry=telemetry,
+        )
+
+    def test_session_emits_iterations_and_summary(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        with TelemetrySink(path=path) as sink:
+            trace = self.build_session(sink).run()
+        records = read_telemetry(path)
+        iterations = [r for r in records if r["kind"] == "iteration"]
+        summaries = [r for r in records if r["kind"] == "session"]
+        # one telemetry record per trace record, in order, plus a summary
+        assert [r["index"] for r in iterations] == [r.index for r in trace.records]
+        assert [r["mode"] for r in iterations] == [r.mode for r in trace.records]
+        assert [r["tuples"] for r in iterations] == [r.tuples for r in trace.records]
+        assert iterations[-1]["mode"] == "reuse"
+        assert len(summaries) == 1
+        assert summaries[0]["converged"] == trace.converged
+        assert summaries[0]["questions_asked"] == trace.questions_asked
+        # per-iteration question counts match the trace
+        for telemetry_record, trace_record in zip(iterations, trace.records):
+            assert telemetry_record["questions_asked"] == len(trace_record.questions)
+
+    def test_iteration_records_render_as_table(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        with TelemetrySink(path=path) as sink:
+            self.build_session(sink).run()
+        text = render_iteration_report(read_telemetry(path))
+        assert "subset" in text and "reuse" in text

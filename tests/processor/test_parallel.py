@@ -259,3 +259,56 @@ class TestPlanSplit:
         assert isinstance(suffix, GatherOp)  # fully-local root degenerates
         out = suffix.execute(ExecutionContext(program, corpus))
         assert table_image(out) == table_image(whole)
+
+
+class TestObservabilityAcrossBackends:
+    """Metrics derive only from ExecutionStats counters, never timing,
+    so every backend must produce byte-identical snapshots; spans must
+    survive the scheduler result pipe (including the process fork)."""
+
+    def snapshot(self, backend, workers=4):
+        from repro.experiments.tasks import build_task
+        from repro.observability.metrics import MetricsRegistry
+
+        task = build_task("T1", size=40, seed=0)
+        registry = MetricsRegistry()
+        engine = IFlexEngine(
+            task.program,
+            task.corpus,
+            config=ExecConfig(workers=workers, backend=backend),
+            metrics=registry,
+            validate=False,
+        )
+        engine.execute()
+        return registry.to_json()
+
+    def test_metrics_byte_identical_across_backends(self):
+        reference = self.snapshot("serial", workers=1)
+        for backend in BACKENDS:
+            assert self.snapshot(backend) == reference, (
+                "%s backend metrics diverged from serial" % backend
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_spans_survive_scheduler_pipe(self, backend):
+        from repro.experiments.tasks import build_task
+        from repro.observability.spans import Tracer
+
+        task = build_task("T1", size=20, seed=0)
+        tracer = Tracer()
+        engine = IFlexEngine(
+            task.program,
+            task.corpus,
+            config=ExecConfig(workers=2, backend=backend),
+            tracer=tracer,
+            validate=False,
+        )
+        engine.execute()
+        categories = {span.category for span in tracer.spans}
+        assert {"engine", "plan", "scheduler", "partition"} <= categories
+        # worker-side spans hang under a scheduler span after adoption
+        by_id = {span.span_id: span for span in tracer.spans}
+        partitions = [s for s in tracer.spans if s.category == "partition"]
+        assert len(partitions) == 2
+        for span in partitions:
+            assert by_id[span.parent_id].category == "scheduler"

@@ -48,3 +48,25 @@ class TestTracedPlan:
         assert total_self >= 0
         # every operator reported something
         assert all(t.out_tuples >= 0 for t in traced.collect())
+
+
+class TestRenderEdgeCases:
+    def test_empty_trace_list_renders_placeholder(self):
+        from repro.processor.tracing import render_traces
+
+        assert render_traces([]) == "(no traced operators)"
+
+    def test_cache_summary_with_zero_lookups(self):
+        from repro.processor.context import ExecutionStats
+        from repro.processor.tracing import render_cache_summary
+
+        text = render_cache_summary(ExecutionStats())
+        assert "n/a" in text
+        assert "%" not in text.split("n/a")[0].rsplit("\n", 1)[-1]
+
+    def test_cache_summary_with_lookups_reports_rate(self):
+        from repro.processor.context import ExecutionStats
+        from repro.processor.tracing import render_cache_summary
+
+        stats = ExecutionStats(verify_cache_hits=3, verify_cache_misses=1)
+        assert "75.0%" in render_cache_summary(stats)

@@ -151,3 +151,73 @@ class TestInteractiveDeveloper:
         out = capsys.readouterr().out
         assert code == 0
         assert "session finished" in out
+
+
+class TestArgValidation:
+    """Bad numeric arguments fail at parse time with exit code 2."""
+
+    BAD = [
+        ["--workers", "0"],
+        ["--workers", "-2"],
+        ["--max-retries", "-1"],
+        ["--partition-timeout", "0"],
+        ["--partition-timeout", "-1.5"],
+    ]
+
+    @pytest.mark.parametrize("extra", BAD, ids=lambda e: " ".join(e))
+    def test_run_rejects(self, extra):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "p.alog"] + extra)
+        assert excinfo.value.code == 2
+
+    def test_session_rejects_bad_max_iterations(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["session", "p.alog", "--max-iterations", "0"])
+        assert excinfo.value.code == 2
+
+    def test_valid_values_accepted(self):
+        args = build_parser().parse_args(
+            ["run", "p.alog", "--workers", "3", "--max-retries", "0",
+             "--partition-timeout", "0.5"]
+        )
+        assert args.workers == 3
+        assert args.max_retries == 0
+        assert args.partition_timeout == 0.5
+
+
+class TestObservabilityFlags:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys, pages_dir, program_file):
+        import json
+
+        trace_path = tmp_path / "run.trace.json"
+        metrics_path = tmp_path / "run.metrics.json"
+        code = main(
+            ["run", str(program_file), "--table", "pages=%s" % pages_dir,
+             "--query", "q", "--trace-out", str(trace_path),
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        categories = {e["cat"] for e in trace["traceEvents"]}
+        assert {"engine", "plan", "operator"} <= categories
+        metrics = json.loads(metrics_path.read_text())
+        names = {m["name"] for m in metrics["metrics"]}
+        assert "repro.exec.verify_calls" in names
+        assert "repro.result.executions" in names
+        err = capsys.readouterr().err
+        assert str(trace_path) in err and str(metrics_path) in err
+
+    def test_parallel_run_traces_partitions(self, tmp_path, pages_dir, program_file):
+        import json
+
+        trace_path = tmp_path / "run.trace.json"
+        code = main(
+            ["run", str(program_file), "--table", "pages=%s" % pages_dir,
+             "--query", "q", "--workers", "2", "--backend", "serial",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        categories = {
+            e["cat"] for e in json.loads(trace_path.read_text())["traceEvents"]
+        }
+        assert {"partition", "scheduler"} <= categories
