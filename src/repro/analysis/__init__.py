@@ -10,6 +10,11 @@ spans, instead of raising on the first one.  Entry points:
   are known (permissive mode assumes undeclared predicates);
 * :func:`analyze_program` — validate a fully resolved
   :class:`~repro.xlog.program.Program`, e.g. before execution.
+
+Each pass ``analyze_*(..., plan=True)`` adds the plan-level performance
+lint; the returned :class:`AnalysisResult` also carries the inferred
+per-predicate column types, the predicate stratification, and (with
+``plan=True``) the static plan report.
 """
 
 from repro.analysis.analyzer import (
@@ -18,6 +23,7 @@ from repro.analysis.analyzer import (
     analyze_program,
     analyze_rules,
     analyze_source,
+    facts_program,
 )
 from repro.analysis.diagnostics import (
     CODES,
@@ -27,6 +33,14 @@ from repro.analysis.diagnostics import (
     AnalysisResult,
     Diagnostic,
 )
+from repro.analysis.planlint import PlanReport, PlanRow
+from repro.analysis.stratify import (
+    CycleInfo,
+    Stratification,
+    stratify_program,
+    stratify_rules,
+)
+from repro.analysis.typing import PredicateType, infer_types
 
 __all__ = [
     "Analyzer",
@@ -34,10 +48,19 @@ __all__ = [
     "analyze_program",
     "analyze_rules",
     "analyze_source",
+    "facts_program",
     "CODES",
     "ERROR",
     "INFO",
     "WARNING",
     "AnalysisResult",
     "Diagnostic",
+    "PlanReport",
+    "PlanRow",
+    "CycleInfo",
+    "Stratification",
+    "stratify_program",
+    "stratify_rules",
+    "PredicateType",
+    "infer_types",
 ]

@@ -24,7 +24,14 @@ from dataclasses import dataclass, field
 from repro.analysis.diagnostics import CODES, ERROR, AnalysisResult, Diagnostic
 from repro.errors import ParseError
 
-__all__ = ["ProgramFacts", "Analyzer", "analyze_program", "analyze_rules", "analyze_source"]
+__all__ = [
+    "ProgramFacts",
+    "Analyzer",
+    "facts_program",
+    "analyze_program",
+    "analyze_rules",
+    "analyze_source",
+]
 
 _FROM = "from"  # the built-in sub-span generator predicate
 
@@ -48,6 +55,10 @@ class ProgramFacts:
     #: names resolved only by assumption, with the kind they were
     #: assumed to be ('extensional' | 'p_function' | 'p_predicate')
     assumed: dict = field(default_factory=dict)
+    #: name -> full :class:`~repro.xlog.program.PPredicate` spec, for the
+    #: names whose declaration carried more than an arity (typing reads
+    #: ``output_types`` from here)
+    p_predicate_specs: dict = field(default_factory=dict)
 
     def __post_init__(self):
         self.description_rules = tuple(r for r in self.rules if r.head.input_vars)
@@ -106,6 +117,10 @@ class Analyzer:
     def __init__(self, facts):
         self.facts = facts
         self.diagnostics = []
+        # artifacts the passes attach for the AnalysisResult
+        self.types = {}  # predicate name -> PredicateType
+        self.stratification = None  # Stratification, set by the stratify pass
+        self.plan_report = None  # PlanReport, set by the opt-in plan lint
 
     # ------------------------------------------------------------------
     def emit(self, code, message, rule=None, node=None, severity=None):
@@ -141,16 +156,39 @@ class Analyzer:
         )
 
     # ------------------------------------------------------------------
-    def run(self, unfolded_rules=None):
-        from repro.analysis import annotations, domains, liveness, recursion, safety, schema
+    def run(self, unfolded_rules=None, plan=False, program=None):
+        """Run every registered pass; ``plan=True`` adds the plan lint.
+
+        The plan lint is opt-in because it compiles the program the way
+        the engine would — callers that only need the surface passes
+        (and callers whose programs cannot compile) skip it.  ``program``
+        may pass the already-resolved :class:`Program` so the plan lint
+        does not have to rebuild one from the facts.
+        """
+        from repro.analysis import (
+            annotations,
+            domains,
+            liveness,
+            planlint,
+            safety,
+            schema,
+            stratify,
+            typing,
+        )
 
         schema.check_schema(self)
         safety.check_safety(self)
-        recursion.check_recursion(self)
+        stratify.check_stratification(self)
         annotations.check_annotations(self)
         domains.check_domains(self, unfolded_rules=unfolded_rules)
         liveness.check_liveness(self)
+        typing.check_types(self)
+        if plan:
+            planlint.check_plan(self, program=program)
         result = AnalysisResult(sorted(self.diagnostics, key=Diagnostic.sort_key))
+        result.types = self.types
+        result.stratification = self.stratification
+        result.plan_report = self.plan_report
         return result
 
 
@@ -159,13 +197,67 @@ class Analyzer:
 # ----------------------------------------------------------------------
 
 def _normalize_p_predicates(p_predicates):
-    out = {}
+    """``(arity_map, spec_map)`` from a declarations dict whose values
+
+    may be full :class:`PPredicate` specs, bare arities, or ``None``.
+    """
+    arities = {}
+    specs = {}
     for name, value in dict(p_predicates or {}).items():
         arity = getattr(value, "arity", None)
         if arity is None and isinstance(value, int):
             arity = value
-        out[name] = arity
-    return out
+        arities[name] = arity
+        if value is not None and not isinstance(value, int):
+            specs[name] = value
+    return arities, specs
+
+
+class _FakePPredicate:
+    """Arity-only stand-in so lint can build a Program without procedures."""
+
+    def __init__(self, name, arity):
+        self.name = name
+        self.func = None
+        self.arity = arity if arity is not None else 0
+
+
+class _FakePFunction:
+    """Name-only stand-in for a p-function declared without its callable."""
+
+    def __init__(self, name):
+        self.name = name
+        self.func = None
+
+
+def facts_program(facts):
+    """A best-effort :class:`Program` reconstructed from analyzer facts.
+
+    Missing procedures become name-only stubs — enough to unfold and
+    compile, never to execute.  Returns ``None`` when no resolvable
+    program exists (the surface passes have already reported why).
+    """
+    try:
+        from repro.xlog.program import Program
+
+        return Program(
+            facts.rules,
+            extensional=set(facts.extensional)
+            | {n for n, k in facts.assumed.items() if k == "extensional"},
+            p_predicates={
+                name: facts.p_predicate_specs.get(name)
+                or _FakePPredicate(name, arity)
+                for name, arity in facts.p_predicate_arity.items()
+            },
+            p_functions={
+                name: _FakePFunction(name)
+                for name in set(facts.p_functions)
+                | {n for n, k in facts.assumed.items() if k == "p_function"}
+            },
+            query=facts.query,
+        )
+    except Exception:
+        return None
 
 
 def _make_facts(
@@ -184,14 +276,16 @@ def _make_facts(
     rules = tuple(rules)
     if query is None and rules:
         query = rules[0].head.name
+    arities, specs = _normalize_p_predicates(p_predicates)
     return ProgramFacts(
         rules=rules,
         extensional=frozenset(extensional),
-        p_predicate_arity=_normalize_p_predicates(p_predicates),
+        p_predicate_arity=arities,
         p_functions=frozenset(p_functions),
         query=query,
         registry=registry,
         assume_extensional=assume_extensional,
+        p_predicate_specs=specs,
     )
 
 
@@ -203,6 +297,7 @@ def analyze_rules(
     query=None,
     registry=None,
     assume_extensional=False,
+    plan=False,
 ):
     """Analyze bare parsed rules with partial declarations.
 
@@ -224,10 +319,10 @@ def analyze_rules(
             Diagnostic(ERROR, "ALOG000", "program has no rules")
         )
         return result
-    return Analyzer(facts).run()
+    return Analyzer(facts).run(plan=plan)
 
 
-def analyze_program(program, registry=None, unfolded=None):
+def analyze_program(program, registry=None, unfolded=None, plan=False):
     """Analyze a resolved :class:`Program` (declarations known).
 
     ``unfolded`` may pass a pre-unfolded program (the engine already has
@@ -242,7 +337,9 @@ def analyze_program(program, registry=None, unfolded=None):
         registry=registry,
     )
     unfolded_rules = tuple(unfolded.rules) if unfolded is not None else None
-    return Analyzer(facts).run(unfolded_rules=unfolded_rules)
+    return Analyzer(facts).run(
+        unfolded_rules=unfolded_rules, plan=plan, program=program
+    )
 
 
 def analyze_source(
@@ -253,6 +350,7 @@ def analyze_source(
     query=None,
     registry=None,
     assume_extensional=False,
+    plan=False,
 ):
     """Parse then analyze; parse errors become ``ALOG000`` diagnostics."""
     from repro.xlog.parser import parse_rules
@@ -279,4 +377,5 @@ def analyze_source(
         query=query,
         registry=registry,
         assume_extensional=assume_extensional,
+        plan=plan,
     )

@@ -69,39 +69,19 @@ def _comparison_scopes(analyzer, unfolded_rules):
 
 def _try_unfold(analyzer):
     """``(unfolded_rules, used_description_rules)`` or ``(None, set())``."""
-    facts = analyzer.facts
+    from repro.analysis.analyzer import facts_program
+
+    program = facts_program(analyzer.facts)
+    if program is None:
+        return None, set()
     try:
         from repro.alog.unfold import unfold_rules
-        from repro.xlog.program import Program
 
-        program = Program(
-            facts.rules,
-            extensional=set(facts.extensional)
-            | {n for n, k in facts.assumed.items() if k == "extensional"},
-            p_predicates={
-                name: _FakePPredicate(name, arity)
-                for name, arity in facts.p_predicate_arity.items()
-            },
-            p_functions=dict.fromkeys(
-                set(facts.p_functions)
-                | {n for n, k in facts.assumed.items() if k == "p_function"}
-            ),
-            query=facts.query,
-        )
         used = set()
         unfolded = unfold_rules(program, used=used)
         return tuple(unfolded), used
     except Exception:
         return None, set()
-
-
-class _FakePPredicate:
-    """Arity-only stand-in so lint can build a Program without procedures."""
-
-    def __init__(self, name, arity):
-        self.name = name
-        self.func = None
-        self.arity = arity if arity is not None else 0
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,321 @@
+"""Pass 7 — stratification analysis of recursive programs (``ALOG016``).
+
+The bottom-up evaluator computes each intensional predicate exactly
+once, in topological order, so recursion cannot be evaluated today.
+Earlier versions rejected every cycle with a blanket diagnostic; this
+pass classifies it instead, the way a semi-naive evaluator would:
+
+* the predicate dependency graph (every rule head, skeleton and
+  description alike) is condensed into strongly connected components;
+* each component gets a *stratum* — the length of the longest
+  dependency chain below it — and the resulting
+  :class:`Stratification` is published on the analysis result, ready
+  for a future stratum-at-a-time evaluator (ROADMAP item 3);
+* recursive components are classified **stratified-safe** (plain
+  relational recursion, evaluable by iterating a stratum to fixpoint)
+  or **genuinely unsafe** — the cycle passes through a ψ annotation, a
+  procedural predicate/function, or IE extraction, where fixpoint
+  iteration has no defined semantics.
+
+Either way execution still refuses recursion, but the ``ALOG016``
+message now says *which* kind the program hit and at what stratum;
+``evaluation_order`` raises the same stratum-aware message.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.xlog.ast import PredicateAtom
+
+__all__ = [
+    "CycleInfo",
+    "Stratification",
+    "stratify_rules",
+    "stratify_program",
+    "check_stratification",
+]
+
+
+@dataclass(frozen=True)
+class CycleInfo:
+    """One recursive strongly connected component."""
+
+    #: component members, sorted
+    members: tuple
+    #: a closed walk through the component, e.g. ``('a', 'b', 'a')``
+    path: tuple
+    #: stratum index the component occupies
+    stratum: int
+    #: True for plain relational recursion (semi-naive evaluable)
+    safe: bool
+    #: why the cycle is unsafe ("" when safe)
+    reason: str = ""
+
+    @property
+    def message(self):
+        """The canonical ``ALOG016`` message for this cycle."""
+        name = self.members[0]
+        walk = " -> ".join(self.path)
+        if self.safe:
+            return (
+                "recursive predicate %r: dependency cycle %s cannot be "
+                "evaluated bottom-up; the cycle is stratified-safe "
+                "(stratum %d) but stratified evaluation is not "
+                "implemented yet" % (name, walk, self.stratum)
+            )
+        return (
+            "recursive predicate %r: dependency cycle %s cannot be "
+            "evaluated bottom-up and cannot be stratified: %s"
+            % (name, walk, self.reason)
+        )
+
+    def to_dict(self):
+        return {
+            "members": list(self.members),
+            "path": list(self.path),
+            "stratum": self.stratum,
+            "safe": self.safe,
+            "reason": self.reason or None,
+        }
+
+
+@dataclass
+class Stratification:
+    """The condensed dependency graph of one program's rule heads."""
+
+    #: bottom-up strata: ``strata[0]`` depends on nothing intensional
+    strata: tuple
+    #: predicate name -> stratum index
+    stratum_of: dict
+    #: one :class:`CycleInfo` per recursive component
+    cycles: tuple
+    #: (head, dep) -> (rule, atom) of the first such edge, for anchoring
+    edge_sites: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def recursive(self):
+        return bool(self.cycles)
+
+    def cycle_for(self, name):
+        """The recursive component containing ``name``, or None."""
+        for cycle in self.cycles:
+            if name in cycle.members:
+                return cycle
+        return None
+
+    def to_dict(self):
+        return {
+            "strata": [list(s) for s in self.strata],
+            "cycles": [c.to_dict() for c in self.cycles],
+        }
+
+    def render(self):
+        lines = []
+        for i, names in enumerate(self.strata):
+            lines.append("stratum %d: %s" % (i, ", ".join(names)))
+        for cycle in self.cycles:
+            kind = "stratified-safe" if cycle.safe else "unsafe"
+            lines.append(
+                "recursive (%s): %s" % (kind, " -> ".join(cycle.path))
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# graph construction and condensation
+# ----------------------------------------------------------------------
+
+def _dependency_graph(rules):
+    """``(deps, edge_sites)`` over every rule head (skeleton and IE)."""
+    heads = {rule.head.name for rule in rules}
+    deps = {}
+    sites = {}
+    for rule in rules:
+        head = rule.head.name
+        deps.setdefault(head, set())
+        for atom in rule.body_atoms(PredicateAtom):
+            if atom.name in heads:
+                deps[head].add(atom.name)
+                sites.setdefault((head, atom.name), (rule, atom))
+    return deps, sites
+
+
+def _tarjan(deps):
+    """Strongly connected components, dependencies-first."""
+    index = {}
+    low = {}
+    stack = []
+    on_stack = set()
+    components = []
+    counter = [0]
+
+    def strong(v):
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(deps.get(v, ())):
+            if w not in index:
+                strong(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            components.append(frozenset(component))
+
+    for v in sorted(deps):
+        if v not in index:
+            strong(v)
+    return components
+
+
+def _cycle_walk(component, deps):
+    """A closed walk visiting the component, for human messages."""
+    start = min(component)
+    path = [start]
+    seen = {start}
+    current = start
+    while True:
+        inside = sorted(d for d in deps.get(current, ()) if d in component)
+        unvisited = [d for d in inside if d not in seen]
+        if unvisited:
+            current = unvisited[0]
+            seen.add(current)
+            path.append(current)
+        else:
+            path.append(start)
+            return tuple(path)
+
+
+def _unsafe_reason(component, rules, kind_of):
+    """Why the cycle cannot be stratified, or "" when it can."""
+    for rule in rules:
+        if rule.head.name not in component:
+            continue
+        in_cycle = any(
+            atom.name in component for atom in rule.body_atoms(PredicateAtom)
+        )
+        if not in_cycle:
+            continue
+        existence, annotated = rule.annotations
+        if existence or annotated:
+            return (
+                "rule %r applies a ψ annotation inside the cycle, and "
+                "fixpoint iteration under approximation semantics is "
+                "undefined" % (rule.label or rule.head.name,)
+            )
+        if rule.head.input_vars:
+            return (
+                "the cycle runs through IE predicate %r — procedural "
+                "extraction cannot be iterated to fixpoint"
+                % (rule.head.name,)
+            )
+        for atom in rule.body_atoms(PredicateAtom):
+            kind = kind_of(atom) if kind_of is not None else None
+            if kind in ("p_predicate", "ie"):
+                return (
+                    "the cycle passes through procedural predicate %r"
+                    % (atom.name,)
+                )
+            if kind == "p_function":
+                return (
+                    "the cycle passes through p-function %r"
+                    % (atom.name,)
+                )
+    return ""
+
+
+def stratify_rules(rules, kind_of=None):
+    """Stratify one rule set.
+
+    ``kind_of`` resolves a body atom to its predicate kind (used to
+    spot procedural atoms inside cycles); ``None`` means unknown, which
+    classifies conservatively toward *safe* — the execution refusal
+    does not depend on the classification.
+    """
+    rules = tuple(rules)
+    deps, sites = _dependency_graph(rules)
+    components = _tarjan(deps)
+    scc_of = {}
+    for i, component in enumerate(components):
+        for name in component:
+            scc_of[name] = i
+    stratum_of_scc = {}
+    for i, component in enumerate(components):
+        below = [
+            stratum_of_scc[scc_of[dep]]
+            for name in component
+            for dep in deps.get(name, ())
+            if scc_of[dep] != i
+        ]
+        stratum_of_scc[i] = (max(below) + 1) if below else 0
+    stratum_of = {name: stratum_of_scc[scc] for name, scc in scc_of.items()}
+    height = max(stratum_of_scc.values()) + 1 if stratum_of_scc else 0
+    strata = tuple(
+        tuple(sorted(n for n, s in stratum_of.items() if s == level))
+        for level in range(height)
+    )
+    cycles = []
+    for i, component in enumerate(components):
+        only = next(iter(component)) if len(component) == 1 else None
+        recursive = len(component) > 1 or (only in deps.get(only, ()))
+        if not recursive:
+            continue
+        reason = _unsafe_reason(component, rules, kind_of)
+        cycles.append(
+            CycleInfo(
+                members=tuple(sorted(component)),
+                path=_cycle_walk(component, deps),
+                stratum=stratum_of_scc[i],
+                safe=not reason,
+                reason=reason,
+            )
+        )
+    cycles.sort(key=lambda c: c.members)
+    return Stratification(
+        strata=strata,
+        stratum_of=stratum_of,
+        cycles=tuple(cycles),
+        edge_sites=sites,
+    )
+
+
+def stratify_program(program):
+    """Stratify a resolved :class:`~repro.xlog.program.Program`."""
+
+    def kind_of(atom):
+        try:
+            return program.atom_kind(atom)
+        except Exception:
+            return None
+
+    return stratify_rules(program.rules, kind_of)
+
+
+# ----------------------------------------------------------------------
+# the analyzer pass
+# ----------------------------------------------------------------------
+
+def check_stratification(analyzer):
+    facts = analyzer.facts
+    info = stratify_rules(facts.rules, facts.atom_kind)
+    analyzer.stratification = info
+    for cycle in info.cycles:
+        rule, atom = _anchor(cycle, info.edge_sites)
+        analyzer.emit("ALOG016", cycle.message, rule=rule, node=atom)
+
+
+def _anchor(cycle, edge_sites):
+    """The first in-cycle edge site, for a source-anchored diagnostic."""
+    for head in cycle.members:
+        for dep in cycle.members:
+            site = edge_sites.get((head, dep))
+            if site is not None:
+                return site
+    return None, None

@@ -81,6 +81,23 @@ class CostModel:
             + machine_seconds / 60.0
         )
 
+    def plan_complexity(self, attributes, extractions, joins):
+        """Relative structural complexity score of one compiled rule plan.
+
+        Reuses the Xlog structural coefficients (per attribute, per
+        extraction predicate, per join) *without* the flat base, so the
+        score ranks rules within a program by how much structure their
+        plans carry.  It stays a unitless relative score on purpose:
+        machine time is always measured, never modelled (see module
+        docstring) — the plan lint uses this only to order rules and
+        flag outliers, not to predict seconds.
+        """
+        return (
+            attributes * self.xlog_minutes_per_attribute
+            + extractions * self.xlog_minutes_per_predicate
+            + joins * self.xlog_minutes_per_join
+        )
+
     def manual_minutes(self, task_id, record_count):
         """Modelled minutes to answer the task by hand, or None (DNF)."""
         rate = MANUAL_SECONDS_PER_RECORD[task_id]

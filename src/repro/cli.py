@@ -3,7 +3,8 @@
 ::
 
     python -m repro run PROGRAM --table pages=./html_dir [--query Q]
-    python -m repro lint PROGRAM [--json]
+    python -m repro lint PROGRAM [--json] [--strict] [--plan] [--sarif OUT]
+    python -m repro check PROGRAM --table pages=./html_dir [--sarif OUT]
     python -m repro explain PROGRAM --table pages=./html_dir
     python -m repro session PROGRAM --table pages=./html_dir
     python -m repro tables --which 3 --scale 0.25
@@ -11,11 +12,16 @@
 
 ``run`` executes an Alog program over a corpus of HTML files and prints
 the resulting compact table; ``lint`` statically analyzes a program and
-reports every diagnostic in one pass; ``explain`` prints the compiled
-plans; ``session`` starts an interactive best-effort refinement loop
-(the assistant asks *you* the questions); ``tables`` regenerates the
-paper's evaluation tables; ``demo`` runs the built-in Figure 1-3
-example.
+reports every diagnostic in one pass (``--plan`` adds the plan-level
+performance lint, ``--sarif`` writes a machine-readable report);
+``check`` lints strictly against a real corpus's declarations, plan
+lint included; ``explain`` prints the compiled plans; ``session``
+starts an interactive best-effort refinement loop (the assistant asks
+*you* the questions); ``tables`` regenerates the paper's evaluation
+tables; ``demo`` runs the built-in Figure 1-3 example.
+
+``lint`` and ``check`` exit 0 when only warnings (or infos) were found
+and 1 on any error; ``--strict`` also promotes warnings to failures.
 
 The built-in p-functions ``similar`` and ``approxMatch`` (token-Jaccard,
 ``--similar-threshold``) are always registered.
@@ -187,6 +193,46 @@ def build_parser():
         help="skip the pre-execution static analysis gate",
     )
 
+    def add_lint_flags(p):
+        p.add_argument(
+            "--json", action="store_true", help="emit diagnostics as JSON"
+        )
+        p.add_argument(
+            "--strict",
+            action="store_true",
+            help="error on undeclared predicates instead of assuming they "
+            "are extensional tables, and promote warnings to failures "
+            "(exit 1)",
+        )
+        p.add_argument(
+            "--plan",
+            action="store_true",
+            help="also run the plan-level performance lint (ALOG019-021) "
+            "and print per-rule static plan statistics",
+        )
+        p.add_argument(
+            "--sarif",
+            metavar="PATH",
+            help="write the diagnostics as a SARIF 2.1.0 report",
+        )
+        p.add_argument(
+            "--feature",
+            action="append",
+            default=[],
+            metavar="NAME",
+            help="declare custom feature NAME (registered as an opaque "
+            "placeholder, so its uses resolve without value checks); "
+            "repeatable",
+        )
+        p.add_argument(
+            "--p-predicate",
+            action="append",
+            default=[],
+            metavar="NAME",
+            help="declare procedural predicate NAME (its implementation "
+            "ships outside the program file); repeatable",
+        )
+
     lint = sub.add_parser(
         "lint", help="statically analyze a program; report all diagnostics"
     )
@@ -205,15 +251,24 @@ def build_parser():
         help="comma-separated extensional table names",
     )
     lint.add_argument("--query", help="query predicate (default: first rule head)")
-    lint.add_argument(
-        "--json", action="store_true", help="emit diagnostics as JSON"
+    add_lint_flags(lint)
+
+    check = sub.add_parser(
+        "check",
+        help="lint a program against a real corpus's declarations "
+        "(strict resolution, plan lint included)",
     )
-    lint.add_argument(
-        "--strict",
-        action="store_true",
-        help="error on undeclared predicates instead of assuming they are "
-        "extensional tables",
+    check.add_argument("program", help="path to an Alog program file")
+    check.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="extensional table: NAME=(html file | directory of html "
+        "files); the corpus is read so declarations are real; repeatable",
     )
+    check.add_argument("--query", help="query predicate (default: first rule head)")
+    add_lint_flags(check)
 
     explain = sub.add_parser("explain", help="print the compiled plans")
     add_program_args(explain)
@@ -414,28 +469,81 @@ def _cmd_run(args):
     return 0
 
 
+def _read_program_source(args):
+    path = pathlib.Path(args.program)
+    try:
+        return path, path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit("cannot read %s: %s" % (path, exc))
+
+
+def _lint_registry(args):
+    """The feature registry for a lint run: built-ins plus ``--feature``."""
+    from repro.features.registry import default_registry
+
+    registry = default_registry()
+    for name in args.feature:
+        registry.declare(name)
+    return registry
+
+
+def _report_lint(args, result, path):
+    """Print / write a lint result; returns the process exit code.
+
+    Warnings and infos alone exit 0; any error exits 1; ``--strict``
+    also fails on warnings (never on infos).
+    """
+    if args.json:
+        print(result.to_json(path, indent=2))
+    else:
+        print(result.render(path))
+        if args.plan and result.plan_report is not None and result.plan_report.rows:
+            print("\nplan:\n%s" % result.plan_report.render())
+    if args.sarif:
+        pathlib.Path(args.sarif).write_text(
+            result.to_sarif_json(path, indent=2), encoding="utf-8"
+        )
+        print("wrote SARIF report to %s" % (args.sarif,), file=sys.stderr)
+    return 1 if result.errors or (args.strict and result.warnings) else 0
+
+
 def _cmd_lint(args):
     from repro.analysis import analyze_source
 
-    path = pathlib.Path(args.program)
-    try:
-        source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise SystemExit("cannot read %s: %s" % (path, exc))
+    path, source = _read_program_source(args)
     extensional = {spec.split("=", 1)[0] for spec in args.table if spec}
     extensional.update(n.strip() for n in args.extensional.split(",") if n.strip())
     result = analyze_source(
         source,
         extensional=extensional,
+        p_predicates=dict.fromkeys(args.p_predicate),
         p_functions=("similar", "approxMatch"),
         query=args.query,
+        registry=_lint_registry(args),
         assume_extensional=not args.strict,
+        plan=args.plan,
     )
-    if args.json:
-        print(result.to_json(path, indent=2))
-    else:
-        print(result.render(path))
-    return 1 if result.errors else 0
+    return _report_lint(args, result, path)
+
+
+def _cmd_check(args):
+    """Strict lint against a real corpus: declarations come from disk."""
+    from repro.analysis import analyze_source
+
+    path, source = _read_program_source(args)
+    corpus = load_corpus(args.table)
+    args.plan = True  # check always includes the plan lint
+    result = analyze_source(
+        source,
+        extensional=corpus.table_names(),
+        p_predicates=dict.fromkeys(args.p_predicate),
+        p_functions=("similar", "approxMatch"),
+        query=args.query,
+        registry=_lint_registry(args),
+        assume_extensional=False,
+        plan=True,
+    )
+    return _report_lint(args, result, path)
 
 
 def _cmd_explain(args):
@@ -617,6 +725,7 @@ def main(argv=None):
     commands = {
         "run": _cmd_run,
         "lint": _cmd_lint,
+        "check": _cmd_check,
         "explain": _cmd_explain,
         "session": _cmd_session,
         "tables": _cmd_tables,

@@ -68,6 +68,15 @@ class Feature:
 
     name = None
     parameterized = False
+    #: Scalar kind of the parameter for parameterised features —
+    #: ``'str'``, ``'int'``, or ``'number'``; ``None`` for boolean
+    #: features (and for parameterised features that accept anything).
+    #: The analyzer's typing pass checks constraint values against it.
+    param_type = None
+    #: True for name-only placeholders (``FeatureRegistry.declare``):
+    #: the name is known but the semantics are not, so the analyzer
+    #: skips value- and capability-based checks.
+    opaque = False
     #: Values the next-effort assistant will consider when simulating
     #: this feature's question (boolean features only).
     question_values = BOOLEAN_VALUES
@@ -91,6 +100,15 @@ class Feature:
         :class:`~repro.features.index.TokenArrays`.
         """
         return None
+
+    def supports_index(self):
+        """True when this feature participates in index pushdown.
+
+        Decided structurally — the class overrides :meth:`build_index` —
+        so static analysis can ask about capability without building an
+        index (or having a document to build one from).
+        """
+        return type(self).build_index is not Feature.build_index
 
     # ------------------------------------------------------------------
     def candidate_values(self, spans):

@@ -42,6 +42,7 @@ class PrecededByFeature(Feature):
 
     name = "preceded_by"
     parameterized = True
+    param_type = "str"
     question_values = ()
 
     def verify(self, span, value):
@@ -95,6 +96,7 @@ class FollowedByFeature(Feature):
 
     name = "followed_by"
     parameterized = True
+    param_type = "str"
     question_values = ()
 
     def verify(self, span, value):
@@ -174,6 +176,7 @@ class PrecLabelContainsFeature(Feature):
 
     name = "prec_label_contains"
     parameterized = True
+    param_type = "str"
     question_values = ()
 
     def verify(self, span, value):
@@ -226,6 +229,7 @@ class PrecLabelMaxDistFeature(Feature):
 
     name = "prec_label_max_dist"
     parameterized = True
+    param_type = "int"
     question_values = ()
 
     def verify(self, span, value):

@@ -6,6 +6,7 @@ programs to :class:`~repro.features.base.Feature` implementations.
 """
 
 from repro.errors import UnknownFeatureError
+from repro.features.base import Feature
 from repro.features.context import (
     FirstHalfFeature,
     FollowedByFeature,
@@ -29,6 +30,29 @@ from repro.features.value import MaxValueFeature, MinValueFeature
 __all__ = ["FeatureRegistry", "default_registry"]
 
 
+class _DeclaredFeature(Feature):
+    """A name-only placeholder registered via :meth:`FeatureRegistry.declare`.
+
+    It resolves the name for static analysis (``repro lint --feature``)
+    but carries no semantics: ``opaque`` makes the analyzer skip value-
+    and capability-based checks, and evaluating it raises.
+    """
+
+    opaque = True
+    parameterized = True  # accepts any value shape
+
+    def __init__(self, name):
+        self.name = name
+
+    def verify(self, span, value):
+        raise UnknownFeatureError(
+            "feature %r was declared by name only and cannot be evaluated"
+            % (self.name,)
+        )
+
+    refine = verify
+
+
 class FeatureRegistry:
     """Name → :class:`Feature` lookup, with registration."""
 
@@ -42,6 +66,29 @@ class FeatureRegistry:
             raise ValueError("feature has no name: %r" % (feature,))
         self._features[feature.name] = feature
         return self
+
+    def declare(self, name):
+        """Register an opaque placeholder for ``name`` (lint-only).
+
+        Lets static analysis resolve custom features that ship outside
+        the program file; a feature already registered under the name
+        is left untouched.
+        """
+        if name not in self._features:
+            self.register(_DeclaredFeature(name))
+        return self
+
+    def indexable(self, name):
+        """True when ``name`` participates in index pushdown."""
+        return self.get(name).supports_index()
+
+    def indexable_names(self):
+        """Names of every registered pushdown-capable feature."""
+        return [n for n in self.names() if self._features[n].supports_index()]
+
+    def param_type(self, name):
+        """The feature's declared parameter kind (or ``None``)."""
+        return getattr(self.get(name), "param_type", None)
 
     def get(self, name):
         feature = self._features.get(name)

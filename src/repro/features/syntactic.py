@@ -118,6 +118,7 @@ class _RegexParamFeature(Feature):
     """Shared plumbing for features parameterised by a regex/string."""
 
     parameterized = True
+    param_type = "str"
     question_values = ()
 
     @staticmethod
@@ -187,6 +188,7 @@ class MaxLengthFeature(Feature):
 
     name = "max_length"
     parameterized = True
+    param_type = "int"
     question_values = ()
 
     def verify(self, span, value):
@@ -235,6 +237,7 @@ class MinLengthFeature(Feature):
 
     name = "min_length"
     parameterized = True
+    param_type = "int"
     question_values = ()
 
     def verify(self, span, value):

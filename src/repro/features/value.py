@@ -30,6 +30,7 @@ def _round_down_nice(value):
 
 class _ValueBoundFeature(Feature):
     parameterized = True
+    param_type = "number"
     question_values = ()
 
     def _ok(self, number, bound):

@@ -76,6 +76,25 @@ def _recursion_error(message, rule=None, node=None):
     return error
 
 
+def _cycle_message(program, name, fallback):
+    """The stratify pass's classification of ``name``'s cycle, or ``fallback``.
+
+    Stratified-safe recursion gets a message saying so (and naming the
+    stratum); genuinely unsafe recursion gets the reason.  Any analysis
+    failure falls back to the plain refusal.
+    """
+    try:
+        from repro.analysis.stratify import stratify_program
+
+        info = stratify_program(program)
+        cycle = info.cycle_for(name)
+        if cycle is not None:
+            return cycle.message
+    except Exception:
+        pass
+    return fallback
+
+
 def evaluation_order(program):
     """Topological order of the intensional predicates.
 
@@ -92,8 +111,12 @@ def evaluation_order(program):
         for atom in rule.body_atoms(PredicateAtom):
             if atom.name == rule.head.name:
                 raise _recursion_error(
-                    "recursive predicate %r: rule body refers to its own head"
-                    % (atom.name,),
+                    _cycle_message(
+                        program,
+                        atom.name,
+                        "recursive predicate %r: rule body refers to its "
+                        "own head" % (atom.name,),
+                    ),
                     rule=rule,
                     node=atom,
                 )
@@ -109,8 +132,12 @@ def evaluation_order(program):
         if name in visiting:
             rule, atom = sites.get(name, (None, None))
             raise _recursion_error(
-                "recursive predicate %r: dependency cycle cannot be "
-                "evaluated bottom-up" % (name,),
+                _cycle_message(
+                    program,
+                    name,
+                    "recursive predicate %r: dependency cycle cannot be "
+                    "evaluated bottom-up" % (name,),
+                ),
                 rule=rule,
                 node=atom,
             )
@@ -411,7 +438,7 @@ class IFlexEngine:
         """
         from repro.analysis import analyze_program
 
-        result = analyze_program(self.program, registry=self.features)
+        result = analyze_program(self.program, registry=self.features, plan=True)
         for diagnostic in result.errors:
             exc_type = _LEGACY_ERROR_TYPES.get(diagnostic.code)
             if exc_type is not None:

@@ -43,7 +43,7 @@ from repro.xlog.ast import (
     Var,
 )
 
-__all__ = ["compile_rule", "compile_predicate"]
+__all__ = ["compile_rule", "compile_predicate", "compile_program"]
 
 
 class _Fragment:
@@ -268,3 +268,20 @@ def compile_predicate(name, program):
     if len(plans) == 1:
         return plans[0]
     return UnionOp(plans)
+
+
+def compile_program(program):
+    """Compile every intensional predicate without unioning.
+
+    Returns ``{name: [(rule, plan), ...]}`` so static analysis can
+    attribute each sub-plan back to the source rule that produced it;
+    execution keeps using :func:`compile_predicate`, whose union is the
+    runtime shape.
+    """
+    return {
+        name: [
+            (rule, compile_rule(rule, program))
+            for rule in program.rules_for(name)
+        ]
+        for name in sorted(program.intensional)
+    }

@@ -40,7 +40,26 @@ from repro.processor.operators import (
     UnionOp,
 )
 
-__all__ = ["GatherOp", "PlanSplit", "split_plan", "bind_tables"]
+__all__ = [
+    "GatherOp",
+    "PlanSplit",
+    "split_plan",
+    "bind_tables",
+    "walk_plan",
+    "subtree_locality",
+]
+
+
+def walk_plan(root):
+    """Depth-first iterator over every operator of a compiled plan.
+
+    Static analyses (``repro lint --plan``) use this to count and
+    classify operators without executing anything.
+    """
+    yield root
+    for child in root.children():
+        for op in walk_plan(child):
+            yield op
 
 
 class GatherOp(Operator):
@@ -117,6 +136,16 @@ def _locality(op):
     # JoinOp pairs tuples across documents; ScanIntensional/TableSource/
     # GatherOp read merged tables; unknown operators: conservatively global
     return False, set()
+
+
+def subtree_locality(op):
+    """Public form of the locality judgment for one subtree.
+
+    Returns ``(local, doc_attrs)`` — whether the subtree is
+    document-local and which output attributes are doc-anchored; the
+    same judgment :func:`split_plan` uses, exposed for static analysis.
+    """
+    return _locality(op)
 
 
 def _collect_local_roots(op, out):

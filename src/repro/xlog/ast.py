@@ -29,9 +29,14 @@ __all__ = [
     "ComparisonAtom",
     "Rule",
     "COMPARISON_OPS",
+    "ORDERING_OPS",
 ]
 
 COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: The numeric-only subset of :data:`COMPARISON_OPS` (see
+#: :mod:`repro.xlog.comparisons`: ordering never holds for text/null).
+ORDERING_OPS = ("<", "<=", ">", ">=")
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,21 @@ class Const:
     """A constant term (number or string).  ``NULL`` is the null const."""
 
     value: object
+
+    @property
+    def value_type(self):
+        """``'int' | 'float' | 'str'`` — or ``None`` for ``null``.
+
+        The static type of this constant in the analyzer's column-type
+        lattice (:mod:`repro.analysis.typing`).
+        """
+        if isinstance(self.value, bool) or isinstance(self.value, int):
+            return "int"
+        if isinstance(self.value, float):
+            return "float"
+        if isinstance(self.value, str):
+            return "str"
+        return None
 
     def __repr__(self):
         return format_value(self.value)

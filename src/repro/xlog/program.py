@@ -50,6 +50,11 @@ class PPredicate:
     func: object
     n_inputs: int
     n_outputs: int
+    #: optional declared column types of the procedure's outputs
+    #: (``'span' | 'int' | 'float' | 'str'`` per output position); the
+    #: analyzer's typed-dataflow pass folds them into its inference,
+    #: and ``None`` simply leaves the outputs untyped
+    output_types: object = None
 
     @property
     def arity(self):

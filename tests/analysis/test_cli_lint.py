@@ -89,6 +89,128 @@ class TestLintModes:
             main(["lint", str(tmp_path / "nope.alog")])
 
 
+WARNING_ONLY = """\
+Q(t) :- talks(d), title(@d, t).
+title(@d, t) :- from(@d, t), bold_font(t) = yes.
+orphan(y) :- talks(y).
+"""
+
+WIDE_JOIN = """\
+pair(x, y) :- talks(d), talks(e), t1(@d, x), t2(@e, y).
+t1(@d, x) :- from(@d, x), numeric(x) = yes.
+t2(@e, y) :- from(@e, y), numeric(y) = yes.
+"""
+
+
+class TestExitCodeSemantics:
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "warned.alog"
+        path.write_text(WARNING_ONLY, encoding="utf-8")
+        assert main(["lint", str(path), "--extensional", "talks"]) == 0
+        assert "ALOG011" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings_to_failure(self, tmp_path, capsys):
+        path = tmp_path / "warned.alog"
+        path.write_text(WARNING_ONLY, encoding="utf-8")
+        code = main(
+            ["lint", str(path), "--extensional", "talks", "--strict"]
+        )
+        assert code == 1
+        assert "ALOG011" in capsys.readouterr().out
+
+    def test_strict_does_not_fail_on_infos(self, tmp_path, capsys):
+        path = tmp_path / "info.alog"
+        path.write_text(
+            "person(p) :- talks(d), name(@d, p).\n"
+            "name(@d, p) :- from(@d, p), person_name(p) = yes.\n",
+            encoding="utf-8",
+        )
+        code = main(
+            ["lint", str(path), "--extensional", "talks", "--strict", "--plan"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALOG019" in out  # reported, but advisory
+
+
+class TestPlanFlag:
+    def test_plan_prints_the_report_and_flags_cross_products(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "wide.alog"
+        path.write_text(WIDE_JOIN, encoding="utf-8")
+        code = main(["lint", str(path), "--extensional", "talks", "--plan"])
+        out = capsys.readouterr().out
+        assert code == 0  # ALOG020 is a warning; no --strict
+        assert "ALOG020" in out
+        assert "plan:" in out
+        assert "locality" in out
+
+    def test_without_plan_no_plan_codes_or_table(self, tmp_path, capsys):
+        path = tmp_path / "wide.alog"
+        path.write_text(WIDE_JOIN, encoding="utf-8")
+        assert main(["lint", str(path), "--extensional", "talks"]) == 0
+        out = capsys.readouterr().out
+        assert "ALOG020" not in out
+        assert "plan:" not in out
+
+    def test_json_payload_carries_plan_and_strata(self, tmp_path, capsys):
+        path = tmp_path / "ok.alog"
+        path.write_text(CLEAN, encoding="utf-8")
+        main(["lint", str(path), "--extensional", "talks", "--plan", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["strata"]["strata"] == [["title"], ["Q"]]
+        assert data["plan"]["rules"][0]["predicate"] == "Q"
+
+
+class TestSarifOutput:
+    def test_sarif_report_is_written_and_well_formed(self, tmp_path, capsys):
+        program = tmp_path / "broken.alog"
+        program.write_text(MULTI_DEFECT, encoding="utf-8")
+        out_path = tmp_path / "lint.sarif"
+        code = main(
+            [
+                "lint", str(program), "--extensional", "talks",
+                "--sarif", str(out_path),
+            ]
+        )
+        assert code == 1
+        log = json.loads(out_path.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "ALOG017" in rule_ids  # full registry, not just hits
+        results = run["results"]
+        assert {r["ruleId"] for r in results} >= {"ALOG001", "ALOG009"}
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("broken.alog")
+        assert location["region"]["startLine"] >= 1
+
+
+class TestDeclarationFlags:
+    def test_feature_flag_declares_custom_features(self, tmp_path, capsys):
+        path = tmp_path / "custom.alog"
+        path.write_text(
+            "confs(c) :- talks(d), conf(@d, c).\n"
+            "conf(@d, c) :- from(@d, c), all_caps(c) = yes.\n",
+            encoding="utf-8",
+        )
+        base = ["lint", str(path), "--extensional", "talks", "--strict"]
+        assert main(base) == 1  # unknown feature is ALOG003
+        assert "ALOG003" in capsys.readouterr().out
+        assert main(base + ["--feature", "all_caps"]) == 0
+
+    def test_p_predicate_flag_declares_procedures(self, tmp_path, capsys):
+        path = tmp_path / "proc.alog"
+        path.write_text(
+            "q(t) :- talks(d), extractType(@d, t).\n", encoding="utf-8"
+        )
+        base = ["lint", str(path), "--extensional", "talks", "--strict"]
+        assert main(base) == 1  # unknown predicate is ALOG002
+        assert "ALOG002" in capsys.readouterr().out
+        assert main(base + ["--p-predicate", "extractType"]) == 0
+
+
 @pytest.fixture
 def html_dir(tmp_path):
     directory = tmp_path / "pages"
@@ -138,3 +260,57 @@ class TestRunGate:
         )
         assert main(["run", str(path), "--table", "pages=%s" % html_dir]) == 0
         assert "tuples" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    """``repro check``: strict lint against a real corpus, plan included."""
+
+    def test_clean_program_checks_out(self, tmp_path, html_dir, capsys):
+        path = tmp_path / "ok.alog"
+        path.write_text(
+            "q(x, t) :- pages(x), title(@x, t).\n"
+            "title(@x, t) :- from(@x, t), bold_font(t) = yes.\n",
+            encoding="utf-8",
+        )
+        code = main(["check", str(path), "--table", "pages=%s" % html_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan:" in out  # check always includes the plan lint
+
+    def test_resolution_is_strict_against_the_corpus(
+        self, tmp_path, html_dir, capsys
+    ):
+        path = tmp_path / "typo.alog"
+        path.write_text("q(x) :- pagez(x).\n", encoding="utf-8")
+        code = main(["check", str(path), "--table", "pages=%s" % html_dir])
+        assert code == 1
+        assert "ALOG002" in capsys.readouterr().out
+
+    def test_strict_promotes_plan_warnings(self, tmp_path, html_dir, capsys):
+        path = tmp_path / "wide.alog"
+        path.write_text(
+            "pair(x, y) :- pages(d), pages(e), t1(@d, x), t2(@e, y).\n"
+            "t1(@d, x) :- from(@d, x), numeric(x) = yes.\n"
+            "t2(@e, y) :- from(@e, y), numeric(y) = yes.\n",
+            encoding="utf-8",
+        )
+        args = ["check", str(path), "--table", "pages=%s" % html_dir]
+        assert main(args) == 0  # ALOG020 warning alone passes
+        assert "ALOG020" in capsys.readouterr().out
+        assert main(args + ["--strict"]) == 1
+
+    def test_sarif_out_from_check(self, tmp_path, html_dir, capsys):
+        path = tmp_path / "ok.alog"
+        path.write_text(
+            "q(x, t) :- pages(x), title(@x, t).\n"
+            "title(@x, t) :- from(@x, t), bold_font(t) = yes.\n",
+            encoding="utf-8",
+        )
+        out_path = tmp_path / "check.sarif"
+        args = [
+            "check", str(path), "--table", "pages=%s" % html_dir,
+            "--sarif", str(out_path),
+        ]
+        assert main(args) == 0
+        log = json.loads(out_path.read_text(encoding="utf-8"))
+        assert log["runs"][0]["results"] == []

@@ -1,0 +1,196 @@
+"""Typed dataflow: per-predicate column types (ALOG017, ALOG018).
+
+Each code has a triggering fixture and a clean sibling; the inferred
+:class:`PredicateType` artifacts are pinned through ``result.types``.
+"""
+
+from repro.analysis import analyze_program, analyze_source
+from repro.analysis.typing import (
+    CONFLICT,
+    FLOAT,
+    INT,
+    SPAN,
+    STR,
+    join_types,
+)
+from repro.xlog.program import PPredicate, Program
+
+
+def lint(source, **kwargs):
+    kwargs.setdefault("extensional", ["docs"])
+    return analyze_source(source, **kwargs)
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+class TestLattice:
+    def test_join_is_commutative_and_absorbs_unknown(self):
+        assert join_types(None, SPAN) == SPAN
+        assert join_types(SPAN, None) == SPAN
+        assert join_types(SPAN, SPAN) == SPAN
+
+    def test_int_and_float_join_to_float(self):
+        assert join_types(INT, FLOAT) == FLOAT
+        assert join_types(FLOAT, INT) == FLOAT
+
+    def test_any_other_mismatch_is_a_conflict(self):
+        assert join_types(SPAN, INT) == CONFLICT
+        assert join_types(STR, FLOAT) == CONFLICT
+        assert join_types(CONFLICT, SPAN) == CONFLICT
+
+
+class TestInference:
+    def test_extensional_and_from_columns_are_doc_local_spans(self):
+        result = lint(
+            """
+            q(t) :- docs(d), title(@d, t).
+            title(@d, t) :- from(@d, t), bold_font(t) = yes.
+            """
+        )
+        title = result.types["title"]
+        assert title.types[1] == SPAN
+        assert title.doc_local[1] is True
+
+    def test_p_predicate_output_types_flow_through_rules(self):
+        program = Program.parse(
+            """
+            q(x) :- docs(d), getPrice(@d, x).
+            """,
+            extensional=["docs"],
+            p_predicates={
+                "getPrice": PPredicate(
+                    "getPrice", lambda d: [], 1, 1, output_types=(INT,)
+                )
+            },
+        )
+        result = analyze_program(program)
+        assert result.types["q"].types == (INT,)
+        assert result.types["q"].doc_local == (False,)
+
+    def test_types_ride_on_the_json_payload(self):
+        result = lint("q(t) :- docs(t).")
+        assert result.types["q"].render() == "q(t: span@doc)"
+
+
+class TestAlog017:
+    def _conflicted_program(self):
+        return Program.parse(
+            """
+            q(x) :- docs(d), getPrice(@d, x).
+            q(x) :- docs(d), title(@d, x).
+            title(@d, x) :- from(@d, x), bold_font(x) = yes.
+            """,
+            extensional=["docs"],
+            p_predicates={
+                "getPrice": PPredicate(
+                    "getPrice", lambda d: [], 1, 1, output_types=(INT,)
+                )
+            },
+        )
+
+    def test_cross_rule_head_conflict_is_alog017(self):
+        result = analyze_program(self._conflicted_program())
+        found = [d for d in result.diagnostics if d.code == "ALOG017"]
+        assert len(found) == 1
+        assert not result.ok
+        assert "int" in found[0].message and "span" in found[0].message
+        assert result.types["q"].types == (CONFLICT,)
+
+    def test_agreeing_rules_are_clean(self):
+        result = lint(
+            """
+            q(x) :- docs(d), a(@d, x).
+            q(x) :- docs(d), b(@d, x).
+            a(@d, x) :- from(@d, x), bold_font(x) = yes.
+            b(@d, x) :- from(@d, x), italic_font(x) = yes.
+            """
+        )
+        assert "ALOG017" not in codes(result)
+        assert result.types["q"].types == (SPAN,)
+
+    def test_int_vs_float_heads_merge_without_conflict(self):
+        program = Program.parse(
+            """
+            q(x) :- docs(d), asInt(@d, x).
+            q(x) :- docs(d), asFloat(@d, x).
+            """,
+            extensional=["docs"],
+            p_predicates={
+                "asInt": PPredicate(
+                    "asInt", lambda d: [], 1, 1, output_types=(INT,)
+                ),
+                "asFloat": PPredicate(
+                    "asFloat", lambda d: [], 1, 1, output_types=(FLOAT,)
+                ),
+            },
+        )
+        result = analyze_program(program)
+        assert "ALOG017" not in codes(result)
+        assert result.types["q"].types == (FLOAT,)
+
+
+class TestAlog018:
+    def test_boolean_feature_with_stray_value(self):
+        result = lint(
+            """
+            q(p) :- docs(d), price(@d, p).
+            price(@d, p) :- from(@d, p), numeric(p) = maybe.
+            """
+        )
+        found = [d for d in result.diagnostics if d.code == "ALOG018"]
+        assert len(found) == 1
+        assert "maybe" in found[0].message
+
+    def test_parameterised_feature_with_wrong_scalar_kind(self):
+        result = lint(
+            """
+            q(p) :- docs(d), price(@d, p).
+            price(@d, p) :- from(@d, p), numeric(p) = yes,
+                max_length(p) = "ten", pattern(p) = 5.
+            """
+        )
+        messages = [
+            d.message for d in result.diagnostics if d.code == "ALOG018"
+        ]
+        assert len(messages) == 2
+        assert any("integer parameter" in m for m in messages)
+        assert any("text parameter" in m for m in messages)
+
+    def test_ordering_against_text_never_holds(self):
+        result = lint(
+            """
+            q(p) :- docs(d), price(@d, p), p < "cheap".
+            price(@d, p) :- from(@d, p), numeric(p) = yes.
+            """
+        )
+        found = [d for d in result.diagnostics if d.code == "ALOG018"]
+        assert len(found) == 1
+        assert "numeric-only" in found[0].message
+
+    def test_well_typed_constraints_and_comparisons_are_clean(self):
+        result = lint(
+            """
+            q(p) :- docs(d), price(@d, p), p < 500000.
+            price(@d, p) :- from(@d, p), numeric(p) = yes,
+                max_length(p) = 10, pattern(p) = "[0-9,]+".
+            """
+        )
+        assert "ALOG018" not in codes(result)
+        assert result.ok
+
+    def test_opaque_declared_features_are_skipped(self):
+        from repro.features.registry import default_registry
+
+        registry = default_registry().declare("all_caps")
+        result = analyze_source(
+            """
+            q(p) :- docs(d), price(@d, p).
+            price(@d, p) :- from(@d, p), all_caps(p) = 7.
+            """,
+            extensional=["docs"],
+            registry=registry,
+        )
+        assert "ALOG018" not in codes(result)
+        assert "ALOG003" not in codes(result)

@@ -61,6 +61,24 @@ class TestDiagnosticCodeTable:
         for code in set(re.findall(r"ALOG\d{3}", text)):
             assert code in CODES, "docs/cli.md documents unknown code %s" % code
 
+    def test_every_code_appears_in_the_language_pass_list(self):
+        from repro.analysis import CODES
+
+        text = (DOCS / "language.md").read_text(encoding="utf-8")
+        for code in CODES:
+            assert "`%s`" % code in text, (
+                "diagnostic %s missing from docs/language.md" % code
+            )
+
+    def test_no_phantom_codes_in_language_docs(self):
+        from repro.analysis import CODES
+
+        text = (DOCS / "language.md").read_text(encoding="utf-8")
+        for code in set(re.findall(r"ALOG\d{3}", text)):
+            assert code in CODES, (
+                "docs/language.md documents unknown code %s" % code
+            )
+
 
 class TestDesignIndexTargets:
     def test_bench_targets_exist(self):

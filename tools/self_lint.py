@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Lint every Alog program the repository ships.
+
+Three sources of programs, all run through the full analyzer with the
+plan lint enabled (``plan=True``):
+
+* the programs embedded in ``examples/*.py`` (triple-quoted blocks
+  containing ``:-``), each with the declarations the example itself
+  supplies;
+* the nine benchmark scenario programs (``build_task(T1..T9)``),
+  analyzed as fully resolved :class:`Program` objects;
+* the three DBLife task programs (``build_dblife_tasks``).
+
+Strict semantics: any error OR warning fails the run (exit 1); infos
+are advisory and never fail.  ``--sarif-out PATH`` writes one merged
+SARIF 2.1.0 report covering every program, for CI code-scanning upload.
+
+Usage::
+
+    PYTHONPATH=src python tools/self_lint.py [--sarif-out selflint.sarif]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import AnalysisResult, analyze_program, analyze_source  # noqa: E402
+from repro.features.registry import default_registry  # noqa: E402
+
+#: declarations for the programs embedded in each example file; an
+#: example file without an entry here is expected to embed no programs
+EXAMPLE_DECLS = {
+    "quickstart.py": dict(
+        extensional=("housePages", "schoolPages"),
+        p_functions=("similar", "approxMatch"),
+        query="Q",
+    ),
+    "custom_feature.py": dict(
+        extensional=("pages",),
+        query="confs",
+        features=("all_caps",),
+    ),
+}
+
+TRIPLE_QUOTED = re.compile(r'"""(.*?)"""', re.DOTALL)
+
+
+def embedded_programs(path):
+    """Yield triple-quoted blocks that look like Alog programs."""
+    for block in TRIPLE_QUOTED.findall(path.read_text(encoding="utf-8")):
+        if ":-" in block:
+            yield block
+
+
+def lint_examples():
+    for path in sorted((ROOT / "examples").glob("*.py")):
+        decls = EXAMPLE_DECLS.get(path.name, {})
+        registry = default_registry()
+        for name in decls.get("features", ()):
+            registry = registry.declare(name)
+        for index, source in enumerate(embedded_programs(path)):
+            label = "examples/%s#%d" % (path.name, index)
+            yield label, analyze_source(
+                source,
+                extensional=decls.get("extensional", ()),
+                p_functions=decls.get("p_functions", ()),
+                query=decls.get("query"),
+                registry=registry,
+                plan=True,
+            )
+
+
+def lint_benchmark_tasks():
+    from repro.experiments.tasks import TASK_IDS, build_task
+
+    for task_id in TASK_IDS:
+        task = build_task(task_id, size=5, seed=0)
+        yield "scenario/%s" % task_id, analyze_program(task.program, plan=True)
+
+
+def lint_dblife_tasks():
+    from repro.experiments.dblife_tasks import build_dblife_tasks
+
+    pages = {"conference": 4, "project": 4, "homepage": 2}
+    for task in build_dblife_tasks(pages=pages, seed=0):
+        yield "dblife/%s" % task.name, analyze_program(task.program, plan=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sarif-out",
+        metavar="PATH",
+        help="write one merged SARIF report covering every program",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    programs = 0
+    sarif_results = []
+    sarif_log = None
+    for label, result in (
+        list(lint_examples())
+        + list(lint_benchmark_tasks())
+        + list(lint_dblife_tasks())
+    ):
+        programs += 1
+        blocking = list(result.errors) + list(result.warnings)
+        status = "FAIL" if blocking else "ok"
+        infos = len(result.infos)
+        print(
+            "%-4s %-24s %d errors, %d warnings, %d infos"
+            % (status, label, len(result.errors), len(result.warnings), infos)
+        )
+        for diagnostic in result.diagnostics:
+            print("    " + diagnostic.render(label))
+        if blocking:
+            failures += 1
+        if args.sarif_out:
+            log = result.to_sarif(label)
+            sarif_log = sarif_log or log
+            sarif_results.extend(log["runs"][0]["results"])
+
+    if args.sarif_out:
+        if sarif_log is None:
+            sarif_log = AnalysisResult([]).to_sarif("self-lint")
+        sarif_log["runs"][0]["results"] = sarif_results
+        pathlib.Path(args.sarif_out).write_text(
+            json.dumps(sarif_log, indent=2) + "\n", encoding="utf-8"
+        )
+        print("sarif: wrote %d results to %s" % (len(sarif_results), args.sarif_out))
+
+    print(
+        "self-lint: %d programs, %d failing (errors or warnings block; "
+        "infos are advisory)" % (programs, failures)
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
