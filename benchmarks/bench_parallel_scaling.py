@@ -1,4 +1,4 @@
-"""Partitioned-execution scaling (extension experiment).
+"""Partitioned-execution scaling and fork-payload accounting.
 
 Runs extraction-dominated Table 2 tasks at worker counts {1, 2, 4} on
 the process backend and records the measured wall-clock next to a
@@ -9,6 +9,15 @@ fewer cores than workers (a single-CPU container time-slices the
 children and measures a slowdown); the JSON records the host CPU count
 so readers can tell which regime a data point came from.
 
+The payload section measures what actually crosses the fork pipe.  The
+*zero-copy* configuration is the default: result spans reference their
+fork-inherited documents by ``(token, position)`` and the columnar
+bundle rides as ``(path, digest)`` mmap refs.  The *legacy*
+configuration ships results by value (``share_results=False``) and is
+charged one column-bundle copy per worker — the bytes a
+reference-free implementation must move so workers can evaluate at
+all.  The acceptance bar is a >= 10x payload reduction.
+
 Every configuration is also checked byte-identical to the serial run —
 a scaling number from a diverging backend would be meaningless.
 
@@ -17,6 +26,8 @@ Results land in ``benchmarks/results/parallel_scaling.json``.
 
 import json
 import os
+import pickle
+import tempfile
 import time
 from pathlib import Path
 
@@ -28,11 +39,24 @@ RESULTS_PATH = Path(__file__).resolve().parent / "results" / "parallel_scaling.j
 
 WORKER_COUNTS = (1, 2, 4)
 
+#: workers used for the payload comparison (the largest configuration)
+PAYLOAD_WORKERS = 4
+
 #: extraction-dominated tasks (document-local prefixes do the work);
 #: sizes give a medium corpus per the Table 2 scenario scale
 TASKS = (("T1", 200), ("T5", 400), ("T7", 400))
 
 HEADERS = ("task", "workers", "backend", "seconds", "speedup", "identical")
+
+PAYLOAD_HEADERS = (
+    "task",
+    "legacy bytes",
+    "zero-copy bytes",
+    "reduction",
+    "artifact build s",
+    "artifact load s",
+    "identical",
+)
 
 
 def _image(result):
@@ -42,18 +66,18 @@ def _image(result):
     }
 
 
-def _run_once(task, workers, backend):
+def _run_once(task, workers, backend, **config_kwargs):
     from repro.processor import ExecConfig, IFlexEngine
 
     engine = IFlexEngine(
         task.program,
         task.corpus,
-        config=ExecConfig(workers=workers, backend=backend),
+        config=ExecConfig(workers=workers, backend=backend, **config_kwargs),
         validate=False,
     )
     start = time.perf_counter()
     result = engine.execute()
-    return result, time.perf_counter() - start
+    return engine, result, time.perf_counter() - start
 
 
 def _partition_seconds(task, partitions):
@@ -86,7 +110,7 @@ def scaling_curve(task_id, size, seed):
     from repro.experiments.tasks import build_task
 
     task = build_task(task_id, size=size, seed=seed)
-    reference, serial_seconds = _run_once(task, 1, "serial")
+    reference, serial_seconds = _run_once(task, 1, "serial")[1:]
     reference_image = _image(reference)
     points = [
         {
@@ -98,7 +122,7 @@ def scaling_curve(task_id, size, seed):
         }
     ]
     for workers in WORKER_COUNTS[1:]:
-        result, seconds = _run_once(task, workers, "process")
+        result, seconds = _run_once(task, workers, "process")[1:]
         points.append(
             {
                 "workers": workers,
@@ -123,12 +147,81 @@ def scaling_curve(task_id, size, seed):
     }
 
 
+def payload_comparison(task_id, size, seed):
+    """Fork-payload bytes: zero-copy vs legacy by-value shipping.
+
+    Both configurations run with a columnar artifact cache, so the
+    zero-copy run exercises the full reference machinery (shared
+    document refs *and* artifact mmap refs) and the artifact build/load
+    times come out of the same measurement.
+    """
+    from repro.experiments.tasks import build_task
+    from repro.processor.schedulers import ProcessBackend
+
+    task = build_task(task_id, size=size, seed=seed)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # cold pass builds + persists the bundle (timed by the store)
+        cold_engine, reference, _ = _run_once(
+            task,
+            PAYLOAD_WORKERS,
+            ProcessBackend(PAYLOAD_WORKERS, share_results=True),
+            artifact_cache=cache_dir,
+        )
+        build_seconds = cold_engine.index_store.columnar.build_seconds
+        # warm zero-copy pass: maps the bundle, ships refs
+        shared_engine, shared_result, _ = _run_once(
+            task,
+            PAYLOAD_WORKERS,
+            ProcessBackend(PAYLOAD_WORKERS, share_results=True),
+            artifact_cache=cache_dir,
+        )
+        shared_store = shared_engine.index_store.columnar
+        refs = shared_engine.physical._artifact_refs()
+        ref_bytes = len(pickle.dumps(refs, pickle.HIGHEST_PROTOCOL))
+        bundle = shared_store._bundles[0] if shared_store._bundles else None
+        bundle_bytes = int(bundle.nbytes) if bundle is not None else 0
+        # legacy pass: results by value, columns charged one copy per
+        # worker (conservative — a copy-shipping implementation re-sends
+        # per map call, of which an execution makes several)
+        legacy_engine, legacy_result, _ = _run_once(
+            task,
+            PAYLOAD_WORKERS,
+            ProcessBackend(PAYLOAD_WORKERS, share_results=False),
+        )
+        zero_copy_bytes = shared_engine.physical.payload_bytes + ref_bytes
+        legacy_bytes = (
+            legacy_engine.physical.payload_bytes + PAYLOAD_WORKERS * bundle_bytes
+        )
+        return {
+            "task": task_id,
+            "size": size,
+            "workers": PAYLOAD_WORKERS,
+            "result_bytes_shared": shared_engine.physical.payload_bytes,
+            "result_bytes_by_value": legacy_engine.physical.payload_bytes,
+            "artifact_ref_bytes": ref_bytes,
+            "artifact_bundle_bytes": bundle_bytes,
+            "zero_copy_bytes": zero_copy_bytes,
+            "legacy_bytes": legacy_bytes,
+            "payload_reduction": round(legacy_bytes / max(1, zero_copy_bytes), 1),
+            "artifact_build_seconds": round(build_seconds, 4),
+            "artifact_load_seconds": round(shared_store.load_seconds, 4),
+            "warm_mapped": bool(bundle is not None and bundle.mapped),
+            "identical": (
+                _image(shared_result) == _image(reference)
+                and _image(legacy_result) == _image(reference)
+            ),
+        }
+
+
 def test_parallel_scaling(benchmark, bench_seed, artifacts):
-    curves = benchmark.pedantic(
-        lambda: [scaling_curve(task_id, size, bench_seed) for task_id, size in TASKS],
-        rounds=1,
-        iterations=1,
-    )
+    def body():
+        curves = [scaling_curve(task_id, size, bench_seed) for task_id, size in TASKS]
+        payloads = [
+            payload_comparison(task_id, size, bench_seed) for task_id, size in TASKS
+        ]
+        return curves, payloads
+
+    curves, payloads = benchmark.pedantic(body, rounds=1, iterations=1)
     rows = []
     for curve in curves:
         for point in curve["points"]:
@@ -145,12 +238,38 @@ def test_parallel_scaling(benchmark, bench_seed, artifacts):
     cpus = os.cpu_count() or 1
     title = "parallel scaling — process backend (host cpus: %d)" % cpus
     print_block(render_table(HEADERS, rows, title=title))
+    payload_rows = [
+        (
+            p["task"],
+            p["legacy_bytes"],
+            p["zero_copy_bytes"],
+            "%.1fx" % p["payload_reduction"],
+            "%.4f" % p["artifact_build_seconds"],
+            "%.4f" % p["artifact_load_seconds"],
+            "yes" if p["identical"] else "NO",
+        )
+        for p in payloads
+    ]
+    print_block(
+        render_table(
+            PAYLOAD_HEADERS,
+            payload_rows,
+            title="fork payload — zero-copy refs vs legacy by-value (workers: %d)"
+            % PAYLOAD_WORKERS,
+        )
+    )
     artifacts.table("parallel_scaling", HEADERS, rows)
+    artifacts.table("parallel_payload", PAYLOAD_HEADERS, payload_rows)
 
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(
         json.dumps(
-            {"host": {"cpus": cpus}, "worker_counts": list(WORKER_COUNTS), "tasks": curves},
+            {
+                "host": {"cpus": cpus},
+                "worker_counts": list(WORKER_COUNTS),
+                "tasks": curves,
+                "payload": payloads,
+            },
             indent=2,
         )
         + "\n"
@@ -158,7 +277,13 @@ def test_parallel_scaling(benchmark, bench_seed, artifacts):
 
     # every configuration must agree with serial exactly
     assert all(p["identical"] for c in curves for p in c["points"])
+    assert all(p["identical"] for p in payloads)
     # partitioning must divide the work: with 4 partitions the serially
     # measured critical path leaves >1.5x on the table for a multicore
     # host, even though a 1-cpu container cannot realise it
     assert all(c["speedup_bound"] > 1.5 for c in curves)
+    # acceptance: reference shipping (shared documents + artifact mmap
+    # refs) cuts the fork payload >= 10x against by-value legacy
+    assert all(p["payload_reduction"] >= 10.0 for p in payloads), payloads
+    # warm runs map the persisted bundle instead of rebuilding it
+    assert all(p["warm_mapped"] for p in payloads), payloads

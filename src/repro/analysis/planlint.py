@@ -225,8 +225,8 @@ class _Scout:
         registry = self.analyzer.facts.registry
         if op.feature not in registry:
             return
-        feature = registry.get(op.feature)
-        if getattr(feature, "opaque", False) or feature.supports_index():
+        capability = registry.capability(op.feature)
+        if capability.opaque or capability.indexable:
             return
         self.emit(
             "ALOG019",
@@ -296,7 +296,7 @@ def check_plan(analyzer, program=None):
                 o
                 for o in constraints
                 if o.feature in facts.registry
-                and facts.registry.get(o.feature).supports_index()
+                and facts.registry.capability(o.feature).indexable
             ]
             extractions = sum(
                 1 for o in ops if isinstance(o, (FromOp, PPredicateOp))

@@ -285,7 +285,7 @@ def _check_constraint_values(analyzer, rule):
                     node=atom,
                 )
             continue
-        expected = getattr(feature, "param_type", None)
+        expected = feature.capability().param_type
         if expected is None:
             continue
         if expected == STR and not isinstance(value, str):

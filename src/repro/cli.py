@@ -127,6 +127,22 @@ def build_parser():
             "chains, rules, and partitions",
         )
         p.add_argument(
+            "--no-batch",
+            action="store_true",
+            help="disable batched (vectorized) Verify/Refine kernels: "
+            "constraints evaluate span by span through the scalar "
+            "indexes (escape hatch; results and statistics are "
+            "identical either way)",
+        )
+        p.add_argument(
+            "--artifact-cache",
+            metavar="DIR",
+            help="content-addressed cache directory for columnar corpus "
+            "artifacts: cold runs build and persist the column tables "
+            "once, warm runs memory-map them (no tokenization), and "
+            "forked workers map the same read-only files",
+        )
+        p.add_argument(
             "--on-error",
             choices=("fail-fast", "skip", "retry"),
             default="fail-fast",
@@ -164,7 +180,9 @@ def build_parser():
             "--metrics-out",
             metavar="PATH",
             help="write a deterministic metrics-registry snapshot (JSON); "
-            "byte-identical across scheduler backends for the same run",
+            "byte-identical across scheduler backends for the same run "
+            "(except repro.sched.payload_bytes, which measures the "
+            "backend itself)",
         )
         p.add_argument(
             "--log-level",
@@ -365,6 +383,8 @@ def _exec_config(args):
         backend=args.backend,
         use_index=not getattr(args, "no_index", False),
         use_eval_cache=not getattr(args, "no_eval_cache", False),
+        use_batch=not getattr(args, "no_batch", False),
+        artifact_cache=getattr(args, "artifact_cache", None),
         on_error=getattr(args, "on_error", "fail-fast"),
         max_retries=getattr(args, "max_retries", 2),
         partition_timeout=getattr(args, "partition_timeout", None),
@@ -391,6 +411,22 @@ def _observability(args):
 
         metrics = MetricsRegistry()
     return tracer, metrics
+
+
+def _record_payload_metric(engine, metrics):
+    """Fold scheduler payload bytes into the snapshot (opt-in by design:
+    the value measures the backend, so it is the one series that varies
+    across --backend choices)."""
+    physical = getattr(engine, "physical", None)
+    if metrics is None or physical is None:
+        return
+    from repro.observability.metrics import record_payload
+
+    record_payload(
+        metrics,
+        physical.payload_bytes,
+        backend=getattr(engine.config, "backend", "serial"),
+    )
 
 
 def _write_observability(args, tracer, metrics):
@@ -441,8 +477,10 @@ def _cmd_run(args):
         # under fail-fast (or a non-containable failure) the run exits
         # non-zero with the enriched message, never a bare traceback
         print("error: %s" % (exc,), file=sys.stderr)
+        _record_payload_metric(engine, metrics)
         _write_observability(args, tracer, metrics)
         return 1
+    _record_payload_metric(engine, metrics)
     _write_observability(args, tracer, metrics)
     _print_failure_report(result)
     if args.json:

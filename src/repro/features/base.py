@@ -29,6 +29,8 @@ Boolean features take ``yes`` / ``no`` / ``distinct_yes`` /
 ``max_value``, ...) take a scalar parameter as their value.
 """
 
+from dataclasses import dataclass
+
 from repro.text.span import Span
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "UNKNOWN",
     "BOOLEAN_VALUES",
     "Feature",
+    "FeatureCapability",
     "complement_intervals",
     "clip_intervals",
     "trim_to_tokens",
@@ -52,6 +55,35 @@ UNKNOWN = "unknown"
 
 #: The answer space of a non-parameterised (boolean) feature question.
 BOOLEAN_VALUES = (YES, NO, DISTINCT_YES)
+
+
+@dataclass(frozen=True)
+class FeatureCapability:
+    """One feature's consolidated capability record.
+
+    Historically ``supports_index()``, ``param_type`` and the
+    ``build_index`` override were three parallel signals that static
+    analysis (planlint's ``ALOG019``), the registry, and the index
+    builder each read separately — and could therefore disagree about.
+    :meth:`Feature.capability` derives all of them from the class in
+    one place; every consumer reads this record.
+
+    indexable:
+        The class overrides :meth:`Feature.build_index`, so Verify /
+        Refine pushdown can use a per-document index (and the columnar
+        builder will construct one).
+    param_type:
+        Scalar kind of a parameterised feature's value (``'str'`` /
+        ``'int'`` / ``'number'``); ``None`` for boolean features and
+        parameterised features accepting anything.
+    opaque:
+        A name-only placeholder — analysis skips value- and
+        capability-based checks entirely.
+    """
+
+    indexable: bool
+    param_type: object = None
+    opaque: bool = False
 
 
 class Feature:
@@ -101,14 +133,27 @@ class Feature:
         """
         return None
 
+    def capability(self):
+        """This feature's :class:`FeatureCapability` record.
+
+        The single source of truth for capability questions:
+        indexability is decided structurally (the class overrides
+        :meth:`build_index`), so static analysis, the registry, and the
+        columnar index builder all see the same answer without building
+        an index (or having a document to build one from).
+        """
+        return FeatureCapability(
+            indexable=type(self).build_index is not Feature.build_index,
+            param_type=self.param_type,
+            opaque=self.opaque,
+        )
+
     def supports_index(self):
         """True when this feature participates in index pushdown.
 
-        Decided structurally — the class overrides :meth:`build_index` —
-        so static analysis can ask about capability without building an
-        index (or having a document to build one from).
+        Compatibility alias for ``capability().indexable``.
         """
-        return type(self).build_index is not Feature.build_index
+        return self.capability().indexable
 
     # ------------------------------------------------------------------
     def candidate_values(self, spans):

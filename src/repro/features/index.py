@@ -13,6 +13,14 @@ capitalised-run tables), after which ``Verify(s, f, v)`` is a pair of
 bisections and ``Refine(s, f, v)`` enumerates the maximal satisfying
 sub-spans directly from the precomputed arrays.
 
+The position tables themselves live in the columnar storage tier
+(:mod:`repro.columnar`): ``int64`` numpy columns built once per
+document — or mapped from a persisted corpus artifact — and shared by
+every index over that document.  On top of the scalar contract the
+indexes expose *batch* kernels (:meth:`FeatureIndex.verify_batch` /
+:meth:`FeatureIndex.refine_batch`): one ``np.searchsorted`` over a
+whole span batch instead of a Python-level bisection per span.
+
 Correctness contract
 --------------------
 An index is an *accelerator*, never a semantics change: for every
@@ -20,22 +28,27 @@ An index is an *accelerator*, never a semantics change: for every
 naive implementation — same hints, same modes, same order.  When an
 index cannot answer (an unsupported value, a feature aspect that
 depends on raw text the index does not capture), it returns ``None``
-and the caller falls back to the naive path.  The differential tests in
-``tests/processor/test_index_equivalence.py`` enforce this contract on
-generated documents.
+and the caller falls back to the naive path.  The batch kernels answer
+exactly the values their scalar counterparts do
+(:meth:`~FeatureIndex.can_verify_batch` gates them), so batched and
+scalar evaluation produce identical results *and* identical statistics.
+The differential tests in ``tests/processor/test_index_equivalence.py``
+enforce both contracts on generated documents.
 
 IndexableFeature protocol
 -------------------------
 A feature opts in by overriding :meth:`Feature.build_index
 <repro.features.base.Feature.build_index>` to return a
 :class:`FeatureIndex` (the default returns ``None``, meaning "not
-indexable").  :class:`IndexStore` calls ``build_index`` lazily, once per
-``(feature, document)``, and shares one :class:`TokenArrays` per
-document across all features.
+indexable" — the structural signal behind
+:meth:`~repro.features.base.Feature.capability`).  :class:`IndexStore`
+calls ``build_index`` lazily, once per ``(feature, document)``, and
+shares one :class:`TokenArrays` per document across all features.
 """
 
-import bisect
+import numpy as np
 
+from repro.columnar.store import ColumnarStore
 from repro.features.base import (
     DISTINCT_NO,
     DISTINCT_YES,
@@ -43,7 +56,6 @@ from repro.features.base import (
     YES,
 )
 from repro.text.span import Span
-from repro.text.tokenize import NUMBER, WORD
 
 __all__ = [
     "TokenArrays",
@@ -57,26 +69,42 @@ __all__ = [
 ]
 
 
+def _searchsorted(array, value, side):
+    return int(np.searchsorted(array, value, side=side))
+
+
 class TokenArrays:
     """Sorted start/end offset arrays over one document's tokens.
 
     Tokens are non-overlapping and emitted in document order, so both
     arrays are sorted and the tokens fully inside ``[start, end)`` form
     the contiguous index range returned by :meth:`range_in` — the
-    bisect-form of ``Document.tokens_in``.
+    ``searchsorted`` form of ``Document.tokens_in``.  The arrays are
+    views of the document's :class:`~repro.columnar.arrays.DocColumns`
+    (built ad hoc when the caller has no columnar store).
     """
 
-    __slots__ = ("tokens", "starts", "ends")
+    __slots__ = ("doc", "columns", "starts", "ends")
 
-    def __init__(self, doc):
-        self.tokens = doc.tokens
-        self.starts = [t.start for t in self.tokens]
-        self.ends = [t.end for t in self.tokens]
+    def __init__(self, doc, columns=None):
+        if columns is None:
+            from repro.columnar.arrays import build_doc_columns
+
+            columns = build_doc_columns(doc)
+        self.doc = doc
+        self.columns = columns
+        self.starts = columns.token_starts
+        self.ends = columns.token_ends
+
+    @property
+    def tokens(self):
+        """The document's token objects (naive-path compatibility)."""
+        return self.doc.tokens
 
     def range_in(self, start, end):
         """``(lo, hi)`` such that ``tokens[lo:hi]`` lie fully inside."""
-        lo = bisect.bisect_left(self.starts, start)
-        return lo, max(lo, bisect.bisect_right(self.ends, end))
+        lo = _searchsorted(self.starts, start, "left")
+        return lo, max(lo, _searchsorted(self.ends, end, "right"))
 
     def has_token_in(self, start, end):
         lo, hi = self.range_in(start, end)
@@ -86,9 +114,16 @@ class TokenArrays:
 class FeatureIndex:
     """Base class for per-document feature indexes.
 
-    Both methods return ``None`` when the index cannot answer for the
-    given value; the execution context then falls back to the feature's
-    naive implementation.  Answers must match the naive path exactly.
+    The scalar methods return ``None`` when the index cannot answer for
+    the given value; the execution context then falls back to the
+    feature's naive implementation.  Answers must match the naive path
+    exactly.
+
+    The batch methods answer a whole span batch (``starts``/``ends``
+    are aligned ``int64`` arrays) in one kernel.  ``can_*_batch`` must
+    be exact: when it says yes, the kernel answers every span of the
+    batch with the same result the scalar method would — that is what
+    keeps batched and scalar statistics identical.
     """
 
     def verify(self, span, value):
@@ -97,6 +132,25 @@ class FeatureIndex:
 
     def refine(self, span, value):
         """A list of ``(mode, span)`` hints, or ``None`` to fall back."""
+        return None
+
+    # ------------------------------------------------------------------
+    # batch kernels
+    # ------------------------------------------------------------------
+    def can_verify_batch(self, value):
+        """True when :meth:`verify_batch` answers this value for every span."""
+        return False
+
+    def verify_batch(self, starts, ends, value):
+        """``bool`` ndarray aligned with the span batch."""
+        return None
+
+    def can_refine_batch(self, value):
+        """True when :meth:`refine_batch` answers this value for every span."""
+        return False
+
+    def refine_batch(self, doc, starts, ends, value):
+        """Per-span hint tuples, aligned with the span batch."""
         return None
 
 
@@ -126,19 +180,24 @@ class IndexStore:
     race to build the same index; both build the same value, so the
     duplicate work is benign (``built`` is therefore a diagnostic
     counter, not part of :class:`~repro.processor.context.ExecutionStats`).
+
+    ``columnar`` is the :class:`~repro.columnar.store.ColumnarStore`
+    the position tables come from; passing the engine's store in means
+    a mapped corpus artifact feeds every index without re-tokenizing.
     """
 
-    __slots__ = ("_arrays", "_indexes", "built")
+    __slots__ = ("_arrays", "_indexes", "built", "columnar")
 
-    def __init__(self):
+    def __init__(self, columnar=None):
         self._arrays = {}
         self._indexes = {}
         self.built = 0
+        self.columnar = columnar if columnar is not None else ColumnarStore()
 
     def arrays(self, doc):
         arrays = self._arrays.get(doc.doc_id)
         if arrays is None:
-            arrays = TokenArrays(doc)
+            arrays = TokenArrays(doc, self.columnar.columns_for(doc))
             self._arrays[doc.doc_id] = arrays
         return arrays
 
@@ -148,7 +207,9 @@ class IndexStore:
         try:
             return self._indexes[key]
         except KeyError:
-            index = feature.build_index(doc, self.arrays(doc))
+            index = None
+            if feature.capability().indexable:
+                index = feature.build_index(doc, self.arrays(doc))
             if index is not None:
                 self.built += 1
             self._indexes[key] = index
@@ -174,31 +235,50 @@ class NumericIndex(FeatureIndex):
     __slots__ = ("starts", "ends")
 
     def __init__(self, doc, arrays):
-        self.starts = []
-        self.ends = []
-        for token in arrays.tokens:
-            if token.kind == NUMBER:
-                self.starts.append(token.start)
-                self.ends.append(token.end)
+        self.starts = arrays.columns.num_starts
+        self.ends = arrays.columns.num_ends
 
-    def refine(self, span, value):
-        lo = bisect.bisect_left(self.starts, span.start)
-        hi = max(lo, bisect.bisect_right(self.ends, span.end))
+    def _range(self, start, end):
+        lo = _searchsorted(self.starts, start, "left")
+        return lo, max(lo, _searchsorted(self.ends, end, "right"))
+
+    def _hints(self, doc, start, end, lo, hi, value):
         if value in (YES, DISTINCT_YES):
             return [
-                ("exact", Span(span.doc, s, e))
-                for s, e in zip(self.starts[lo:hi], self.ends[lo:hi])
+                ("exact", Span(doc, s, e))
+                for s, e in zip(
+                    self.starts[lo:hi].tolist(), self.ends[lo:hi].tolist()
+                )
             ]
         if value == NO:
             from repro.features.base import complement_intervals
 
             gaps = complement_intervals(
-                list(zip(self.starts[lo:hi], self.ends[lo:hi])),
-                span.start,
-                span.end,
+                list(
+                    zip(self.starts[lo:hi].tolist(), self.ends[lo:hi].tolist())
+                ),
+                start,
+                end,
             )
-            return [("contain", Span(span.doc, s, e)) for s, e in gaps]
+            return [("contain", Span(doc, s, e)) for s, e in gaps]
         return None  # unsupported value: naive path raises
+
+    def refine(self, span, value):
+        lo, hi = self._range(span.start, span.end)
+        return self._hints(span.doc, span.start, span.end, lo, hi, value)
+
+    def can_refine_batch(self, value):
+        return value in (YES, DISTINCT_YES, NO)
+
+    def refine_batch(self, doc, starts, ends, value):
+        los = np.searchsorted(self.starts, starts, side="left")
+        his = np.maximum(los, np.searchsorted(self.ends, ends, side="right"))
+        return [
+            self._hints(doc, int(s), int(e), int(lo), int(hi), value)
+            for s, e, lo, hi in zip(
+                starts.tolist(), ends.tolist(), los.tolist(), his.tolist()
+            )
+        ]
 
 
 class CapitalizedIndex(FeatureIndex):
@@ -209,45 +289,32 @@ class CapitalizedIndex(FeatureIndex):
     a run — mirroring ``CapitalizedFeature.refine``).  Tokens fully
     inside a span are contiguous in document order, so a span clips each
     run to its in-span cap tokens and two runs can never merge: the
-    lowercase word separating them is itself inside the span.
+    lowercase word separating them is itself inside the span.  The
+    tables are the document's precomputed
+    :class:`~repro.columnar.arrays.DocColumns` cap-run columns.
     """
 
     __slots__ = ("word_starts", "word_ends", "cap_starts", "cap_ends", "cap_run")
 
     def __init__(self, doc, arrays):
-        self.word_starts = []
-        self.word_ends = []
-        self.cap_starts = []
-        self.cap_ends = []
-        self.cap_run = []
-        run_id = -1
-        in_run = False
-        for token in arrays.tokens:
-            if token.kind != WORD:
-                continue
-            self.word_starts.append(token.start)
-            self.word_ends.append(token.end)
-            if token.text[:1].isupper():
-                if not in_run:
-                    run_id += 1
-                    in_run = True
-                self.cap_starts.append(token.start)
-                self.cap_ends.append(token.end)
-                self.cap_run.append(run_id)
-            else:
-                in_run = False
+        columns = arrays.columns
+        self.word_starts = columns.word_starts
+        self.word_ends = columns.word_ends
+        self.cap_starts = columns.cap_starts
+        self.cap_ends = columns.cap_ends
+        self.cap_run = columns.cap_run
 
     def _word_count(self, span):
-        lo = bisect.bisect_left(self.word_starts, span.start)
-        return max(0, bisect.bisect_right(self.word_ends, span.end) - lo)
+        lo = _searchsorted(self.word_starts, span.start, "left")
+        return max(0, _searchsorted(self.word_ends, span.end, "right") - lo)
 
-    def _cap_range(self, span):
-        lo = bisect.bisect_left(self.cap_starts, span.start)
-        return lo, max(lo, bisect.bisect_right(self.cap_ends, span.end))
+    def _cap_range(self, start, end):
+        lo = _searchsorted(self.cap_starts, start, "left")
+        return lo, max(lo, _searchsorted(self.cap_ends, end, "right"))
 
     def verify(self, span, value):
         words = self._word_count(span)
-        lo, hi = self._cap_range(span)
+        lo, hi = self._cap_range(span.start, span.end)
         satisfied = words > 0 and (hi - lo) == words
         if value == YES:
             return satisfied
@@ -255,22 +322,57 @@ class CapitalizedIndex(FeatureIndex):
             return not satisfied
         return None
 
-    def refine(self, span, value):
-        if value != YES:
-            return None  # naive path: one loose contain over the span
-        lo, hi = self._cap_range(span)
+    def can_verify_batch(self, value):
+        return value in (YES, NO)
+
+    def verify_batch(self, starts, ends, value):
+        words = np.maximum(
+            np.searchsorted(self.word_ends, ends, side="right")
+            - np.searchsorted(self.word_starts, starts, side="left"),
+            0,
+        )
+        caps = np.maximum(
+            np.searchsorted(self.cap_ends, ends, side="right")
+            - np.searchsorted(self.cap_starts, starts, side="left"),
+            0,
+        )
+        satisfied = (words > 0) & (caps == words)
+        return satisfied if value == YES else ~satisfied
+
+    def _run_hints(self, doc, lo, hi):
+        cap_run = self.cap_run
         hints = []
         i = lo
         while i < hi:
-            run = self.cap_run[i]
+            run = cap_run[i]
             j = i
-            while j + 1 < hi and self.cap_run[j + 1] == run:
+            while j + 1 < hi and cap_run[j + 1] == run:
                 j += 1
             hints.append(
-                ("contain", Span(span.doc, self.cap_starts[i], self.cap_ends[j]))
+                (
+                    "contain",
+                    Span(doc, int(self.cap_starts[i]), int(self.cap_ends[j])),
+                )
             )
             i = j + 1
         return hints
+
+    def refine(self, span, value):
+        if value != YES:
+            return None  # naive path: one loose contain over the span
+        lo, hi = self._cap_range(span.start, span.end)
+        return self._run_hints(span.doc, lo, hi)
+
+    def can_refine_batch(self, value):
+        return value == YES
+
+    def refine_batch(self, doc, starts, ends, value):
+        los = np.searchsorted(self.cap_starts, starts, side="left")
+        his = np.maximum(los, np.searchsorted(self.cap_ends, ends, side="right"))
+        return [
+            self._run_hints(doc, int(lo), int(hi))
+            for lo, hi in zip(los.tolist(), his.tolist())
+        ]
 
 
 class RegionIndex(FeatureIndex):
@@ -281,18 +383,15 @@ class RegionIndex(FeatureIndex):
     even when regions of a kind overlap (the document model sorts but
     does not merge them).  ``distinct`` checks reuse the token arrays,
     and each region's token trim is computed once instead of per call.
+    The interval arrays come precomputed from the document's
+    :class:`~repro.columnar.arrays.DocColumns`.
     """
 
     __slots__ = ("regions", "starts", "max_end_prefix", "arrays", "_trimmed")
 
     def __init__(self, doc, arrays, region_kind):
         self.regions = doc.regions_of(region_kind)
-        self.starts = [s for s, _ in self.regions]
-        self.max_end_prefix = []
-        furthest = 0
-        for _, end in self.regions:
-            furthest = max(furthest, end)
-            self.max_end_prefix.append(furthest)
+        self.starts, _, self.max_end_prefix = arrays.columns.region(region_kind)
         self.arrays = arrays
         self._trimmed = {}
 
@@ -304,7 +403,9 @@ class RegionIndex(FeatureIndex):
         except KeyError:
             lo, hi = self.arrays.range_in(rstart, rend)
             trimmed = (
-                None if lo >= hi else (self.arrays.starts[lo], self.arrays.ends[hi - 1])
+                None
+                if lo >= hi
+                else (int(self.arrays.starts[lo]), int(self.arrays.ends[hi - 1]))
             )
             self._trimmed[key] = trimmed
             return trimmed
@@ -313,16 +414,16 @@ class RegionIndex(FeatureIndex):
         if value == YES:
             # covered iff some region starts at/before the span and the
             # furthest end among those reaches the span end
-            k = bisect.bisect_right(self.starts, span.start)
-            return k > 0 and self.max_end_prefix[k - 1] >= span.end
+            k = _searchsorted(self.starts, span.start, "right")
+            return bool(k > 0 and self.max_end_prefix[k - 1] >= span.end)
         if value == NO:
             # overlap iff some region starting before the span end
             # reaches past the span start
-            k = bisect.bisect_left(self.starts, span.end)
-            return k == 0 or self.max_end_prefix[k - 1] <= span.start
+            k = _searchsorted(self.starts, span.end, "left")
+            return bool(k == 0 or self.max_end_prefix[k - 1] <= span.start)
         if value == DISTINCT_YES:
             # first containing region in sorted order, as the naive loop
-            k = bisect.bisect_right(self.starts, span.start)
+            k = _searchsorted(self.starts, span.start, "right")
             for i in range(k):
                 if self.regions[i][1] >= span.end:
                     trimmed = self._trim(*self.regions[i])
@@ -331,7 +432,7 @@ class RegionIndex(FeatureIndex):
                     )
             return False
         if value == DISTINCT_NO:
-            k = bisect.bisect_left(self.starts, span.end)
+            k = _searchsorted(self.starts, span.end, "left")
             for i in range(k):
                 rstart, rend = self.regions[i]
                 if rend <= span.start:
@@ -343,13 +444,33 @@ class RegionIndex(FeatureIndex):
             return True
         return None
 
+    def can_verify_batch(self, value):
+        # the distinct variants walk candidate regions per span; the
+        # scalar path (still index-backed) handles them
+        return value in (YES, NO)
+
+    def verify_batch(self, starts, ends, value):
+        if value == YES:
+            k = np.searchsorted(self.starts, starts, side="right")
+            out = np.zeros(len(starts), dtype=bool)
+            nz = k > 0
+            out[nz] = self.max_end_prefix[k[nz] - 1] >= ends[nz]
+            return out
+        k = np.searchsorted(self.starts, ends, side="left")
+        out = np.ones(len(starts), dtype=bool)
+        nz = k > 0
+        out[nz] = self.max_end_prefix[k[nz] - 1] <= starts[nz]
+        return out
+
     def refine(self, span, value):
         if value != DISTINCT_YES:
             # yes/no refine is a single interval clip/complement over
             # the (short) region list; the naive path is already cheap
             return None
         hints = []
-        for i in range(bisect.bisect_left(self.starts, span.start), len(self.regions)):
+        for i in range(
+            _searchsorted(self.starts, span.start, "left"), len(self.regions)
+        ):
             rstart, rend = self.regions[i]
             if rstart > span.end:
                 break
@@ -366,32 +487,82 @@ class TokenWindowIndex(FeatureIndex):
     ``max_length`` refinement slides a token window: for each start
     token the furthest end token still within the character budget.
     With sorted end offsets that endpoint is one bisection instead of
-    the naive linear extension.
+    the naive linear extension — and for a batch, the whole window
+    column ``w_end[i] = max { j : ends[j] <= starts[i] + limit }`` is
+    computed once per limit with a single vectorized ``searchsorted``
+    and reused across every span (memoized in ``_windows``).
     """
 
-    __slots__ = ("arrays",)
+    __slots__ = ("arrays", "_windows")
 
     def __init__(self, doc, arrays):
         self.arrays = arrays
+        self._windows = {}
 
     def verify(self, span, value):
         # length is span arithmetic, no document scan — answered here so
         # the call is cached and counted as indexed work
         return len(span) <= int(value)
 
+    def can_verify_batch(self, value):
+        try:
+            int(value)
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    def verify_batch(self, starts, ends, value):
+        return (ends - starts) <= int(value)
+
+    def _window_ends(self, limit):
+        """``w_end`` column for one limit: furthest in-budget token."""
+        windows = self._windows.get(limit)
+        if windows is None:
+            starts, ends = self.arrays.starts, self.arrays.ends
+            windows = np.searchsorted(ends, starts + limit, side="right") - 1
+            self._windows[limit] = windows
+        return windows
+
     def refine(self, span, value):
         limit = int(value)
         if len(span) <= limit:
             return [("contain", span)]
-        starts, ends = self.arrays.starts, self.arrays.ends
         lo, hi = self.arrays.range_in(span.start, span.end)
+        return self._window_hints(span.doc, lo, hi, limit)
+
+    def _window_hints(self, doc, lo, hi, limit):
+        starts, ends = self.arrays.starts, self.arrays.ends
+        w_end = self._window_ends(limit)
         hints = []
         prev_j = -1
         for i in range(lo, hi):
             if ends[i] - starts[i] > limit:
                 continue
-            j = bisect.bisect_right(ends, starts[i] + limit, i, hi) - 1
+            # the global window end, clipped to the span's token range —
+            # equal to the bounded bisection because ends is sorted
+            j = min(int(w_end[i]), hi - 1)
             if j > prev_j:  # maximal: not contained in the previous window
-                hints.append(("contain", Span(span.doc, starts[i], ends[j])))
+                hints.append(("contain", Span(doc, int(starts[i]), int(ends[j]))))
                 prev_j = j
         return hints
+
+    def can_refine_batch(self, value):
+        return self.can_verify_batch(value)
+
+    def refine_batch(self, doc, starts, ends, value):
+        limit = int(value)
+        token_starts, token_ends = self.arrays.starts, self.arrays.ends
+        los = np.searchsorted(token_starts, starts, side="left")
+        his = np.maximum(
+            los, np.searchsorted(token_ends, ends, side="right")
+        )
+        out = []
+        for s, e, lo, hi in zip(
+            starts.tolist(), ends.tolist(), los.tolist(), his.tolist()
+        ):
+            if e - s <= limit:
+                out.append([("contain", Span(doc, s, e))])
+            else:
+                out.append(self._window_hints(doc, lo, hi, limit))
+        return out
+

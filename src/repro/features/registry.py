@@ -78,17 +78,21 @@ class FeatureRegistry:
             self.register(_DeclaredFeature(name))
         return self
 
+    def capability(self, name):
+        """The feature's consolidated capability record."""
+        return self.get(name).capability()
+
     def indexable(self, name):
         """True when ``name`` participates in index pushdown."""
-        return self.get(name).supports_index()
+        return self.capability(name).indexable
 
     def indexable_names(self):
         """Names of every registered pushdown-capable feature."""
-        return [n for n in self.names() if self._features[n].supports_index()]
+        return [n for n in self.names() if self._features[n].capability().indexable]
 
     def param_type(self, name):
         """The feature's declared parameter kind (or ``None``)."""
-        return getattr(self.get(name), "param_type", None)
+        return self.capability(name).param_type
 
     def get(self, name):
         feature = self._features.get(name)

@@ -253,6 +253,23 @@ def record_stats(registry, stats, **labels):
     return registry
 
 
+def record_payload(registry, payload_bytes, **labels):
+    """Record shipped scheduler bytes as ``repro.sched.payload_bytes``.
+
+    Deliberately *not* part of :func:`record_stats` /
+    :func:`record_execution`: the value depends on the scheduler backend
+    (in-process backends ship nothing, the process backend's bytes vary
+    with the shipping mode), so auto-recording it would break the
+    cross-backend byte-identity of execution snapshots.  The CLI and the
+    benchmarks opt in explicitly.
+    """
+    registry.counter(
+        "repro.sched.payload_bytes",
+        help="bytes shipped across scheduler address-space boundaries",
+    ).inc(payload_bytes, **labels)
+    return registry
+
+
 def record_execution(registry, result, **labels):
     """Record one :class:`ExecutionResult`: its stats plus result shape."""
     record_stats(registry, result.stats, **labels)

@@ -2,6 +2,8 @@
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ExecutionFailure
 from repro.features.index import IndexStore
 from repro.features.registry import default_registry
@@ -53,6 +55,16 @@ class ExecConfig:
     #: Memoize Verify/Refine results across constraint chains, rules and
     #: partitions (the :class:`EvalCache`).
     use_eval_cache: bool = True
+    #: Evaluate a constraint over a cell's whole assignment multiset
+    #: with the vectorized batch kernels (one array op per table pass)
+    #: instead of a per-assignment loop; ``False`` forces the scalar
+    #: path (the CLI's ``--no-batch``).  Results and statistics are
+    #: identical either way.
+    use_batch: bool = True
+    #: Directory for persisted columnar artifacts (content-addressed
+    #: ``.npy`` bundles, see :mod:`repro.columnar`); ``None`` keeps
+    #: columns in memory only (the CLI's ``--artifact-cache``).
+    artifact_cache: object = None
     #: Error policy for document-attributable failures (a feature or
     #: p-predicate raising on a malformed document): ``fail-fast``
     #: surfaces the enriched exception, ``skip`` quarantines the
@@ -92,6 +104,12 @@ class ExecutionStats:
     refine_calls: int = 0
     index_verify_calls: int = 0
     index_refine_calls: int = 0
+    #: spans answered through the vectorized batch kernels — a subset
+    #: of ``index_verify_calls`` / ``index_refine_calls``, counted per
+    #: *span* (not per batch call) so partitioned totals sum exactly to
+    #: the serial totals
+    verify_batch: int = 0
+    refine_batch: int = 0
     verify_cache_hits: int = 0
     verify_cache_misses: int = 0
     refine_cache_hits: int = 0
@@ -248,6 +266,170 @@ class FeatureEvaluator:
                 operator="Refine",
                 feature=feature.name,
             ) from exc
+
+    # ------------------------------------------------------------------
+    # batch entry points
+    # ------------------------------------------------------------------
+    #
+    # The batch methods answer many spans of one constraint in one pass.
+    # They are *counter-exact* re-implementations of the scalar loop:
+    # for every span the same evaluation tier is chosen (cache hit /
+    # index / naive fallback) and the same counters tick — plus
+    # ``verify_batch`` / ``refine_batch`` marking the spans whose answer
+    # came from a vectorized kernel.  Two facts make that equivalence
+    # hold:
+    #
+    # * a kernel answers a value iff the scalar index answers it
+    #   (``can_*_batch`` is exact), so the index/naive split is
+    #   identical;
+    # * within one batch, duplicates after the first occurrence count as
+    #   cache hits — exactly what the scalar loop does, since its first
+    #   occurrence inserts into the cache before the second looks up.
+    #
+    # Spans over documents whose index cannot batch the value take the
+    # scalar path unchanged, so a mixed batch still counts identically.
+
+    def _group_by_doc(self, spans):
+        by_doc = {}
+        for pos, span in enumerate(spans):
+            doc = span.doc
+            entry = by_doc.get(doc.doc_id)
+            if entry is None:
+                by_doc[doc.doc_id] = entry = (doc, [])
+            entry[1].append(pos)
+        return by_doc
+
+    def verify_span_batch(self, feature, spans, feature_value):
+        """``verify_span`` over a span batch; results align with ``spans``."""
+        results = [None] * len(spans)
+        store = self.index_store
+        stats = self.stats
+        cache = self.eval_cache
+        for doc_id, (doc, positions) in self._group_by_doc(spans).items():
+            index = store.index_for(feature, doc) if store is not None else None
+            if index is None or not index.can_verify_batch(feature_value):
+                for pos in positions:
+                    results[pos] = self.verify_span(
+                        feature, spans[pos], feature_value
+                    )
+                continue
+            try:
+                kernel = []  # (position, cache key) pending the kernel
+                first_at = {}  # key -> position of its first occurrence
+                copies = []
+                for pos in positions:
+                    span = spans[pos]
+                    key = None
+                    if cache is not None:
+                        key = self._cache_key(feature, span, feature_value)
+                    if key is not None:
+                        cached = cache.verify.get(key, _MISSING)
+                        if cached is not _MISSING:
+                            stats.verify_cache_hits += 1
+                            results[pos] = cached
+                            continue
+                        src = first_at.get(key)
+                        if src is not None:
+                            stats.verify_cache_hits += 1
+                            copies.append((pos, src))
+                            continue
+                        stats.verify_cache_misses += 1
+                        first_at[key] = pos
+                    stats.index_verify_calls += 1
+                    stats.verify_batch += 1
+                    kernel.append((pos, key))
+                if kernel:
+                    count = len(kernel)
+                    starts = np.fromiter(
+                        (spans[p].start for p, _ in kernel), np.int64, count
+                    )
+                    ends = np.fromiter(
+                        (spans[p].end for p, _ in kernel), np.int64, count
+                    )
+                    answers = index.verify_batch(starts, ends, feature_value)
+                    for (pos, key), answer in zip(kernel, answers.tolist()):
+                        answer = bool(answer)
+                        results[pos] = answer
+                        if key is not None:
+                            cache.verify[key] = answer
+                for pos, src in copies:
+                    results[pos] = results[src]
+            except ExecutionFailure:
+                raise
+            except Exception as exc:
+                raise ExecutionFailure.wrap(
+                    exc,
+                    doc_id=doc_id,
+                    operator="Verify",
+                    feature=feature.name,
+                ) from exc
+        return results
+
+    def refine_span_batch(self, feature, spans, feature_value):
+        """``refine_span`` over a span batch; results align with ``spans``."""
+        results = [None] * len(spans)
+        store = self.index_store
+        stats = self.stats
+        cache = self.eval_cache
+        for doc_id, (doc, positions) in self._group_by_doc(spans).items():
+            index = store.index_for(feature, doc) if store is not None else None
+            if index is None or not index.can_refine_batch(feature_value):
+                for pos in positions:
+                    results[pos] = self.refine_span(
+                        feature, spans[pos], feature_value
+                    )
+                continue
+            try:
+                kernel = []
+                first_at = {}
+                copies = []
+                for pos in positions:
+                    span = spans[pos]
+                    key = None
+                    if cache is not None:
+                        key = self._cache_key(feature, span, feature_value)
+                    if key is not None:
+                        cached = cache.refine.get(key, _MISSING)
+                        if cached is not _MISSING:
+                            stats.refine_cache_hits += 1
+                            results[pos] = cached
+                            continue
+                        src = first_at.get(key)
+                        if src is not None:
+                            stats.refine_cache_hits += 1
+                            copies.append((pos, src))
+                            continue
+                        stats.refine_cache_misses += 1
+                        first_at[key] = pos
+                    stats.index_refine_calls += 1
+                    stats.refine_batch += 1
+                    kernel.append((pos, key))
+                if kernel:
+                    count = len(kernel)
+                    starts = np.fromiter(
+                        (spans[p].start for p, _ in kernel), np.int64, count
+                    )
+                    ends = np.fromiter(
+                        (spans[p].end for p, _ in kernel), np.int64, count
+                    )
+                    batches = index.refine_batch(doc, starts, ends, feature_value)
+                    for (pos, key), hints in zip(kernel, batches):
+                        hints = tuple(hints)
+                        results[pos] = hints
+                        if key is not None:
+                            cache.refine[key] = hints
+                for pos, src in copies:
+                    results[pos] = results[src]
+            except ExecutionFailure:
+                raise
+            except Exception as exc:
+                raise ExecutionFailure.wrap(
+                    exc,
+                    doc_id=doc_id,
+                    operator="Refine",
+                    feature=feature.name,
+                ) from exc
+        return results
 
 
 class ExecutionContext:

@@ -357,7 +357,11 @@ class IFlexEngine:
         # are keyed by immutable document content, so sharing never
         # changes results.
         if getattr(self.config, "use_index", True):
-            self.index_store = index_store if index_store is not None else IndexStore()
+            if index_store is not None:
+                self.index_store = index_store
+            else:
+                self.index_store = IndexStore(columnar=self._make_columnar())
+            self._prepare_artifacts()
         else:
             self.index_store = None
         if getattr(self.config, "use_eval_cache", True):
@@ -385,6 +389,37 @@ class IFlexEngine:
         self.excluded_docs.add(doc_id)
         self._active = self.corpus.without(self.excluded_docs)
         self.physical = self._make_physical()
+
+    def _make_columnar(self):
+        """A columnar store honouring ``config.artifact_cache``."""
+        from repro.columnar import ColumnarStore
+
+        return ColumnarStore(
+            cache_dir=getattr(self.config, "artifact_cache", None)
+        )
+
+    def _prepare_artifacts(self):
+        """Build-or-map the corpus's columnar bundle when caching is on.
+
+        Only an explicit ``artifact_cache`` triggers eager preparation:
+        it pays one corpus pass up front so warm starts map the bundle
+        and forked workers receive ``(path, digest)`` refs instead of
+        rebuilding.  Without a cache directory, columns stay lazy —
+        built per document on first Verify/Refine, exactly as cheap as
+        before.
+        """
+        store = getattr(self.index_store, "columnar", None)
+        if store is None or store.cache_dir is None:
+            return
+        seen = set()
+        docs = []
+        for name in self.corpus.table_names():
+            for doc in self.corpus.table(name):
+                if doc.doc_id not in seen:
+                    seen.add(doc.doc_id)
+                    docs.append(doc)
+        if docs:
+            store.prepare(docs)
 
     def _make_physical(self):
         """The physical execution layer, or None on the serial path.

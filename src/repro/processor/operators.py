@@ -12,7 +12,10 @@ from repro.ctables.assignments import Contain
 from repro.ctables.ctable import Cell, CompactTable, CompactTuple
 from repro.errors import EnumerationLimitError, EvaluationError, ExecutionFailure
 from repro.processor.bannotate import annotate_table
-from repro.processor.constraints import apply_constraint_to_cell
+from repro.processor.constraints import (
+    apply_constraint_to_cell,
+    apply_constraint_to_cells,
+)
 from repro.text.span import Span, doc_span
 
 
@@ -235,11 +238,31 @@ def apply_constraint_to_table(source, attr, feature, value, priors, context, mar
 def _constraint_pass(source, attr, feature, value, priors, context, mark_maybe):
     index = source.attr_index(attr)
     table = CompactTable(source.attrs)
-    for t in source:
-        old_cell = t.cells[index]
-        new_cell = apply_constraint_to_cell(old_cell, feature, value, priors, context)
+    # The batched path hands the whole column to the vectorized batch
+    # kernels (one array op per document instead of a per-assignment
+    # loop) — byte- and counter-identical to the scalar loop below.  A
+    # duplicated (feature, value) in the priors would interleave the
+    # prior rechecks with this constraint's own cache keys, which only
+    # the scalar order accounts correctly, so that (degenerate) case
+    # stays scalar.
+    use_batch = getattr(context.config, "use_batch", True) and (
+        (feature, value) not in tuple(priors)
+    )
+    if use_batch:
+        tuples = list(source)
+        new_cells = apply_constraint_to_cells(
+            [t.cells[index] for t in tuples], feature, value, priors, context
+        )
+        pairs = zip(tuples, new_cells)
+    else:
+        pairs = (
+            (t, apply_constraint_to_cell(t.cells[index], feature, value, priors, context))
+            for t in source
+        )
+    for t, new_cell in pairs:
         if new_cell.is_empty():
             continue
+        old_cell = t.cells[index]
         new_tuple = t.with_cell(index, new_cell)
         if mark_maybe and new_cell != old_cell and not old_cell.is_expansion:
             new_tuple = new_tuple.as_maybe()

@@ -94,6 +94,17 @@ class PhysicalExecutor:
         self._shared = [
             doc for name in corpus.table_names() for doc in corpus.table(name)
         ]
+        #: bytes shipped across address-space boundaries by this
+        #: executor's scheduler ``map`` calls (the
+        #: ``repro.sched.payload_bytes`` metric; 0 in-process)
+        self.payload_bytes = 0
+
+    def _artifact_refs(self):
+        """Columnar-bundle mmap refs for the fork payload (maybe empty)."""
+        store = getattr(self.index_store, "columnar", None)
+        if store is None:
+            return ()
+        return tuple(store.artifact_refs())
 
     @property
     def parallel(self):
@@ -149,7 +160,11 @@ class PhysicalExecutor:
     def _map_raw(self, work, pids):
         try:
             return self.scheduler.map(
-                work, pids, shared=self._shared, timeout=self.timeout
+                work,
+                pids,
+                shared=self._shared,
+                timeout=self.timeout,
+                artifacts=self._artifact_refs(),
             )
         except TaskError as error:
             failure = error.failure if error.failure is not None else error
@@ -158,6 +173,10 @@ class PhysicalExecutor:
             if failure.__cause__ is None:
                 failure.__cause__ = error.__cause__
             raise failure from error.__cause__
+        finally:
+            self.payload_bytes += getattr(
+                self.scheduler, "last_map_payload_bytes", 0
+            )
 
     def _partition_context(self, pid, tracer=None):
         # The index store is shared (document content never changes);

@@ -1,0 +1,199 @@
+"""Artifact-bundle persistence: round trips, corruption, staleness.
+
+The content-addressed cache is an accelerator with a hard contract:
+whatever is on disk, :func:`load_artifacts` either returns a bundle
+whose columns are byte-identical to a fresh build, or ``None`` so the
+store rebuilds — never an exception, never wrong columns.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.columnar import (
+    ColumnarStore,
+    build_artifacts,
+    build_doc_columns,
+    corpus_digest,
+    load_artifacts,
+    save_artifacts,
+)
+from repro.columnar.arrays import DocColumns
+from repro.columnar.store import _PROCESS_BUNDLES, attach_process_artifacts
+from repro.text import parse_html
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_bundles():
+    """The process-wide bundle table is module state; isolate tests."""
+    _PROCESS_BUNDLES.clear()
+    yield
+    _PROCESS_BUNDLES.clear()
+
+
+@pytest.fixture
+def docs():
+    return [
+        parse_html(
+            "d1",
+            "<p><b>Widget Alpha</b> Price: <i>$120.00</i> in 1999</p>",
+        ),
+        parse_html("d2", "<title>Plain</title><p>no markup here 42</p>"),
+        parse_html("d3", ""),  # empty document: all columns empty
+    ]
+
+
+def _column_images(bundle_or_store, docs):
+    out = {}
+    for doc in docs:
+        if isinstance(bundle_or_store, ColumnarStore):
+            columns = bundle_or_store.columns_for(doc)
+        else:
+            columns = bundle_or_store.columns_for(doc.doc_id)
+        out[doc.doc_id] = [
+            (name, array.tolist()) for name, array in columns.columns()
+        ]
+    return out
+
+
+class TestRoundTrip:
+    def test_save_load_mmap_byte_identical(self, docs, tmp_path):
+        built = build_artifacts(docs)
+        save_artifacts(built, str(tmp_path))
+        loaded = load_artifacts(str(tmp_path), built.digest)
+        assert loaded is not None
+        assert loaded.mapped  # np.memmap, not an in-memory copy
+        assert _column_images(loaded, docs) == _column_images(built, docs)
+
+    def test_doc_columns_named_round_trip(self, docs):
+        for doc in docs:
+            columns = build_doc_columns(doc)
+            named = dict(columns.columns())
+            rebuilt = DocColumns.from_columns(doc.doc_id, named)
+            assert [(n, a.tolist()) for n, a in rebuilt.columns()] == [
+                (n, a.tolist()) for n, a in columns.columns()
+            ]
+
+    def test_digest_is_content_addressed(self, docs):
+        same = [
+            parse_html(
+                "d1",
+                "<p><b>Widget Alpha</b> Price: <i>$120.00</i> in 1999</p>",
+            ),
+            parse_html("d2", "<title>Plain</title><p>no markup here 42</p>"),
+            parse_html("d3", ""),
+        ]
+        # reparsing identical content gives the identical digest ...
+        assert corpus_digest(docs) == corpus_digest(same)
+        # ... and any content change gives a different one
+        changed = docs[:-1] + [parse_html("d3", "now nonempty")]
+        assert corpus_digest(changed) != corpus_digest(docs)
+
+    def test_missing_bundle_loads_none(self, tmp_path):
+        assert load_artifacts(str(tmp_path), "0" * 24) is None
+
+
+class TestCorruptionAndStaleness:
+    def _persist(self, docs, tmp_path):
+        built = build_artifacts(docs)
+        save_artifacts(built, str(tmp_path))
+        return built
+
+    def test_truncated_data_file_rebuilds(self, docs, tmp_path):
+        built = self._persist(docs, tmp_path)
+        data_path = tmp_path / ("%s.cols.npy" % built.digest)
+        data_path.write_bytes(data_path.read_bytes()[:32])
+        assert load_artifacts(str(tmp_path), built.digest) is None
+
+    def test_garbage_data_file_rebuilds(self, docs, tmp_path):
+        built = self._persist(docs, tmp_path)
+        (tmp_path / ("%s.cols.npy" % built.digest)).write_bytes(b"not numpy")
+        assert load_artifacts(str(tmp_path), built.digest) is None
+
+    def test_digest_mismatch_is_stale(self, docs, tmp_path):
+        built = self._persist(docs, tmp_path)
+        meta_path = tmp_path / ("%s.meta.json" % built.digest)
+        meta = json.loads(meta_path.read_text())
+        meta["digest"] = "f" * 24
+        meta_path.write_text(json.dumps(meta))
+        assert load_artifacts(str(tmp_path), built.digest) is None
+
+    def test_layout_version_mismatch_is_stale(self, docs, tmp_path):
+        built = self._persist(docs, tmp_path)
+        meta_path = tmp_path / ("%s.meta.json" % built.digest)
+        meta = json.loads(meta_path.read_text())
+        meta["layout_version"] = meta["layout_version"] + 1
+        meta_path.write_text(json.dumps(meta))
+        assert load_artifacts(str(tmp_path), built.digest) is None
+
+    def test_layout_exceeding_buffer_rejected(self, docs, tmp_path):
+        built = self._persist(docs, tmp_path)
+        meta_path = tmp_path / ("%s.meta.json" % built.digest)
+        meta = json.loads(meta_path.read_text())
+        name, offset, _ = meta["layout"]["d1"][0]
+        meta["layout"]["d1"][0] = [name, offset, meta["total"] + 1]
+        meta_path.write_text(json.dumps(meta))
+        assert load_artifacts(str(tmp_path), built.digest) is None
+
+    def test_store_rebuilds_over_corrupt_cache(self, docs, tmp_path):
+        built = self._persist(docs, tmp_path)
+        (tmp_path / ("%s.cols.npy" % built.digest)).write_bytes(b"garbage")
+        store = ColumnarStore(cache_dir=str(tmp_path))
+        bundle = store.prepare(docs)
+        # rebuilt from the documents, re-persisted, served through mmap
+        assert store.built == len(docs)
+        assert bundle.mapped
+        assert _column_images(store, docs) == _column_images(built, docs)
+        assert load_artifacts(str(tmp_path), built.digest) is not None
+
+
+class TestStoreLifecycle:
+    def test_cold_build_then_warm_map(self, docs, tmp_path):
+        cold = ColumnarStore(cache_dir=str(tmp_path))
+        cold_bundle = cold.prepare(docs)
+        assert cold.built == len(docs) and cold_bundle.mapped
+        warm = ColumnarStore(cache_dir=str(tmp_path))
+        warm_bundle = warm.prepare(docs)
+        assert warm.built == 0  # nothing rebuilt
+        assert warm_bundle.mapped
+        assert _column_images(warm, docs) == _column_images(cold, docs)
+
+    def test_cacheless_store_builds_lazily(self, docs):
+        store = ColumnarStore()
+        assert store.built == 0
+        store.columns_for(docs[0])
+        assert store.built == 1 and len(store) == 1
+
+    def test_artifact_refs_only_for_persisted_bundles(self, docs, tmp_path):
+        in_memory = ColumnarStore()
+        in_memory.attach(build_artifacts(docs))
+        assert in_memory.artifact_refs() == []
+        persisted = ColumnarStore(cache_dir=str(tmp_path))
+        bundle = persisted.prepare(docs)
+        refs = persisted.artifact_refs()
+        assert refs == [(bundle.path, bundle.digest)]
+        assert os.path.exists(refs[0][0])
+
+    def test_attach_process_artifacts_serves_fresh_stores(self, docs, tmp_path):
+        built = build_artifacts(docs)
+        save_artifacts(built, str(tmp_path))
+        attached = attach_process_artifacts([(built.path, built.digest)])
+        assert len(attached) == 1 and attached[0].mapped
+        fresh = ColumnarStore()  # no cache dir, nothing attached locally
+        assert _column_images(fresh, docs) == _column_images(built, docs)
+        assert fresh.built == 0  # every column came from the mapped bundle
+
+    def test_attach_process_artifacts_skips_bad_refs(self, tmp_path):
+        assert attach_process_artifacts(
+            [(str(tmp_path / "missing.cols.npy"), "0" * 24)]
+        ) == []
+
+    def test_bundle_views_are_views_not_copies(self, docs, tmp_path):
+        built = build_artifacts(docs)
+        save_artifacts(built, str(tmp_path))
+        loaded = load_artifacts(str(tmp_path), built.digest)
+        columns = loaded.columns_for("d1")
+        assert isinstance(columns.token_starts, np.ndarray)
+        assert columns.token_starts.base is not None  # a view into the map

@@ -7,19 +7,44 @@ naive span-by-span path produces — same booleans, same refine hints in
 the same order, same compact tables including maybe flags and assignment
 multisets.  These tests enforce that on hypothesis-generated documents
 and constraint chains, and at engine level on a Table 2 task.
+
+The vectorized batch kernels carry the same contract one step further:
+the batched path must match the scalar-indexed path not just byte for
+byte in its answers but on *every* statistics counter except the two
+batch-attribution fields (``verify_batch`` / ``refine_batch``), across
+all three scheduler backends.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ctables.assignments import Contain
 from repro.ctables.ctable import Cell
-from repro.processor.constraints import apply_constraint_to_cell
+from repro.processor.constraints import (
+    apply_constraint_to_cell,
+    apply_constraint_to_cells,
+)
 from repro.processor.context import ExecConfig, ExecutionContext
 from repro.processor.executor import IFlexEngine
 from repro.text.corpus import Corpus
 from repro.text.document import Document
 from repro.text.span import Span, doc_span
 from repro.xlog.program import Program
+
+#: the only statistics fields the scalar and batch paths may disagree on
+BATCH_ONLY_FIELDS = frozenset(("verify_batch", "refine_batch"))
+
+
+def assert_stats_equal_modulo_batch(scalar_stats, batch_stats):
+    scalar_fields = vars(scalar_stats)
+    batch_fields = vars(batch_stats)
+    drift = {
+        name: (scalar_fields[name], batch_fields[name])
+        for name in scalar_fields
+        if name not in BATCH_ONLY_FIELDS
+        and scalar_fields[name] != batch_fields[name]
+    }
+    assert not drift, drift
 
 
 def fresh_contexts():
@@ -206,6 +231,75 @@ class TestConstraintChainEquivalence:
         assert all(repr(cell) == reference for cell in cells[1:])
 
 
+class TestBatchScalarEquivalence:
+    """The vectorized batch path against the scalar path it replaces."""
+
+    def _context_pair(self):
+        """(scalar, batch) contexts, both indexed + cached."""
+        program = Program.parse("q(x) :- base(x).", extensional=["base"])
+        corpus = Corpus({"base": []})
+        return (
+            ExecutionContext(program, corpus, config=ExecConfig(use_batch=False)),
+            ExecutionContext(program, corpus, config=ExecConfig()),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_cells_and_counters_identical(self, data):
+        doc = data.draw(documents())
+        spans = data.draw(st.lists(spans_of(doc), min_size=0, max_size=6))
+        # unique constraints: the batched entry point documents that the
+        # caller must not re-apply the in-flight (feature, value) — the
+        # operator layer falls back to scalar in that case
+        chain = data.draw(
+            st.lists(
+                st.sampled_from(_CONSTRAINTS),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        scalar_context, batch_context = self._context_pair()
+        make_cells = lambda: [  # noqa: E731 - tiny local factory
+            Cell((Contain(doc_span(doc)),)),
+            Cell(tuple(Contain(span) for span in spans)),
+        ]
+        scalar_cells, batch_cells = make_cells(), make_cells()
+        priors = []
+        for feature_name, value in chain:
+            scalar_cells = [
+                apply_constraint_to_cell(
+                    cell, feature_name, value, tuple(priors), scalar_context
+                )
+                for cell in scalar_cells
+            ]
+            batch_cells = apply_constraint_to_cells(
+                batch_cells, feature_name, value, tuple(priors), batch_context
+            )
+            priors.append((feature_name, value))
+            assert [repr(c) for c in batch_cells] == [repr(c) for c in scalar_cells]
+        assert_stats_equal_modulo_batch(scalar_context.stats, batch_context.stats)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_duplicate_spans_within_batch_count_as_cache_hits(self, data):
+        doc = data.draw(documents())
+        span = data.draw(spans_of(doc))
+        scalar_context, batch_context = self._context_pair()
+        cells = [Cell((Contain(span), Contain(span))), Cell((Contain(span),))]
+        scalar_out = [
+            apply_constraint_to_cell(c, "max_length", 7, (), scalar_context)
+            for c in cells
+        ]
+        batch_out = apply_constraint_to_cells(
+            cells, "max_length", 7, (), batch_context
+        )
+        assert [repr(c) for c in batch_out] == [repr(c) for c in scalar_out]
+        # the repeated span is a miss once and a hit afterwards on BOTH
+        # paths — within-batch duplicates must not look like extra misses
+        assert_stats_equal_modulo_batch(scalar_context.stats, batch_context.stats)
+
+
 def table_image(table):
     """Everything observable: cells, multisets, maybe flags, in order."""
     return (table.attrs, [repr(t) for t in table.tuples])
@@ -266,6 +360,98 @@ class TestEngineEquivalence:
         fast = IFlexEngine(program, corpus, validate=False).execute()
         assert naive.query_table.maybe_count() > 0
         assert result_image(fast) == result_image(naive)
+
+
+class TestBatchAcrossBackends:
+    """Scalar-indexed vs vectorized-batch, per scheduler backend."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_results_and_counters_identical(self, backend):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=24, seed=0)
+        program = task.program.add_constraint(
+            "extractIMDB", "title", "bold_font", "distinct_yes"
+        ).add_constraint(
+            "extractIMDB", "title", "max_length", 60
+        ).add_constraint(
+            "extractIMDB", "votes", "max_length", 30
+        )
+        scalar = IFlexEngine(
+            program,
+            task.corpus,
+            config=ExecConfig(workers=4, backend=backend, use_batch=False),
+            validate=False,
+        ).execute()
+        batch = IFlexEngine(
+            program,
+            task.corpus,
+            config=ExecConfig(workers=4, backend=backend),
+            validate=False,
+        ).execute()
+        assert result_image(batch) == result_image(scalar)
+        assert_stats_equal_modulo_batch(scalar.stats, batch.stats)
+        # the kernels actually carried work on this chain
+        assert batch.stats.verify_batch > 0
+        assert batch.stats.refine_batch > 0
+        assert scalar.stats.verify_batch == 0 == scalar.stats.refine_batch
+
+    def test_artifact_cache_round_trip_matches(self, tmp_path):
+        """Cold build, warm mmap, and cache-free runs are byte-identical."""
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=14, seed=0)
+        program = task.program.add_constraint(
+            "extractIMDB", "title", "max_length", 60
+        )
+        plain = IFlexEngine(program, task.corpus, validate=False).execute()
+        cold_engine = IFlexEngine(
+            program,
+            task.corpus,
+            config=ExecConfig(artifact_cache=str(tmp_path)),
+            validate=False,
+        )
+        cold = cold_engine.execute()
+        warm_engine = IFlexEngine(
+            program,
+            task.corpus,
+            config=ExecConfig(artifact_cache=str(tmp_path)),
+            validate=False,
+        )
+        warm = warm_engine.execute()
+        assert result_image(cold) == result_image(plain)
+        assert result_image(warm) == result_image(plain)
+        assert_stats_equal_modulo_batch(plain.stats, cold.stats)
+        assert_stats_equal_modulo_batch(plain.stats, warm.stats)
+        # the cold engine built and persisted; the warm engine mapped
+        cold_store = cold_engine.index_store.columnar
+        warm_store = warm_engine.index_store.columnar
+        assert cold_store.built > 0
+        assert warm_store.built == 0
+        assert warm_store._bundles and warm_store._bundles[0].mapped
+
+    def test_corrupt_cache_rebuilds_and_matches(self, tmp_path):
+        from repro.experiments.tasks import build_task
+
+        task = build_task("T1", size=14, seed=0)
+        plain = IFlexEngine(task.program, task.corpus, validate=False).execute()
+        IFlexEngine(
+            task.program,
+            task.corpus,
+            config=ExecConfig(artifact_cache=str(tmp_path)),
+            validate=False,
+        ).execute()
+        for bundle_file in tmp_path.glob("*.cols.npy"):
+            bundle_file.write_bytes(b"corrupt")
+        rebuilt_engine = IFlexEngine(
+            task.program,
+            task.corpus,
+            config=ExecConfig(artifact_cache=str(tmp_path)),
+            validate=False,
+        )
+        rebuilt = rebuilt_engine.execute()
+        assert result_image(rebuilt) == result_image(plain)
+        assert rebuilt_engine.index_store.columnar.built > 0
 
 
 class TestPartitionCounterMerge:

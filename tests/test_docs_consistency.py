@@ -44,6 +44,55 @@ class TestCliDocs:
             assert "## %s" % command in text or command in text, command
 
 
+    def test_run_flags_documented_and_real(self):
+        """Every documented `run` flag parses; key flags are documented."""
+        from repro.cli import build_parser
+
+        text = (DOCS / "cli.md").read_text(encoding="utf-8")
+        parser = build_parser()
+        run_parser = next(
+            a for a in parser._actions if a.dest == "command"
+        ).choices["run"]
+        known = {
+            s for action in run_parser._actions for s in action.option_strings
+        }
+        for flag in (
+            "--no-index",
+            "--no-eval-cache",
+            "--no-batch",
+            "--artifact-cache",
+            "--metrics-out",
+            "--trace-out",
+            "--workers",
+        ):
+            assert flag in known, "doc'd flag %s not in run parser" % flag
+            # flags may be documented with an argument, e.g. `--workers N`
+            assert "`%s" % flag in text, "%s missing from docs/cli.md" % flag
+        # no phantom long flags documented in the run section (the text
+        # between "## run" and the next command heading)
+        run_section = text.split("## run", 1)[1].split("\n## ", 1)[0]
+        for flag in set(re.findall(r"`(--[a-z][a-z-]+)", run_section)):
+            assert flag in known, "docs/cli.md documents unknown %s" % flag
+
+
+class TestPerformanceDocs:
+    def test_columnar_contract_matches_code(self):
+        """The documented columnar artifact lifecycle names real API."""
+        import repro.columnar as columnar
+
+        text = (DOCS / "performance.md").read_text(encoding="utf-8")
+        for name in ("corpus_digest", "build_artifacts", "save_artifacts"):
+            assert name in text, name
+            assert hasattr(columnar, name), name
+        # the documented batch counters are real ExecutionStats fields
+        from repro.processor.context import ExecutionStats
+
+        stats = ExecutionStats()
+        for field in ("verify_batch", "refine_batch"):
+            assert "`%s`" % field in text or field in text, field
+            assert hasattr(stats, field), field
+
+
 class TestDiagnosticCodeTable:
     def test_every_code_is_documented(self):
         from repro.analysis import CODES
