@@ -99,11 +99,17 @@ class SessionTrace:
 
 
 class _CacheCopy:
-    """Shallow-copyable view so simulations never pollute the cache."""
+    """Shallow-copyable view so simulations never pollute the cache.
+
+    The persistent backing store *is* shared with the clone: simulated
+    candidates may hydrate from (and spill to) it safely — writes are
+    atomic and content-addressed, so concurrent simulations cannot
+    corrupt or cross-pollute entries.
+    """
 
     @staticmethod
     def copy(cache):
-        clone = RuleCache()
+        clone = RuleCache(store=getattr(cache, "store", None))
         clone._entries = dict(cache._entries)
         return clone
 
@@ -168,8 +174,15 @@ class RefinementSession:
         #: doc_ids already quarantined — later iterations run over the
         #: reduced corpus directly instead of re-discovering the fault
         self.poisoned_docs = set()
-        self._subset_cache = RuleCache()
-        self._full_cache = RuleCache()
+        from repro.columnar.results import ResultStore
+
+        #: one persistent result store shared by subset, full, and
+        #: simulation executions (``None`` unless the config names a
+        #: ``result_cache`` directory) — iteration N+1's unchanged
+        #: partitions hydrate from iteration N's spills
+        self._result_store = ResultStore.from_config(self.config)
+        self._subset_cache = RuleCache(store=self._result_store)
+        self._full_cache = RuleCache(store=self._result_store)
         #: iteration records restored from a saved trace
         #: (:func:`repro.assistant.persistence.resume_session`); a
         #: continued run's trace starts with these and numbers its own

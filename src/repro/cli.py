@@ -143,6 +143,21 @@ def build_parser():
             "forked workers map the same read-only files",
         )
         p.add_argument(
+            "--result-cache",
+            metavar="DIR",
+            help="persistent partition-result cache directory: evaluated "
+            "local-prefix tables are keyed by (plan fingerprint, corpus "
+            "content digest) so warm runs re-serve unchanged partitions "
+            "from disk and re-execute only the partitions whose "
+            "documents changed",
+        )
+        p.add_argument(
+            "--no-incremental",
+            action="store_true",
+            help="disable the delta execution path: ignore --result-cache "
+            "and always recompute every partition",
+        )
+        p.add_argument(
             "--on-error",
             choices=("fail-fast", "skip", "retry"),
             default="fail-fast",
@@ -388,6 +403,8 @@ def _exec_config(args):
         on_error=getattr(args, "on_error", "fail-fast"),
         max_retries=getattr(args, "max_retries", 2),
         partition_timeout=getattr(args, "partition_timeout", None),
+        result_cache=getattr(args, "result_cache", None),
+        incremental=not getattr(args, "no_incremental", False),
     )
 
 
@@ -411,6 +428,20 @@ def _observability(args):
 
         metrics = MetricsRegistry()
     return tracer, metrics
+
+
+def _record_cache_metric(holder, metrics):
+    """Fold result-store evictions into the snapshot (opt-in by design:
+    the value depends on what was already on disk, not on this run's
+    execution, so it stays out of the auto-recorded stats counters)."""
+    store = getattr(holder, "result_store", None) or getattr(
+        holder, "_result_store", None
+    )
+    if metrics is None or store is None:
+        return
+    from repro.observability.metrics import record_evictions
+
+    record_evictions(metrics, store.evicted)
 
 
 def _record_payload_metric(engine, metrics):
@@ -478,9 +509,11 @@ def _cmd_run(args):
         # non-zero with the enriched message, never a bare traceback
         print("error: %s" % (exc,), file=sys.stderr)
         _record_payload_metric(engine, metrics)
+        _record_cache_metric(engine, metrics)
         _write_observability(args, tracer, metrics)
         return 1
     _record_payload_metric(engine, metrics)
+    _record_cache_metric(engine, metrics)
     _write_observability(args, tracer, metrics)
     _print_failure_report(result)
     if args.json:
@@ -620,10 +653,12 @@ def _cmd_session(args):
         trace = session.run()
     except ReproError as exc:
         print("error: %s" % (exc,), file=sys.stderr)
+        _record_cache_metric(session, metrics)
         _write_observability(args, tracer, metrics)
         if telemetry is not None:
             telemetry.close()
         return 1
+    _record_cache_metric(session, metrics)
     _write_observability(args, tracer, metrics)
     if telemetry is not None:
         telemetry.close()

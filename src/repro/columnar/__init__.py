@@ -23,6 +23,12 @@ Splitting storage from index logic buys three things:
 """
 
 from repro.columnar.arrays import LAYOUT_VERSION, DocColumns, build_doc_columns
+from repro.columnar.results import (
+    ResultStore,
+    load_result,
+    prune_cache_dir,
+    save_result,
+)
 from repro.columnar.store import (
     ColumnarStore,
     CorpusArtifacts,
@@ -38,8 +44,12 @@ __all__ = [
     "build_doc_columns",
     "ColumnarStore",
     "CorpusArtifacts",
+    "ResultStore",
     "build_artifacts",
     "corpus_digest",
     "load_artifacts",
+    "load_result",
+    "prune_cache_dir",
     "save_artifacts",
+    "save_result",
 ]

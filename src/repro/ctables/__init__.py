@@ -10,6 +10,12 @@ from repro.ctables.assignments import (
     values_equal,
 )
 from repro.ctables.atable import ATable, ATuple
+from repro.ctables.codec import (
+    RESULT_CODEC_VERSION,
+    CodecError,
+    decode_table,
+    encode_table,
+)
 from repro.ctables.convert import atable_to_compact, compact_to_atable
 from repro.ctables.ctable import Cell, CompactTable, CompactTuple
 from repro.ctables.diff import TableDiff, diff_tables
@@ -26,11 +32,15 @@ __all__ = [
     "ATuple",
     "Assignment",
     "Cell",
+    "CodecError",
     "CompactTable",
     "CompactTuple",
     "Contain",
     "Exact",
+    "RESULT_CODEC_VERSION",
     "atable_to_compact",
+    "decode_table",
+    "encode_table",
     "atable_worlds",
     "TableDiff",
     "compact_to_atable",

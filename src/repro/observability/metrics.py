@@ -25,6 +25,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "record_evictions",
     "record_execution",
     "record_stats",
 ]
@@ -267,6 +268,23 @@ def record_payload(registry, payload_bytes, **labels):
         "repro.sched.payload_bytes",
         help="bytes shipped across scheduler address-space boundaries",
     ).inc(payload_bytes, **labels)
+    return registry
+
+
+def record_evictions(registry, evicted, **labels):
+    """Record result-cache evictions as ``repro.cache.evicted``.
+
+    Like :func:`record_payload`, deliberately *not* part of
+    :func:`record_stats` / :func:`record_execution`: how many entries
+    the pruner removed depends on what previous runs left on disk, not
+    on this run's execution, so auto-recording it would break the
+    cross-backend (and cross-run) byte-identity of execution snapshots.
+    The CLI opts in explicitly whenever a result store is configured.
+    """
+    registry.counter(
+        "repro.cache.evicted",
+        help="result/columnar cache entries pruned beyond the size caps",
+    ).inc(evicted, **labels)
     return registry
 
 

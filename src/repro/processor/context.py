@@ -81,6 +81,15 @@ class ExecConfig:
     #: Seconds one partition may run before the scheduler raises a
     #: :class:`~repro.errors.PartitionTimeout`; ``None`` means no limit.
     partition_timeout: object = None
+    #: Directory (or a :class:`~repro.columnar.results.ResultStore`) for
+    #: persisted partition results, keyed by (plan fingerprint, corpus
+    #: content digest); ``None`` disables persistence (the CLI's
+    #: ``--result-cache``).  Warm runs hydrate unchanged partitions from
+    #: it instead of re-executing the local plan prefix.
+    result_cache: object = None
+    #: Master switch for the delta execution path; ``False`` ignores
+    #: ``result_cache`` entirely (the CLI's ``--no-incremental``).
+    incremental: bool = True
 
 
 #: Valid ``ExecConfig.on_error`` values.
@@ -123,6 +132,18 @@ class ExecutionStats:
     failures: int = 0
     #: retry attempts consumed by the ``retry`` policy
     retries: int = 0
+    #: partitions whose local-prefix result came from cache (in-memory
+    #: or persistent) instead of re-execution; ticks only when a reuse
+    #: cache is active, so cacheless runs stay counter-identical across
+    #: backends
+    partitions_reused: int = 0
+    #: partitions actually re-executed through the physical layer while
+    #: a reuse cache was active (the delta path's "dirty" count)
+    partitions_recomputed: int = 0
+    #: persistent-store lookups that produced a usable table
+    result_cache_hits: int = 0
+    #: persistent-store lookups that missed (absent, stale, or corrupt)
+    result_cache_misses: int = 0
 
     def merge(self, other):
         for name in vars(other):

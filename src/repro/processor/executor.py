@@ -191,7 +191,24 @@ class _Fingerprint:
 
     @property
     def token(self):
-        return hash((self.bases, self.constraints, self.upstream, self.corpus_sig))
+        """A short, *process-stable* hex token over the fingerprint.
+
+        The persistent result store keys files on this, so it must not
+        depend on per-process ``PYTHONHASHSEED`` the way ``hash()``
+        does.  Every field reprs deterministically (rule reprs, tuples,
+        the corpus content digest), so a SHA-256 over the combined repr
+        is stable across processes and runs.
+        """
+        token = self.__dict__.get("_token")
+        if token is None:
+            import hashlib
+
+            payload = repr(
+                (self.bases, self.constraints, self.upstream, self.corpus_sig)
+            )
+            token = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+            self.__dict__["_token"] = token
+        return token
 
 
 @dataclass
@@ -209,13 +226,22 @@ class RuleCache:
     configurations.  Parallel execution additionally keys the
     document-local predicates per corpus partition, so the
     constraints-commute incremental path applies partition by partition.
+
+    With a ``store`` (a :class:`~repro.columnar.results.ResultStore`),
+    entries additionally hydrate from and spill to disk by fingerprint
+    token: a fresh process over an unchanged plan and corpus re-serves
+    persisted partition tables instead of re-extracting (counted in
+    ``store_hits``).
     """
 
-    def __init__(self):
+    def __init__(self, store=None):
         self._entries = {}
+        #: optional persistent backing store shared across processes
+        self.store = store
         self.full_hits = 0
         self.incremental_hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     def get(self, name, partition=None):
         return self._entries.get((name, partition))
@@ -378,6 +404,21 @@ class IFlexEngine:
         self.excluded_docs = set()
         self._active = self.corpus
         self.physical = self._make_physical()
+        from repro.columnar.results import ResultStore
+
+        #: persistent partition-result store per ``config.result_cache``
+        #: (``None`` disables the delta execution path entirely)
+        self.result_store = ResultStore.from_config(self.config)
+        #: the store-backed cache :meth:`execute` uses when the caller
+        #: passes none of its own; created lazily, reused across runs
+        self._default_cache = None
+        #: predicate -> may its table be persisted?  Procedural atoms
+        #: (p-predicates / p-functions) are Python callables invisible
+        #: to rule reprs, so any predicate that invokes one — directly
+        #: or through an upstream intensional — must never be served
+        #: from disk, where the same name may be bound to other code.
+        self._persistable = self._persistable_predicates()
+        self._docs_map = None
 
     @property
     def active_corpus(self):
@@ -389,6 +430,7 @@ class IFlexEngine:
         self.excluded_docs.add(doc_id)
         self._active = self.corpus.without(self.excluded_docs)
         self.physical = self._make_physical()
+        self._docs_map = None
 
     def _make_columnar(self):
         """A columnar store honouring ``config.artifact_cache``."""
@@ -441,6 +483,41 @@ class IFlexEngine:
             tracer=self.tracer,
         )
 
+    def _persistable_predicates(self):
+        """``{name: bool}`` — which predicates may persist to disk."""
+        procedural = set(self.unfolded.p_predicates) | set(
+            self.unfolded.p_functions
+        )
+        persistable = {}
+        for name in self.order:
+            clean = True
+            for rule in self.unfolded.rules_for(name):
+                for atom in rule.body_atoms(PredicateAtom):
+                    if atom.name in procedural:
+                        clean = False
+                    elif atom.name in self.unfolded.intensional:
+                        clean = clean and persistable.get(atom.name, True)
+            persistable[name] = clean
+        return persistable
+
+    def _docs_by_id(self):
+        """``doc_id -> Document`` over the active corpus (decode target)."""
+        if self._docs_map is None:
+            docs = {}
+            for name in self._active.table_names():
+                for doc in self._active.table(name):
+                    docs[doc.doc_id] = doc
+            self._docs_map = docs
+        return self._docs_map
+
+    def _partitioned_path(self, name):
+        """Does this predicate route through the partition-keyed cache?"""
+        return (
+            self.physical is not None
+            and self.physical.parallel
+            and self.physical.fully_local(name)
+        )
+
     def _context(self):
         """A fresh whole-corpus execution context on the shared stores."""
         return ExecutionContext(
@@ -491,7 +568,16 @@ class IFlexEngine:
         re-runs, and the result carries an
         :class:`~repro.errors.ExecutionReport` describing every
         contained incident (``result.report``).
+
+        With a configured ``result_cache`` and no caller-supplied
+        ``cache``, executions run against an engine-owned store-backed
+        :class:`RuleCache`, so warm processes hydrate unchanged
+        partition results from disk and recompute only dirty ones.
         """
+        if cache is None and self.result_store is not None:
+            if self._default_cache is None:
+                self._default_cache = RuleCache(store=self.result_store)
+            cache = self._default_cache
         driver = _PolicyDriver(self)
         with self._span(
             "execute", "engine", policy=driver.policy, query=self.unfolded.query
@@ -519,16 +605,19 @@ class IFlexEngine:
                     if entry is not None and entry.fingerprint.token == fingerprint.token:
                         table = entry.table
                         kind = "full"
-                    elif (
-                        self.physical is not None
-                        and self.physical.parallel
-                        and self.physical.fully_local(name)
-                    ):
+                    elif self._partitioned_path(name):
                         table, kind = self._execute_partitioned(name, context, cache)
-                    elif entry is not None:
-                        table = self._incremental(name, entry, fingerprint, context)
-                        if table is not None:
-                            kind = "incremental"
+                    else:
+                        if cache.store is not None and self._persistable[name]:
+                            table = self._store_load(cache, context, fingerprint)
+                            if table is not None:
+                                kind = "full"
+                        if table is None and entry is not None:
+                            table = self._incremental(
+                                name, entry, fingerprint, context
+                            )
+                            if table is not None:
+                                kind = "incremental"
                 if table is None:
                     table = self._execute_plan(name, context)
                     kind = "computed"
@@ -543,6 +632,17 @@ class IFlexEngine:
                 else:
                     cache.misses += 1
                 cache.put(name, fingerprint, table)
+                if (
+                    kind == "computed"
+                    and cache.store is not None
+                    and self._persistable[name]
+                    and not self._partitioned_path(name)
+                ):
+                    # partitioned predicates persist per partition slice
+                    # (inside _execute_partitioned); spilling the merged
+                    # table too would short-circuit the delta path on
+                    # warm runs
+                    cache.store.save(fingerprint.token, table)
             logger.debug(
                 "%s: %d tuples, %d assignments (%s)",
                 name,
@@ -597,22 +697,75 @@ class IFlexEngine:
         are global by construction), so the partition fingerprints need
         no upstream tokens.
         """
-        from repro.ctables.ctable import CompactTable
+        store, fingerprints, tables, kinds, missing = self._partition_reuse(
+            name, context, cache
+        )
+        if missing:
+            computed = self.physical.execute_local_partitions(name, missing)
+            for pid, (table, stats) in zip(missing, computed):
+                tables[pid] = table
+                kinds[pid] = "computed"
+                context.stats.merge(stats)
+        return self._finish_partitions(
+            name, cache, store, fingerprints, tables, kinds
+        )
 
-        physical = self.physical
-        partitions = physical.partitions
+    def _explain_partitioned(self, name, context, cache):
+        """The partitioned reuse path under operator tracing.
+
+        Clean partitions hydrate exactly as in :meth:`_execute_partitioned`;
+        only the dirty ones execute (traced), so the report measures the
+        work a warm run actually performs.  Returns ``(merged table,
+        kind, traces-or-None, reused partition count)``.
+        """
+        from repro.processor.tracing import merge_traces
+
+        store, fingerprints, tables, kinds, missing = self._partition_reuse(
+            name, context, cache
+        )
+        traces = None
+        if missing:
+            computed = self.physical.execute_local_partitions_traced(name, missing)
+            for pid, (table, stats, _) in zip(missing, computed):
+                tables[pid] = table
+                kinds[pid] = "computed"
+                context.stats.merge(stats)
+            traces = merge_traces([collected for _, _, collected in computed])
+        table, kind = self._finish_partitions(
+            name, cache, store, fingerprints, tables, kinds
+        )
+        return table, kind, traces, len(tables) - len(missing)
+
+    def _partition_reuse(self, name, context, cache):
+        """Resolve every partition against the reuse caches.
+
+        Returns ``(store, fingerprints, tables, kinds, missing)`` where
+        ``missing`` lists the partition ids the caller must re-execute
+        (``tables``/``kinds`` are ``None`` at those slots).
+        """
+        partitions = self.physical.partitions
+        persistable = self._persistable[name]
+        store = cache.store if persistable else None
         tables = [None] * len(partitions)
         kinds = [None] * len(partitions)
         fingerprints = []
         missing = []
         for pid, partition in enumerate(partitions):
-            fingerprint = self._fingerprint(name, {}, corpus_sig=partition.signature)
+            fingerprint = self._fingerprint(
+                name, {}, corpus_sig=("content", partition.content_digest)
+            )
             fingerprints.append(fingerprint)
             entry = cache.get(name, partition=pid)
             if entry is not None and entry.fingerprint.token == fingerprint.token:
                 tables[pid] = entry.table
                 kinds[pid] = "full"
                 continue
+            if store is not None:
+                table = self._store_load(cache, context, fingerprint)
+                if table is not None:
+                    tables[pid] = table
+                    kinds[pid] = "full"
+                    continue
             if entry is not None:
                 table = self._incremental(name, entry, fingerprint, context)
                 if table is not None:
@@ -620,15 +773,21 @@ class IFlexEngine:
                     kinds[pid] = "incremental"
                     continue
             missing.append(pid)
-        if missing:
-            computed = physical.execute_local_partitions(name, missing)
-            for pid, (table, stats) in zip(missing, computed):
-                tables[pid] = table
-                kinds[pid] = "computed"
-                context.stats.merge(stats)
-        for pid in range(len(partitions)):
+        # the delta accounting: clean partitions fold in from cache,
+        # dirty ones (content digest moved, or cold) re-execute
+        context.stats.partitions_reused += len(partitions) - len(missing)
+        context.stats.partitions_recomputed += len(missing)
+        return store, fingerprints, tables, kinds, missing
+
+    def _finish_partitions(self, name, cache, store, fingerprints, tables, kinds):
+        """Cache, spill, and fold the per-partition tables."""
+        from repro.ctables.ctable import CompactTable
+
+        for pid in range(len(tables)):
             cache.put(name, fingerprints[pid], tables[pid], partition=pid)
-        attrs = physical.split(name).root.attrs
+            if store is not None and kinds[pid] == "computed":
+                store.save(fingerprints[pid].token, tables[pid])
+        attrs = self.physical.split(name).root.attrs
         merged = CompactTable.union(tables, attrs=attrs)
         if "computed" in kinds:
             kind = "computed"
@@ -656,6 +815,14 @@ class IFlexEngine:
         cost still attributes to individual operators.  The error policy
         applies exactly as in :meth:`execute`; contained failures are
         appended to the text report.
+
+        With a configured ``result_cache`` the reuse chain also applies
+        exactly as in :meth:`execute`: clean partitions hydrate from the
+        store (reported as such, with no operator rows — hydration runs
+        no operators) and only dirty partitions execute and are
+        measured, so the report describes the work a warm run actually
+        performs; computed results spill to the store as usual.  Without
+        a result cache the historical cold measurement is unchanged.
         """
         from repro.processor.tracing import render_failures
 
@@ -677,21 +844,78 @@ class IFlexEngine:
     def _explain_analyze_attempt(self):
         from repro.processor.tracing import render_cache_summary, render_traces, trace_plan
 
+        cache = None
+        if self.result_store is not None:
+            if self._default_cache is None:
+                self._default_cache = RuleCache(store=self.result_store)
+            cache = self._default_cache
         start = time.perf_counter()
         context = self._context()
+        tokens = {}
         reports = []
         for name in self.order:
             with self._span("predicate:%s" % name, "plan", predicate=name):
-                if self.physical is not None:
-                    table, traces = self.physical.execute_plan_traced(name, context)
-                    context.relations[name] = table
-                    reports.append("%s:\n%s" % (name, render_traces(traces)))
-                else:
-                    traced = trace_plan(compile_predicate(name, self.unfolded))
-                    context.relations[name] = traced.execute(context)
-                    traces = traced.collect()
-                    reports.append("%s:\n%s" % (name, render_traces(traces)))
-                if self.tracer is not None:
+                fingerprint = (
+                    self._fingerprint(name, tokens) if cache is not None else None
+                )
+                table = None
+                kind = "computed"
+                report = None
+                traces = None
+                if cache is not None:
+                    entry = cache.get(name)
+                    if (
+                        entry is not None
+                        and entry.fingerprint.token == fingerprint.token
+                    ):
+                        table, kind = entry.table, "full"
+                        report = "%s: reused from the in-memory cache" % name
+                    elif self._partitioned_path(name):
+                        table, kind, traces, reused = self._explain_partitioned(
+                            name, context, cache
+                        )
+                        if traces is None:
+                            report = (
+                                "%s: all %d partition(s) hydrated from the "
+                                "result cache" % (name, reused)
+                            )
+                        elif reused:
+                            report = (
+                                "%s:\n%s\n(%d clean partition(s) hydrated from"
+                                " the result cache; traces cover the"
+                                " recomputed ones)"
+                                % (name, render_traces(traces), reused)
+                            )
+                        else:
+                            report = "%s:\n%s" % (name, render_traces(traces))
+                    elif cache.store is not None and self._persistable[name]:
+                        hydrated = self._store_load(cache, context, fingerprint)
+                        if hydrated is not None:
+                            table, kind = hydrated, "full"
+                            report = "%s: hydrated from the result cache" % name
+                if table is None:
+                    if self.physical is not None:
+                        table, traces = self.physical.execute_plan_traced(
+                            name, context
+                        )
+                    else:
+                        traced = trace_plan(compile_predicate(name, self.unfolded))
+                        table = traced.execute(context)
+                        traces = traced.collect()
+                    report = "%s:\n%s" % (name, render_traces(traces))
+                context.relations[name] = table
+                reports.append(report)
+                if cache is not None:
+                    tokens[name] = fingerprint.token
+                    cache.put(name, fingerprint, table)
+                    if (
+                        kind == "computed"
+                        and cache.store is not None
+                        and self._persistable[name]
+                        and not self._partitioned_path(name)
+                    ):
+                        cache.store.save(fingerprint.token, table)
+                if self.tracer is not None and traces is not None:
                     from repro.observability.spans import spans_from_traces
 
                     spans_from_traces(traces, self.tracer)
@@ -705,13 +929,31 @@ class IFlexEngine:
         )
         return result, "\n\n".join(reports)
 
+    def _store_load(self, cache, context, fingerprint):
+        """One persistent-store lookup, with hit/miss accounting.
+
+        Returns the hydrated table or ``None``; corrupt and stale
+        entries count as misses (the store logs and the caller
+        recomputes — same contract as the columnar bundles).
+        """
+        table = cache.store.load(fingerprint.token, self._docs_by_id())
+        if table is None:
+            context.stats.result_cache_misses += 1
+            return None
+        context.stats.result_cache_hits += 1
+        cache.store_hits += 1
+        return table
+
     # ------------------------------------------------------------------
     def _fingerprint(self, name, tokens, corpus_sig=None):
         """The predicate's reuse fingerprint.
 
-        ``corpus_sig`` overrides the whole-corpus signature for
-        partition-keyed entries (the partitioned path fingerprints each
-        corpus slice separately).
+        The default corpus signature is the active corpus's *content*
+        digest — doc ids alone would serve stale results after an
+        in-place document edit, which the persistent store must never
+        do.  ``corpus_sig`` overrides it for partition-keyed entries
+        (the partitioned path fingerprints each corpus slice
+        separately).
         """
         rules = self.unfolded.rules_for(name)
         bases = []
@@ -728,7 +970,11 @@ class IFlexEngine:
             bases=tuple(bases),
             constraints=tuple(constraints),
             upstream=tuple(sorted(set(upstream))),
-            corpus_sig=self._active.signature if corpus_sig is None else corpus_sig,
+            corpus_sig=(
+                ("content", self._active.content_digest)
+                if corpus_sig is None
+                else corpus_sig
+            ),
         )
 
     def _incremental(self, name, entry, fingerprint, context):

@@ -226,6 +226,29 @@ class PhysicalExecutor:
 
         return self._map(work, pids, label=name)
 
+    def execute_local_partitions_traced(self, name, pids=None):
+        """Like :meth:`execute_local_partitions`, with operator traces.
+
+        Returns ``[(table, stats, traces)]`` in partition order.
+        ``explain_analyze`` calls this for the partitions a warm result
+        cache could not hydrate, so the report measures exactly the
+        recomputed work.
+        """
+        pids = list(range(len(self.partitions)) if pids is None else pids)
+
+        def work(pid):
+            tracer = self._worker_tracer()
+            context = self._partition_context(pid, tracer)
+            traced = trace_plan(compile_predicate(name, self.program))
+            with _partition_span(tracer, self.partitions[pid], pid):
+                table = traced.execute(context)
+            collected = traced.collect()
+            if tracer is None:
+                return table, context.stats, collected
+            return table, context.stats, collected, tracer.spans
+
+        return self._map(work, pids, label=name)
+
     # ------------------------------------------------------------------
     # whole-plan execution
     # ------------------------------------------------------------------

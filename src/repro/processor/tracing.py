@@ -216,8 +216,13 @@ def _rate(hits, misses):
 
 
 def render_cache_summary(stats):
-    """One-paragraph EvalCache / feature-evaluation summary for a run."""
-    return (
+    """One-paragraph EvalCache / feature-evaluation summary for a run.
+
+    When the run touched a result cache (partition reuse or the
+    persistent store), a second line reports the delta accounting;
+    cacheless runs keep the historical single-line form.
+    """
+    text = (
         "eval cache: verify %d hit / %d miss (%s), "
         "refine %d hit / %d miss (%s); "
         "evaluations: %d verify (%d indexed, %d naive), "
@@ -237,6 +242,25 @@ def render_cache_summary(stats):
             stats.refine_calls,
         )
     )
+    delta_counters = (
+        stats.partitions_reused,
+        stats.partitions_recomputed,
+        stats.result_cache_hits,
+        stats.result_cache_misses,
+    )
+    if any(delta_counters):
+        text += (
+            "\nresult cache: %d partition(s) reused / %d recomputed; "
+            "store %d hit / %d miss (%s)"
+            % (
+                stats.partitions_reused,
+                stats.partitions_recomputed,
+                stats.result_cache_hits,
+                stats.result_cache_misses,
+                _rate(stats.result_cache_hits, stats.result_cache_misses),
+            )
+        )
+    return text
 
 
 def render_failures(report):

@@ -21,6 +21,7 @@ class Corpus:
 
     def __init__(self, tables=None):
         self._tables = {}
+        self._content_digest = None
         for name, docs in (tables or {}).items():
             self.add_table(name, docs)
 
@@ -35,6 +36,31 @@ class Corpus:
             for name in self.table_names()
         )
 
+    @property
+    def content_digest(self):
+        """A short hex digest of the full corpus *content*.
+
+        Unlike :attr:`signature`, which only sees doc ids, this hashes
+        every document's id, text, and regions (via
+        ``columnar.store.corpus_digest``) per table — so editing a
+        document in place changes the digest.  The persistent result
+        cache keys partition results on it.  Cached after first use;
+        :meth:`add_table` invalidates.
+        """
+        if self._content_digest is None:
+            import hashlib
+
+            from repro.columnar.store import corpus_digest
+
+            hasher = hashlib.sha256()
+            for name in self.table_names():
+                hasher.update(name.encode("utf-8"))
+                hasher.update(b"\x1e")
+                hasher.update(corpus_digest(self._tables[name]).encode("ascii"))
+                hasher.update(b"\x1e")
+            self._content_digest = hasher.hexdigest()[:24]
+        return self._content_digest
+
     def add_table(self, name, documents):
         documents = list(documents)
         seen = set()
@@ -43,6 +69,7 @@ class Corpus:
                 raise ValueError("duplicate doc_id %r in table %r" % (doc.doc_id, name))
             seen.add(doc.doc_id)
         self._tables[name] = documents
+        self._content_digest = None
         return self
 
     def table(self, name):

@@ -1,0 +1,228 @@
+"""Result-store persistence: round trips, corruption, pruning.
+
+Mirrors ``tests/columnar/test_store.py``: whatever is on disk,
+:func:`load_result` either returns a table repr-identical to the one
+saved, or ``None`` so the executor recomputes — never an exception,
+never a wrong table.  :func:`prune_cache_dir` keeps shared artifact
+directories bounded without ever touching unknown files.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.columnar import (
+    ResultStore,
+    load_result,
+    prune_cache_dir,
+    save_result,
+)
+from repro.ctables import Cell, CompactTable, CompactTuple, Contain, Exact
+from repro.text import parse_html
+from repro.text.span import Span
+
+KEY = "a" * 24
+
+
+@pytest.fixture
+def docs():
+    return {
+        d.doc_id: d
+        for d in (
+            parse_html("d1", "<p><b>Widget Alpha</b> $120.00</p>"),
+            parse_html("d2", "<p>plain 42</p>"),
+        )
+    }
+
+
+@pytest.fixture
+def table(docs):
+    d1, d2 = docs["d1"], docs["d2"]
+    out = CompactTable(("x", "price"))
+    out.add(
+        CompactTuple(
+            [Cell([Exact(Span(d1, 0, 10))]), Cell([Contain(Span(d1, 3, 9))])]
+        )
+    )
+    out.add(
+        CompactTuple(
+            [Cell([Exact(Span(d2, 0, 5))]), Cell([Exact(42)])], maybe=True
+        )
+    )
+    return out
+
+
+def _image(table):
+    return (table.attrs, [repr(t) for t in table.tuples])
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, table, docs, tmp_path):
+        save_result(table, str(tmp_path), KEY)
+        loaded = load_result(str(tmp_path), KEY, docs)
+        assert loaded is not None
+        assert _image(loaded) == _image(table)
+
+    def test_missing_entry_loads_none(self, docs, tmp_path):
+        assert load_result(str(tmp_path), KEY, docs) is None
+
+    def test_no_tmp_litter_after_save(self, table, tmp_path):
+        save_result(table, str(tmp_path), KEY)
+        assert not [n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")]
+
+
+class TestCorruptionAndStaleness:
+    def _persist(self, table, tmp_path):
+        save_result(table, str(tmp_path), KEY)
+        return (
+            tmp_path / ("%s.res.npy" % KEY),
+            tmp_path / ("%s.res.meta.json" % KEY),
+        )
+
+    def test_truncated_data_recomputes(self, table, docs, tmp_path):
+        data_path, _ = self._persist(table, tmp_path)
+        data_path.write_bytes(data_path.read_bytes()[:16])
+        assert load_result(str(tmp_path), KEY, docs) is None
+
+    def test_garbage_data_recomputes(self, table, docs, tmp_path):
+        data_path, _ = self._persist(table, tmp_path)
+        data_path.write_bytes(b"not numpy")
+        assert load_result(str(tmp_path), KEY, docs) is None
+
+    def test_key_mismatch_is_stale(self, table, docs, tmp_path):
+        _, meta_path = self._persist(table, tmp_path)
+        meta = json.loads(meta_path.read_text())
+        meta["key"] = "f" * 24
+        meta_path.write_text(json.dumps(meta))
+        assert load_result(str(tmp_path), KEY, docs) is None
+
+    def test_codec_version_mismatch_is_stale(self, table, docs, tmp_path):
+        _, meta_path = self._persist(table, tmp_path)
+        meta = json.loads(meta_path.read_text())
+        meta["codec_version"] += 1
+        meta_path.write_text(json.dumps(meta))
+        assert load_result(str(tmp_path), KEY, docs) is None
+
+    def test_total_mismatch_is_stale(self, table, docs, tmp_path):
+        _, meta_path = self._persist(table, tmp_path)
+        meta = json.loads(meta_path.read_text())
+        meta["total"] += 1
+        meta_path.write_text(json.dumps(meta))
+        assert load_result(str(tmp_path), KEY, docs) is None
+
+    def test_changed_document_recomputes(self, table, tmp_path):
+        """Documents the decode target no longer knows yield None."""
+        self._persist(table, tmp_path)
+        shrunk = {"d1": parse_html("d1", "x"), "d2": parse_html("d2", "y")}
+        # spans in the saved table exceed the shrunken documents
+        assert load_result(str(tmp_path), KEY, shrunk) is None
+
+    def test_store_overwrites_corrupt_entry(self, table, docs, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save(KEY, table)
+        data_path = tmp_path / ("%s.res.npy" % KEY)
+        data_path.write_bytes(b"garbage")
+        assert store.load(KEY, docs) is None
+        assert store.load_failures == 1
+        # the failed load marks the key for rewrite: save() replaces the
+        # corrupt files instead of skipping because they exist
+        store.save(KEY, table)
+        loaded = store.load(KEY, docs)
+        assert loaded is not None and _image(loaded) == _image(table)
+
+
+class TestStoreLifecycle:
+    def test_save_is_idempotent(self, table, docs, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save(KEY, table)
+        store.save(KEY, table)
+        assert store.saved == 1 and store.skipped == 1
+        assert _image(store.load(KEY, docs)) == _image(table)
+
+    def test_unencodable_table_is_skipped_not_fatal(self, tmp_path):
+        bad = CompactTable(("v",))
+        bad.add(CompactTuple([Cell([Exact(object())])]))
+        store = ResultStore(str(tmp_path))
+        store.save(KEY, bad)  # logs and moves on
+        assert store.saved == 0
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_from_config(self, tmp_path):
+        from repro.processor.context import ExecConfig
+
+        assert ResultStore.from_config(None) is None
+        assert ResultStore.from_config(ExecConfig()) is None
+        disabled = ExecConfig(result_cache=str(tmp_path), incremental=False)
+        assert ResultStore.from_config(disabled) is None
+        store = ResultStore.from_config(ExecConfig(result_cache=str(tmp_path)))
+        assert isinstance(store, ResultStore)
+        assert store.cache_dir == str(tmp_path)
+        # an existing store instance passes through (session sharing)
+        assert ResultStore.from_config(ExecConfig(result_cache=store)) is store
+
+
+class TestPruning:
+    def _fill(self, tmp_path, table, count):
+        for i in range(count):
+            key = "%024x" % i
+            save_result(table, str(tmp_path), key)
+            entry = tmp_path / ("%s.res.npy" % key)
+            stamp = 1_000_000 + i  # deterministic LRU order
+            os.utime(entry, (stamp, stamp))
+            os.utime(tmp_path / ("%s.res.meta.json" % key), (stamp, stamp))
+
+    def test_count_cap_evicts_oldest(self, table, docs, tmp_path):
+        self._fill(tmp_path, table, 5)
+        assert prune_cache_dir(str(tmp_path), max_entries=2) == 3
+        survivors = {
+            name.split(".")[0]
+            for name in os.listdir(str(tmp_path))
+        }
+        assert survivors == {"%024x" % 3, "%024x" % 4}  # the newest two
+        for key in survivors:
+            assert load_result(str(tmp_path), key, docs) is not None
+
+    def test_byte_cap_evicts(self, table, tmp_path):
+        self._fill(tmp_path, table, 4)
+        assert prune_cache_dir(str(tmp_path), max_bytes=1) == 4
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_no_caps_is_a_noop(self, table, tmp_path):
+        self._fill(tmp_path, table, 3)
+        assert prune_cache_dir(str(tmp_path)) == 0
+        assert len(os.listdir(str(tmp_path))) == 6
+
+    def test_keep_set_is_never_evicted(self, table, tmp_path):
+        self._fill(tmp_path, table, 4)
+        oldest = "%024x" % 0
+        prune_cache_dir(str(tmp_path), max_entries=1, keep={oldest})
+        assert os.path.exists(str(tmp_path / ("%s.res.npy" % oldest)))
+
+    def test_unknown_files_untouched(self, table, tmp_path):
+        self._fill(tmp_path, table, 3)
+        stray = tmp_path / "notes.txt"
+        stray.write_text("keep me")
+        partial = tmp_path / "half.json.tmp"
+        partial.write_text("{}")
+        prune_cache_dir(str(tmp_path), max_entries=0)
+        assert stray.exists() and partial.exists()
+
+    def test_columnar_bundles_prune_as_entries(self, tmp_path):
+        from repro.columnar import build_artifacts, save_artifacts
+
+        doc = parse_html("c1", "<p>columnar</p>")
+        built = build_artifacts([doc])
+        save_artifacts(built, str(tmp_path))
+        assert prune_cache_dir(str(tmp_path), max_entries=0) == 1
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_store_counts_evictions(self, table, docs, tmp_path):
+        store = ResultStore(str(tmp_path), max_entries=2)
+        # keys the store saved itself are live and protected, so feed it
+        # pre-existing strangers to evict
+        self._fill(tmp_path, table, 3)
+        store.save(KEY, table)
+        assert store.evicted >= 2
+        assert store.load(KEY, docs) is not None

@@ -61,6 +61,8 @@ class TestCliDocs:
             "--no-eval-cache",
             "--no-batch",
             "--artifact-cache",
+            "--result-cache",
+            "--no-incremental",
             "--metrics-out",
             "--trace-out",
             "--workers",
@@ -89,6 +91,33 @@ class TestPerformanceDocs:
 
         stats = ExecutionStats()
         for field in ("verify_batch", "refine_batch"):
+            assert "`%s`" % field in text or field in text, field
+            assert hasattr(stats, field), field
+
+    def test_incremental_contract_matches_code(self):
+        """The documented delta-execution lifecycle names real API."""
+        import repro.columnar as columnar
+
+        text = (DOCS / "performance.md").read_text(encoding="utf-8")
+        for name in ("ResultStore", "load_result", "save_result", "prune_cache_dir"):
+            assert name in text, name
+            assert hasattr(columnar, name), name
+        from repro.processor.context import ExecConfig, ExecutionStats
+        from repro.text.corpus import Corpus
+
+        assert "content_digest" in text
+        assert hasattr(Corpus(), "content_digest")
+        config = ExecConfig()
+        stats = ExecutionStats()
+        for field in ("result_cache", "incremental"):
+            assert field in text, field
+            assert hasattr(config, field), field
+        for field in (
+            "partitions_reused",
+            "partitions_recomputed",
+            "result_cache_hits",
+            "result_cache_misses",
+        ):
             assert "`%s`" % field in text or field in text, field
             assert hasattr(stats, field), field
 
