@@ -208,7 +208,7 @@ def build_parser():
 
     run = sub.add_parser("run", help="execute a program and print the result")
     add_program_args(run)
-    run.add_argument("--max-rows", type=int, default=25)
+    run.add_argument("--max-rows", type=_positive_int, default=25)
     run.add_argument(
         "--analyze",
         action="store_true",
@@ -327,8 +327,8 @@ def build_parser():
         default="1,2",
         help="comma-separated table numbers from 1-6 (3-6 run experiments)",
     )
-    tables.add_argument("--scale", type=float, default=0.25)
-    tables.add_argument("--seed", type=int, default=0)
+    tables.add_argument("--scale", type=_positive_float, default=0.25)
+    tables.add_argument("--seed", type=_nonnegative_int, default=0)
 
     generate = sub.add_parser(
         "generate", help="emit a synthetic corpus (HTML + ground truth) to disk"
@@ -338,9 +338,97 @@ def build_parser():
     )
     generate.add_argument("--out", required=True, help="output directory")
     generate.add_argument(
-        "--size", type=int, help="records per table (default: domain defaults)"
+        "--size",
+        type=_positive_int,
+        help="records per table (default: domain defaults)",
     )
-    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--seed", type=_nonnegative_int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident extraction service (HTTP, engine-as-library)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8750,
+        help="listen port (0 binds an ephemeral port; the real port is "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="preload an extensional table: NAME=(html file | directory "
+        "of html files); repeatable (more documents can be ingested "
+        "over HTTP)",
+    )
+    serve.add_argument(
+        "--partition-docs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="documents per partition for delta execution; boundaries "
+        "are positionally stable under ingestion, so ingesting k "
+        "documents re-executes at most ceil(k/N)+1 partitions",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="scheduler slots for per-partition work",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="scheduler for per-partition work",
+    )
+    serve.add_argument(
+        "--artifact-cache",
+        metavar="DIR",
+        help="content-addressed cache directory for columnar corpus artifacts",
+    )
+    serve.add_argument(
+        "--result-cache",
+        metavar="DIR",
+        help="persistent partition-result cache directory; survives "
+        "restarts, so a freshly started service re-serves unchanged "
+        "partitions from disk",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=_positive_float,
+        default=None,
+        metavar="RPS",
+        help="token-bucket request limit, requests/second (default: "
+        "unlimited); /health and /metrics are exempt",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="token-bucket burst capacity (default: max(1, RPS))",
+    )
+    serve.add_argument(
+        "--similar-threshold",
+        type=_positive_float,
+        default=0.6,
+        help="Jaccard threshold for the built-in similar()/approxMatch()",
+    )
+    serve.add_argument("--no-index", action="store_true")
+    serve.add_argument("--no-eval-cache", action="store_true")
+    serve.add_argument("--no-batch", action="store_true")
+    serve.add_argument("--no-incremental", action="store_true")
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default="info",
+        help="threshold for the repro.* logger hierarchy (stderr)",
+    )
 
     sub.add_parser("demo", help="run the built-in Figure 1-3 example")
     return parser
@@ -789,6 +877,42 @@ def _run_demo():
     return 0
 
 
+def _cmd_serve(args):
+    from repro.processor.context import ExecConfig
+    from repro.service import ExtractionService, build_app, make_service_server
+
+    corpus = load_corpus(args.table) if args.table else None
+    config = ExecConfig(
+        workers=args.workers,
+        backend=args.backend,
+        use_index=not args.no_index,
+        use_eval_cache=not args.no_eval_cache,
+        use_batch=not args.no_batch,
+        artifact_cache=args.artifact_cache,
+        result_cache=args.result_cache,
+        incremental=not args.no_incremental,
+        partition_docs=args.partition_docs,
+    )
+    service = ExtractionService(
+        corpus=corpus,
+        config=config,
+        similar_threshold=args.similar_threshold,
+    )
+    app = build_app(service, rate_limit=args.rate_limit, rate_burst=args.rate_burst)
+    server = make_service_server(args.host, args.port, app)
+    host, port = server.server_address[:2]
+    # machine-readable startup line: supervisors and the CI smoke test
+    # parse the real port from it when --port 0 binds ephemerally
+    print("repro service listening on http://%s:%d" % (host, port), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if getattr(args, "log_level", None):
@@ -803,6 +927,7 @@ def main(argv=None):
         "session": _cmd_session,
         "tables": _cmd_tables,
         "generate": _cmd_generate,
+        "serve": _cmd_serve,
         "demo": lambda a: _run_demo(),
     }
     return commands[args.command](args)

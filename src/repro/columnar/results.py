@@ -149,8 +149,12 @@ def prune_cache_dir(cache_dir, max_entries=None, max_bytes=None, keep=()):
 
     An *entry* is the file group sharing one ``<key>`` stem — a columnar
     bundle or a persisted result.  Eviction is whole-entry, oldest
-    mtime first; keys in ``keep`` (the live working set) are never
-    evicted even when over cap.  Unknown files are left alone.
+    mtime first, with mtime *ties broken by key name*: filesystem
+    timestamps are coarse (whole seconds on some mounts), so entries
+    written in one burst routinely share an mtime and "oldest first"
+    alone would leave the victim to dict/listdir order.  Keys in
+    ``keep`` (the live working set) are never evicted even when over
+    cap.  Unknown files are left alone.
     """
     if max_entries is None and max_bytes is None:
         return 0
@@ -161,6 +165,7 @@ def prune_cache_dir(cache_dir, max_entries=None, max_bytes=None, keep=()):
             (max(mtime for _, _, mtime in files), key, files)
             for key, files in groups.items()
         ),
+        key=lambda entry: (entry[0], entry[1]),
     )
     total_bytes = sum(size for _, _, files in entries for _, size, _ in files)
     count = len(entries)

@@ -312,6 +312,25 @@ class ColumnarStore:
         self._bundles.append(artifacts)
         return artifacts
 
+    def invalidate(self, doc_ids):
+        """Forget columns for the given documents (in-place edit path).
+
+        Built columns for those ids are dropped, and any attached bundle
+        covering one of them is detached entirely — bundles are
+        immutable snapshots of a whole corpus, so a single edited
+        document stales the bundle's view of that id.  Lookups for the
+        *unedited* documents fall back to (cheap) per-document builds,
+        or to the fresh bundle the next :meth:`prepare` attaches.
+        """
+        doc_ids = set(doc_ids)
+        for doc_id in doc_ids:
+            self._columns.pop(doc_id, None)
+        self._bundles = [
+            bundle
+            for bundle in self._bundles
+            if not doc_ids.intersection(bundle.layout)
+        ]
+
     def prepare(self, docs):
         """Build-or-map the bundle covering ``docs`` and attach it.
 

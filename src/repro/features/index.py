@@ -215,6 +215,22 @@ class IndexStore:
             self._indexes[key] = index
             return index
 
+    def invalidate(self, doc_ids):
+        """Drop cached arrays/indexes for the given documents.
+
+        Needed only when a document is *edited in place* (same id, new
+        content) — the resident service's upsert path; mere additions
+        and removals never stale anything.  The columnar store is
+        invalidated too, so rebuilt indexes read fresh columns.
+        """
+        doc_ids = set(doc_ids)
+        for doc_id in doc_ids:
+            self._arrays.pop(doc_id, None)
+        for key in [k for k in self._indexes if k[1] in doc_ids]:
+            del self._indexes[key]
+        if self.columnar is not None:
+            self.columnar.invalidate(doc_ids)
+
     def __len__(self):
         return len(self._indexes)
 

@@ -48,6 +48,13 @@ class ExecConfig:
     #: Scheduler for per-partition work: ``serial`` | ``thread`` |
     #: ``process`` (see :mod:`repro.processor.schedulers`).
     backend: str = "serial"
+    #: Documents per corpus partition (``Corpus.chunk``) instead of the
+    #: default ``workers``-way split (``Corpus.partition``).  Chunk
+    #: boundaries are positionally stable under ingestion — appending
+    #: documents never moves an existing full chunk — which is what the
+    #: resident service needs for "ingest k docs, recompute exactly the
+    #: k affected partitions".  ``None`` keeps the historical split.
+    partition_docs: object = None
     #: Consult per-document feature indexes for Verify/Refine (see
     #: :mod:`repro.features.index`); ``False`` forces the naive
     #: span-by-span path (the CLI's ``--no-index``).
@@ -171,6 +178,20 @@ class EvalCache:
     def clear(self):
         self.verify.clear()
         self.refine.clear()
+
+    def invalidate_docs(self, doc_ids):
+        """Drop every entry for the given documents.
+
+        The one case where "nothing to invalidate" breaks down: an
+        in-place document *edit* (same ``doc_id``, new content), the
+        resident service's upsert path.  Keys carry the doc id at
+        position 2 (``(feature, value, doc_id, start, end)``).
+        """
+        doc_ids = set(doc_ids)
+        for cache in (self.verify, self.refine):
+            stale = [key for key in cache if key[2] in doc_ids]
+            for key in stale:
+                del cache[key]
 
     def __len__(self):
         return len(self.verify) + len(self.refine)

@@ -432,6 +432,38 @@ class IFlexEngine:
         self.physical = self._make_physical()
         self._docs_map = None
 
+    def rebind_corpus(self, corpus=None, edited_docs=()):
+        """Re-point this resident engine at a mutated (or new) corpus.
+
+        The engine-as-library entry point the service's ingestion path
+        uses: shared acceleration state (index store, eval cache,
+        columnar store, result store, the default rule cache) stays
+        resident — reuse fingerprints are content-addressed, so stale
+        entries simply miss — while everything derived from the corpus
+        *view* (active corpus, partitioning, the doc-id decode map) is
+        rebuilt.  ``edited_docs`` names documents replaced *in place*
+        (same id, new content): their content-keyed cache entries are
+        the one thing content addressing cannot age out, so they are
+        invalidated explicitly.  Quarantined documents stay quarantined.
+        """
+        if corpus is not None:
+            self.corpus = corpus
+        if edited_docs:
+            if self.index_store is not None:
+                self.index_store.invalidate(edited_docs)
+            if self.eval_cache is not None:
+                self.eval_cache.invalidate_docs(edited_docs)
+        self._active = (
+            self.corpus.without(self.excluded_docs)
+            if self.excluded_docs
+            else self.corpus
+        )
+        self.physical = self._make_physical()
+        self._docs_map = None
+        if self.index_store is not None:
+            self._prepare_artifacts()
+        return self
+
     def _make_columnar(self):
         """A columnar store honouring ``config.artifact_cache``."""
         from repro.columnar import ColumnarStore
@@ -467,10 +499,14 @@ class IFlexEngine:
         """The physical execution layer, or None on the serial path.
 
         With one worker the engine executes plans directly (the original
-        single-threaded code path, byte for byte); with more it routes
-        every plan through :class:`~repro.processor.physical.PhysicalExecutor`.
+        single-threaded code path, byte for byte); with more — or with
+        ``partition_docs`` chunking configured, as the resident service
+        does — it routes every plan through
+        :class:`~repro.processor.physical.PhysicalExecutor`.
         """
-        if getattr(self.config, "workers", 1) <= 1:
+        if getattr(self.config, "workers", 1) <= 1 and not getattr(
+            self.config, "partition_docs", None
+        ):
             return None
         from repro.processor.physical import PhysicalExecutor
 

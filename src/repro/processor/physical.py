@@ -85,7 +85,14 @@ class PhysicalExecutor:
             getattr(config, "backend", "serial"), getattr(config, "workers", 1)
         )
         workers = getattr(config, "workers", 1)
-        self.partitions = corpus.partition(workers) if workers > 1 else [corpus]
+        partition_docs = getattr(config, "partition_docs", None)
+        if partition_docs:
+            # fixed-size chunks: boundaries are positionally stable, so
+            # a resident engine's partition-keyed reuse survives corpus
+            # growth (appends only touch the tail chunks)
+            self.partitions = corpus.chunk(partition_docs)
+        else:
+            self.partitions = corpus.partition(workers) if workers > 1 else [corpus]
         self.timeout = getattr(config, "partition_timeout", None)
         self._splits = {}
         #: fork-inherited objects result spans point into; the process

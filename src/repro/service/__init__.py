@@ -1,0 +1,34 @@
+"""The resident extraction service (``repro serve``).
+
+Engine-as-library: one process-resident :class:`ExtractionService`
+holds the corpus, the shared acceleration stores, and one persistent
+engine per submitted program, behind a small stdlib-WSGI HTTP API —
+submit programs, ingest documents incrementally, stream result tuples
+(maybe flags preserved), drive refinement sessions, scrape metrics.
+"""
+
+from repro.service.app import ServiceApp, build_app
+from repro.service.middleware import (
+    RateLimitMiddleware,
+    RequestLogMiddleware,
+    TokenBucket,
+)
+from repro.service.server import ThreadingWSGIServer, make_service_server
+from repro.service.sessions import QueueDeveloper, ServiceSession, SessionManager
+from repro.service.state import ExtractionService, ProgramHost, ServiceError
+
+__all__ = [
+    "ExtractionService",
+    "ProgramHost",
+    "QueueDeveloper",
+    "RateLimitMiddleware",
+    "RequestLogMiddleware",
+    "ServiceApp",
+    "ServiceError",
+    "ServiceSession",
+    "SessionManager",
+    "ThreadingWSGIServer",
+    "TokenBucket",
+    "build_app",
+    "make_service_server",
+]

@@ -1,0 +1,41 @@
+"""The stdlib HTTP server hosting the service app.
+
+``wsgiref`` plus ``ThreadingMixIn``: one thread per connection, daemon
+threads so a long-lived stream never blocks shutdown.  The handler's
+per-request stderr logging is rerouted through the observability
+logger (the middleware already logs at info; the raw access lines go
+to debug).
+"""
+
+import socketserver
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+
+from repro.observability.logs import get_logger
+
+__all__ = ["ThreadingWSGIServer", "make_service_server"]
+
+logger = get_logger("service")
+
+
+class ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    """wsgiref's server, one daemon thread per request."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        logger.debug("%s %s", self.address_string(), format % args)
+
+
+def make_service_server(host, port, app):
+    """A ready-to-``serve_forever`` server; ``port=0`` binds ephemeral.
+
+    The caller reads ``server.server_address`` for the real port —
+    that is how the CI smoke test (and any supervisor) discovers an
+    ephemerally bound service.
+    """
+    server = ThreadingWSGIServer((host, port), _QuietHandler)
+    server.set_app(app)
+    return server

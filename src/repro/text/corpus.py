@@ -72,6 +72,65 @@ class Corpus:
         self._content_digest = None
         return self
 
+    def add_documents(self, name, documents, replace=False):
+        """Append documents to table ``name`` (created when absent).
+
+        The resident service's ingestion path.  A ``doc_id`` already in
+        the table raises unless ``replace=True``, in which case the new
+        document takes the old one's position (an in-place edit —
+        callers holding content-keyed caches must invalidate them, see
+        :meth:`~repro.processor.executor.IFlexEngine.rebind_corpus`).
+        Returns the ids that replaced existing documents.
+        """
+        documents = list(documents)
+        table = self._tables.setdefault(name, [])
+        positions = {doc.doc_id: i for i, doc in enumerate(table)}
+        seen = set()
+        replaced = []
+        for doc in documents:
+            if doc.doc_id in seen:
+                raise ValueError(
+                    "duplicate doc_id %r in table %r" % (doc.doc_id, name)
+                )
+            seen.add(doc.doc_id)
+            at = positions.get(doc.doc_id)
+            if at is None:
+                continue
+            if not replace:
+                raise ValueError(
+                    "doc_id %r already in table %r" % (doc.doc_id, name)
+                )
+            replaced.append(doc.doc_id)
+        for doc in documents:
+            at = positions.get(doc.doc_id)
+            if at is None:
+                table.append(doc)
+            else:
+                table[at] = doc
+        self._content_digest = None
+        return replaced
+
+    def remove_documents(self, doc_ids):
+        """Remove the given documents *in place* from every table.
+
+        Unlike :meth:`without` (which builds a new corpus for the
+        quarantine path), this mutates the resident corpus the service
+        serves.  Returns the ids actually removed.
+        """
+        doc_ids = set(doc_ids)
+        removed = []
+        for name in self.table_names():
+            docs = self._tables[name]
+            kept = [d for d in docs if d.doc_id not in doc_ids]
+            if len(kept) != len(docs):
+                removed.extend(
+                    d.doc_id for d in docs if d.doc_id in doc_ids
+                )
+                self._tables[name] = kept
+        if removed:
+            self._content_digest = None
+        return removed
+
     def table(self, name):
         if name not in self._tables:
             raise KeyError("no extensional table named %r" % (name,))
@@ -176,6 +235,39 @@ class Corpus:
                 hi = (i + 1) * len(docs) // n
                 part.add_table(name, docs[lo:hi])
                 if hi > lo:
+                    empty = False
+            if not empty:
+                parts.append(part)
+        return parts or [self]
+
+    def chunk(self, size):
+        """Split into contiguous chunks of at most ``size`` documents.
+
+        Chunk ``j`` holds ``docs[j*size:(j+1)*size]`` of every table —
+        contiguous slices in document order, so concatenating the
+        chunks' results in chunk order reproduces a serial scan exactly,
+        just like :meth:`partition`.  Unlike :meth:`partition` (whose
+        slice boundaries move whenever the corpus grows), chunk
+        boundaries are *positionally stable*: appending documents leaves
+        every existing full chunk byte-identical and only extends (or
+        adds) the tail chunks.  That stability is what lets the resident
+        service's delta path recompute exactly the partitions the
+        ingested documents landed in.
+        """
+        size = max(1, int(size))
+        largest = max(
+            (len(self._tables[name]) for name in self._tables), default=0
+        )
+        count = max(1, -(-largest // size))
+        parts = []
+        for j in range(count):
+            part = Corpus()
+            empty = True
+            for name in self.table_names():
+                docs = self._tables[name]
+                lo, hi = j * size, (j + 1) * size
+                part.add_table(name, docs[lo:hi])
+                if hi > lo and docs[lo:hi]:
                     empty = False
             if not empty:
                 parts.append(part)

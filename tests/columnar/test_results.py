@@ -226,3 +226,119 @@ class TestPruning:
         store.save(KEY, table)
         assert store.evicted >= 2
         assert store.load(KEY, docs) is not None
+
+
+class TestPruneTieBreak:
+    """Eviction determinism when mtimes tie (coarse filesystem stamps)."""
+
+    KEYS = ["cccc", "aaaa", "dddd", "bbbb"]  # creation order != sort order
+
+    def _fill_equal_mtimes(self, tmp_path, table, keys):
+        stamp = 1_000_000  # one shared stamp: every entry "equally old"
+        for key in keys:
+            save_result(table, str(tmp_path), key)
+            os.utime(tmp_path / ("%s.res.npy" % key), (stamp, stamp))
+            os.utime(tmp_path / ("%s.res.meta.json" % key), (stamp, stamp))
+
+    def _survivors(self, tmp_path):
+        return {name.split(".")[0] for name in os.listdir(str(tmp_path))}
+
+    def test_ties_break_by_key_name(self, table, tmp_path):
+        self._fill_equal_mtimes(tmp_path, table, self.KEYS)
+        assert prune_cache_dir(str(tmp_path), max_entries=2) == 2
+        # equal mtimes: the lexicographically smallest keys evict first
+        assert self._survivors(tmp_path) == {"cccc", "dddd"}
+
+    def test_tie_break_independent_of_creation_order(self, table, tmp_path):
+        for i, order in enumerate(
+            (self.KEYS, sorted(self.KEYS), sorted(self.KEYS, reverse=True))
+        ):
+            subdir = tmp_path / ("run%d" % i)
+            subdir.mkdir()
+            self._fill_equal_mtimes(subdir, table, order)
+            prune_cache_dir(str(subdir), max_entries=2)
+            assert self._survivors(subdir) == {"cccc", "dddd"}
+
+    def test_mtime_still_dominates_key_name(self, table, tmp_path):
+        self._fill_equal_mtimes(tmp_path, table, ["aaaa", "bbbb"])
+        newer = tmp_path / "aaaa.res.npy"
+        os.utime(newer, (2_000_000, 2_000_000))  # aaaa now strictly newer
+        prune_cache_dir(str(tmp_path), max_entries=1)
+        assert self._survivors(tmp_path) == {"aaaa"}
+
+
+def _hammer(cache_dir, offset):
+    """Worker for the concurrency test: save/load/prune in a tight loop.
+
+    Both workers write *identical* content under each key (the store is
+    content-addressed, so that is the real-world invariant) while
+    pruning aggressively, which races unlinks against reads.
+    """
+    from repro.columnar.results import ResultStore
+    from repro.ctables import Cell, CompactTable, CompactTuple, Exact
+    from repro.text import parse_html
+    from repro.text.span import Span
+
+    def entry(i):
+        doc = parse_html("h%d" % i, "<p>hammer doc %d payload</p>" % i)
+        out = CompactTable(("x",))
+        out.add(CompactTuple([Cell([Exact(Span(doc, 0, 6))])]))
+        return {doc.doc_id: doc}, out
+
+    store = ResultStore(cache_dir, max_entries=4)
+    for step in range(60):
+        i = (step + offset) % 10
+        docs, out = entry(i)
+        key = "conc%02d" % i
+        store.save(key, out)
+        loaded = store.load(key, docs)
+        assert loaded is None or _image(loaded) == _image(out)
+        store._live.clear()  # let this worker's own keys be evicted too
+        store.prune()
+
+
+class TestConcurrentStores:
+    @pytest.mark.timeout(120)
+    def test_two_processes_share_one_cache_dir(self, tmp_path):
+        """Two processes saving and pruning the same --result-cache dir
+        never crash and never load a corrupt entry (loads return None
+        and the next save rewrites)."""
+        import pathlib
+        import subprocess
+        import sys
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), str(root)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        code = (
+            "from tests.columnar.test_results import _hammer; "
+            "_hammer(%r, %d)"
+        )
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", code % (str(tmp_path), offset)],
+                env=env,
+                cwd=str(root),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            for offset in (0, 5)
+        ]
+        for proc in workers:
+            _, err = proc.communicate(timeout=90)
+            assert proc.returncode == 0, err.decode()
+        # whatever survived the crossfire must load cleanly or miss
+        count = 0
+        for i in range(10):
+            docs_i = {
+                "h%d"
+                % i: parse_html("h%d" % i, "<p>hammer doc %d payload</p>" % i)
+            }
+            loaded = load_result(str(tmp_path), "conc%02d" % i, docs_i)
+            if loaded is not None:
+                count += 1
+                assert [t.maybe for t in loaded.tuples] == [False]
+        assert count >= 1  # the directory is not simply empty

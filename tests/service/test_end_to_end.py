@@ -1,0 +1,220 @@
+"""The resident service's acceptance tests.
+
+The contract this file pins down (and the CI smoke job re-checks over
+a real socket):
+
+* after ingesting k documents, re-running the same program recomputes
+  exactly the k affected partitions — zero when nothing changed;
+* streamed results are byte-identical to a cold one-shot batch run of
+  the same program over the same documents;
+* ``/metrics`` exposes the ``repro.exec.*`` reuse counters;
+* a restarted service warm-starts from its ``--result-cache``
+  directory.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.ctables.export import table_to_dicts
+from repro.processor.context import ExecConfig
+from repro.processor.executor import IFlexEngine
+from repro.processor.library import make_similar
+from repro.service import (
+    ExtractionService,
+    ServiceApp,
+    build_app,
+    make_service_server,
+)
+from repro.text.corpus import Corpus
+from repro.xlog.program import PFunction, Program
+
+from tests.service.conftest import (
+    PROGRAM_SOURCE,
+    FakeClient,
+    doc_payload,
+    ingest_pages,
+    page_doc,
+    submit_program,
+)
+
+
+def service_client(tmp_path=None):
+    config = ExecConfig(
+        result_cache=str(tmp_path / "rc") if tmp_path is not None else None
+    )
+    service = ExtractionService(config=config)
+    return service, FakeClient(ServiceApp(service))
+
+
+def run_lines(client, pid):
+    resp = client.post("/programs/%s/run" % pid)
+    assert resp.code == 200
+    return resp.ndjson
+
+
+class TestDeltaContract:
+    def test_ingest_k_recomputes_exactly_k(self, tmp_path):
+        service, client = service_client(tmp_path)
+        ingest_pages(client, range(4))
+        pid = submit_program(client).json["program_id"]
+
+        cold = run_lines(client, pid)[-1]
+        assert cold["partitions_recomputed"] == 4
+        assert cold["partitions_reused"] == 0
+
+        # unchanged: zero partitions recomputed
+        warm = run_lines(client, pid)[-1]
+        assert warm["partitions_recomputed"] == 0
+
+        # +2 documents: exactly the 2 new partitions recompute
+        ingest_pages(client, [4, 5])
+        delta = run_lines(client, pid)[-1]
+        assert delta["partitions_recomputed"] == 2
+        assert delta["partitions_reused"] == 4
+        assert delta["tuples"] == 6
+
+        # editing 1 document in place: exactly its partition recomputes
+        client.post(
+            "/documents",
+            {
+                "table": "pages",
+                "documents": [
+                    {
+                        "doc_id": "d2",
+                        "html": "<html><body>item 2 recosted 999 usd</body></html>",
+                    }
+                ],
+            },
+        )
+        edited = run_lines(client, pid)[-1]
+        assert edited["partitions_recomputed"] == 1
+        assert edited["partitions_reused"] == 5
+
+    def test_resubmitting_program_keeps_warmth(self, tmp_path):
+        service, client = service_client(tmp_path)
+        ingest_pages(client, range(3))
+        pid = submit_program(client).json["program_id"]
+        run_lines(client, pid)
+        again = submit_program(client)
+        assert again.json["resubmitted"] is True
+        warm = run_lines(client, again.json["program_id"])[-1]
+        assert warm["partitions_recomputed"] == 0
+
+    def test_stream_identical_to_cold_batch_run(self, tmp_path):
+        """The incremental warm path must not change a single byte of
+        the exported result relative to a cold batch execution."""
+        service, client = service_client(tmp_path)
+        ingest_pages(client, range(4))
+        pid = submit_program(client).json["program_id"]
+        run_lines(client, pid)
+        ingest_pages(client, [4, 5])
+        lines = run_lines(client, pid)  # warm: 4 reused + 2 recomputed
+
+        batch_corpus = Corpus({"pages": [page_doc(i) for i in range(6)]})
+        similar = make_similar(0.6)
+        program = Program.parse(
+            PROGRAM_SOURCE,
+            extensional=["pages"],
+            p_functions={
+                "similar": PFunction("similar", similar),
+                "approxMatch": PFunction("approxMatch", similar),
+            },
+            query="q",
+        )
+        batch = IFlexEngine(program, batch_corpus, config=ExecConfig()).execute()
+
+        expected = table_to_dicts(batch.query_table)
+        streamed = {
+            "attrs": lines[0]["attrs"],
+            "tuples": [
+                {"maybe": l["maybe"], "cells": l["cells"]}
+                for l in lines
+                if l["type"] == "tuple"
+            ],
+        }
+        assert json.dumps(streamed, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+    def test_metrics_expose_reuse_counters(self, tmp_path):
+        service, client = service_client(tmp_path)
+        ingest_pages(client, range(3))
+        pid = submit_program(client).json["program_id"]
+        run_lines(client, pid)
+        ingest_pages(client, [3])
+        run_lines(client, pid)
+        by_name = {
+            m["name"]: m for m in client.get("/metrics").json["metrics"]
+        }
+        assert by_name["repro.exec.partitions_reused"]["series"][0]["value"] == 3
+        assert (
+            by_name["repro.exec.partitions_recomputed"]["series"][0]["value"]
+            == 4  # 3 cold + 1 delta
+        )
+
+    def test_restart_warm_starts_from_result_cache(self, tmp_path):
+        service, client = service_client(tmp_path)
+        ingest_pages(client, range(3))
+        pid = submit_program(client).json["program_id"]
+        run_lines(client, pid)
+
+        # a brand-new process state over the same cache directory
+        service2, client2 = service_client(tmp_path)
+        ingest_pages(client2, range(3))
+        pid2 = submit_program(client2).json["program_id"]
+        assert pid2 == pid
+        warm = run_lines(client2, pid2)[-1]
+        assert warm["result_cache_hits"] == 3
+        assert warm["tuples"] == 3
+
+
+class TestOverSocket:
+    @pytest.mark.timeout(60)
+    def test_real_server_round_trip(self, tmp_path):
+        service = ExtractionService(
+            config=ExecConfig(result_cache=str(tmp_path / "rc"))
+        )
+        app = build_app(service, rate_limit=500)
+        server = make_service_server("127.0.0.1", 0, app)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = "http://127.0.0.1:%d" % port
+
+        def request(method, path, body=None):
+            data = json.dumps(body).encode() if body is not None else None
+            req = urllib.request.Request(
+                base + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req) as resp:
+                return resp.status, resp.read().decode()
+
+        try:
+            status, _ = request("GET", "/health")
+            assert status == 200
+            request(
+                "POST",
+                "/documents",
+                {"table": "pages", "documents": [doc_payload(i) for i in range(2)]},
+            )
+            status, out = request(
+                "POST", "/programs", {"source": PROGRAM_SOURCE, "query": "q"}
+            )
+            assert status == 201
+            pid = json.loads(out)["program_id"]
+            status, out = request("POST", "/programs/%s/run" % pid)
+            lines = [json.loads(l) for l in out.splitlines()]
+            assert lines[-1]["tuples"] == 2
+            assert lines[-1]["partitions_recomputed"] == 2
+            status, out = request("POST", "/programs/%s/run" % pid)
+            assert json.loads(out.splitlines()[-1])["partitions_recomputed"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(10)

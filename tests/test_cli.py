@@ -221,3 +221,94 @@ class TestObservabilityFlags:
             e["cat"] for e in json.loads(trace_path.read_text())["traceEvents"]
         }
         assert {"partition", "scheduler"} <= categories
+
+
+class TestNumericArgValidation:
+    """Previously-unvalidated numeric flags now fail at parse time."""
+
+    CASES = [
+        (["run", "p.alog", "--max-rows", "0"],),
+        (["run", "p.alog", "--max-rows", "-5"],),
+        (["tables", "--scale", "0"],),
+        (["tables", "--scale", "-1"],),
+        (["tables", "--seed", "-1"],),
+        (["generate", "movies", "--out", "o", "--size", "0"],),
+        (["generate", "movies", "--out", "o", "--seed", "-2"],),
+        (["serve", "--port", "-1"],),
+        (["serve", "--partition-docs", "0"],),
+        (["serve", "--rate-limit", "0"],),
+        (["serve", "--rate-burst", "0"],),
+    ]
+
+    @pytest.mark.parametrize("argv", [c[0] for c in CASES], ids=lambda a: " ".join(a))
+    def test_bad_values_exit_2(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
+    def test_good_values_accepted(self):
+        args = build_parser().parse_args(
+            ["tables", "--scale", "0.5", "--seed", "0"]
+        )
+        assert args.scale == 0.5 and args.seed == 0
+        args = build_parser().parse_args(
+            ["generate", "movies", "--out", "o", "--size", "3"]
+        )
+        assert args.size == 3
+
+
+class TestServeCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8750
+        assert args.partition_docs == 1
+        assert args.rate_limit is None
+        assert not args.no_incremental
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--table", "pages=/tmp/p",
+                "--result-cache", "/tmp/rc", "--artifact-cache", "/tmp/ac",
+                "--rate-limit", "5", "--rate-burst", "10",
+                "--partition-docs", "2", "--workers", "3",
+                "--backend", "thread", "--no-index",
+            ]
+        )
+        assert args.port == 0
+        assert args.table == ["pages=/tmp/p"]
+        assert args.result_cache == "/tmp/rc"
+        assert args.rate_limit == 5.0
+        assert args.rate_burst == 10
+        assert args.no_index
+
+    def test_serve_starts_and_answers(self, pages_dir):
+        """`repro serve --port 0` binds, prints its port, serves /health."""
+        import json
+        import subprocess
+        import sys
+        import urllib.request
+
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--table", "pages=%s" % pages_dir, "--log-level", "warning",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert "listening on http://" in line
+            port = int(line.rsplit(":", 1)[1])
+            with urllib.request.urlopen(
+                "http://127.0.0.1:%d/health" % port, timeout=10
+            ) as resp:
+                payload = json.load(resp)
+            assert payload["status"] == "ok"
+            assert payload["documents"] == 2
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -170,3 +170,59 @@ class TestDesignIndexTargets:
         design = (root / "DESIGN.md").read_text(encoding="utf-8")
         for target in re.findall(r"`examples/(\w+\.py)`", design):
             assert (root / "examples" / target).exists(), target
+
+
+class TestServiceDocs:
+    def test_documented_routes_exist(self):
+        """Every route row in docs/service.md matches a real ServiceApp
+        route (method + path pattern), and vice versa."""
+        from repro.service import ExtractionService, ServiceApp
+
+        text = (DOCS / "service.md").read_text(encoding="utf-8")
+        documented = {
+            (method, re.sub(r"<[^>]+>", "<>", path))
+            for method, path in re.findall(
+                r"\|\s*(GET|POST|DELETE)\s*\|\s*`(/[^`]*)`", text
+            )
+        }
+        app = ServiceApp(ExtractionService())
+        real = set()
+        for method, pattern, _handler in app.routes:
+            path = pattern.pattern
+            path = path.lstrip("^").rstrip("$").replace("/?", "")
+            path = re.sub(r"\(\?P<[a-z_]+>[^)]*\)", "<>", path)
+            real.add((method, path))
+        assert documented == real
+
+    def test_documented_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        text = (DOCS / "cli.md").read_text(encoding="utf-8")
+        serve_parser = next(
+            a for a in build_parser()._actions if a.dest == "command"
+        ).choices["serve"]
+        known = {
+            s for action in serve_parser._actions for s in action.option_strings
+        }
+        serve_section = text.split("## serve", 1)[1].split("\n## ", 1)[0]
+        documented = set(re.findall(r"(--[a-z][a-z-]+)", serve_section))
+        assert documented, "serve section documents no flags"
+        for flag in documented:
+            assert flag in known, "docs/cli.md documents unknown %s" % flag
+        for flag in ("--port", "--result-cache", "--rate-limit", "--partition-docs"):
+            assert flag in documented, "%s missing from docs/cli.md" % flag
+
+    def test_documented_metrics_are_emitted(self):
+        """Every repro.service.* counter named in the docs appears in
+        the service source (no phantom metric names)."""
+        import pathlib
+
+        text = (DOCS / "service.md").read_text(encoding="utf-8")
+        src = pathlib.Path(__file__).parent.parent / "src" / "repro" / "service"
+        code = "".join(
+            p.read_text(encoding="utf-8") for p in sorted(src.glob("*.py"))
+        )
+        for name in re.findall(r"`repro\.service\.([a-z_]+)`?", text):
+            needle_full = '"repro.service.%s"' % name
+            needle_fmt = '"%s"' % name  # via _count("name")
+            assert needle_full in code or needle_fmt in code, name
