@@ -94,7 +94,8 @@ def _partition_seconds(task, partitions):
     physical = engine.physical
     local = [
         name
-        for name in evaluation_order(engine.unfolded)
+        for group in evaluation_order(engine.unfolded)
+        for name in group
         if physical.split(name).has_local_work
     ]
     seconds = []

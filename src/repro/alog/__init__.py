@@ -1,5 +1,7 @@
-"""Alog semantics: description-rule unfolding and possible-worlds reference."""
+"""Alog semantics: description-rule unfolding, possible-worlds
+reference, and the SpannerLib-style embedding API."""
 
+from repro.alog.embed import AlogSession, ResultRow, ResultSet
 from repro.alog.semantics import (
     annotate_relation,
     powerset_relations,
@@ -9,6 +11,9 @@ from repro.alog.semantics import (
 from repro.alog.unfold import unfold_program, unfold_rules
 
 __all__ = [
+    "AlogSession",
+    "ResultRow",
+    "ResultSet",
     "annotate_relation",
     "powerset_relations",
     "program_possible_relations",

@@ -1,0 +1,290 @@
+"""SpannerLib-style embedding API: the engine as a Python library.
+
+An :class:`AlogSession` lets imperative workflows compose an extraction
+pipeline programmatically — no ``.alog`` files, no CLI:
+
+* **tables** come from Python iterables (``{doc_id: html}`` mappings,
+  ``(doc_id, html)`` pairs, or pre-parsed
+  :class:`~repro.text.document.Document` objects);
+* **rules** accumulate incrementally as source fragments (recursive
+  rules included — the engine's semi-naive fixpoint handles
+  stratified-safe cycles);
+* **procedural predicates / functions** register as plain callables;
+* :meth:`AlogSession.run` executes against the assembled corpus and
+  returns a :class:`ResultSet` of :class:`ResultRow` objects — plain
+  Python values with the approximation structure (maybe flags, cell
+  assignments) preserved;
+* :meth:`AlogSession.submit` ships the same pipeline to a resident
+  :class:`~repro.service.ExtractionService` (``repro serve``), so a
+  composed program becomes a hosted one.
+
+    session = AlogSession()
+    session.table("pages", {"a": "<p>Price: $12</p>"})
+    session.rule('q(x, <p>) :- pages(x), ie(@x, p).')
+    session.rule('ie(@x, p) :- from(@x, p), numeric(p) = yes.')
+    for row in session.run(query="q"):
+        print(row["p"], row.maybe)
+"""
+
+from repro.ctables.assignments import Contain, Exact
+from repro.ctables.export import cell_to_dict, table_to_csv, table_to_dicts
+from repro.text.span import Span
+
+__all__ = ["AlogSession", "ResultRow", "ResultSet"]
+
+
+def _cell_value(cell):
+    """One representative Python value for a cell.
+
+    Exact scalars come back as-is (floats stay floats); exact spans and
+    contain families come back as text.  Deterministic: the first exact
+    assignment wins, then the first contain anchor.
+    """
+    for assignment in cell.assignments:
+        if isinstance(assignment, Exact):
+            value = assignment.value
+            return value.text if isinstance(value, Span) else value
+    for assignment in cell.assignments:
+        if isinstance(assignment, Contain):
+            return assignment.span.text
+    return None
+
+
+class ResultRow:
+    """One compact tuple as Python objects.
+
+    ``row[attr]`` (or :meth:`value`) is the representative value;
+    ``row.maybe`` is the tuple's maybe flag; :meth:`cell` exposes the
+    full approximation structure of one attribute (expansion flag +
+    assignments, as plain dicts).
+    """
+
+    __slots__ = ("attrs", "maybe", "_tuple")
+
+    def __init__(self, attrs, compact_tuple):
+        self.attrs = tuple(attrs)
+        self.maybe = compact_tuple.maybe
+        self._tuple = compact_tuple
+
+    def __getitem__(self, attr):
+        return _cell_value(self._tuple.cells[self.attrs.index(attr)])
+
+    def value(self, attr):
+        return self[attr]
+
+    def cell(self, attr):
+        """The structure-preserving export of one cell."""
+        return cell_to_dict(self._tuple.cells[self.attrs.index(attr)])
+
+    def as_dict(self):
+        """``{attr: value}`` plus the ``maybe`` flag."""
+        data = {attr: self[attr] for attr in self.attrs}
+        data["maybe"] = self.maybe
+        return data
+
+    def __repr__(self):
+        return "ResultRow(%r%s)" % (
+            {attr: self[attr] for attr in self.attrs},
+            ", maybe" if self.maybe else "",
+        )
+
+
+class ResultSet:
+    """The query table of one run, row-oriented.
+
+    Iterates :class:`ResultRow` objects in table order.  ``.result``
+    keeps the underlying
+    :class:`~repro.processor.executor.ExecutionResult` (stats, reuse
+    summary, every intensional table) for callers that need more than
+    rows.
+    """
+
+    def __init__(self, result):
+        self.result = result
+        self.table = result.query_table
+        self.rows = [
+            ResultRow(self.table.attrs, t) for t in self.table.tuples
+        ]
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    @property
+    def attrs(self):
+        return tuple(self.table.attrs)
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+    def maybe_rows(self):
+        return [row for row in self.rows if row.maybe]
+
+    def to_dicts(self):
+        """The structure-preserving export of the whole query table."""
+        return table_to_dicts(self.table)
+
+    def to_csv(self):
+        return table_to_csv(self.table)
+
+    def __repr__(self):
+        return "ResultSet(%d rows, attrs=%r)" % (len(self.rows), list(self.attrs))
+
+
+class AlogSession:
+    """A mutable builder for one embedded extraction pipeline."""
+
+    def __init__(self, features=None, config=None):
+        self.features = features
+        self.config = config
+        self._tables = {}       # name -> [Document, ...]
+        self._fragments = []    # rule source fragments, in order
+        self._p_predicates = {}
+        self._p_functions = {}
+
+    # -- composition ---------------------------------------------------
+    def table(self, name, documents):
+        """Declare an extensional table from Python documents.
+
+        ``documents`` is a ``{doc_id: html}`` mapping (ingested in
+        sorted doc-id order, for determinism), an iterable of
+        ``(doc_id, html)`` pairs, or an iterable of already-parsed
+        :class:`~repro.text.document.Document` objects.  Declaring the
+        same table again replaces it.  Returns ``self`` for chaining.
+        """
+        self._tables[str(name)] = _documents(documents)
+        return self
+
+    def rule(self, source):
+        """Append one rule fragment (one or more ``.``-terminated rules).
+
+        Fragments concatenate in the order added; nothing is parsed
+        until :meth:`program` / :meth:`run`, so rules may reference
+        predicates defined by later fragments (mutual recursion
+        included).  Returns ``self`` for chaining.
+        """
+        fragment = str(source).strip()
+        if fragment:
+            self._fragments.append(fragment)
+        return self
+
+    def p_predicate(self, name, func, n_inputs, n_outputs, output_types=None):
+        """Register a procedural predicate (a Python callable)."""
+        from repro.xlog.program import PPredicate
+
+        self._p_predicates[name] = PPredicate(
+            name, func, n_inputs, n_outputs, output_types=output_types
+        )
+        return self
+
+    def p_function(self, name, func):
+        """Register a procedural boolean function (a Python callable)."""
+        from repro.xlog.program import PFunction
+
+        self._p_functions[name] = PFunction(name, func)
+        return self
+
+    # -- assembly ------------------------------------------------------
+    def source(self):
+        """The accumulated program source, fragments joined in order."""
+        return "\n".join(self._fragments)
+
+    def corpus(self):
+        """A fresh :class:`~repro.text.corpus.Corpus` of the tables."""
+        from repro.text.corpus import Corpus
+
+        return Corpus({name: list(docs) for name, docs in self._tables.items()})
+
+    def program(self, query=None):
+        """Parse the fragments into a resolved Program."""
+        from repro.xlog.program import Program
+
+        if not self._fragments:
+            raise ValueError("no rules: call session.rule(...) first")
+        return Program.parse(
+            self.source(),
+            extensional=sorted(self._tables),
+            p_predicates=dict(self._p_predicates),
+            p_functions=dict(self._p_functions),
+            query=query,
+        )
+
+    def lint(self, query=None):
+        """The static analyzer's verdict on the assembled program."""
+        from repro.analysis import analyze_program
+
+        return analyze_program(
+            self.program(query=query), registry=self.features, plan=True
+        )
+
+    # -- execution -----------------------------------------------------
+    def run(self, query=None, config=None, **engine_kwargs):
+        """Execute the assembled pipeline; returns a :class:`ResultSet`.
+
+        ``config`` (or the session's) is the usual
+        :class:`~repro.processor.context.ExecConfig`; extra keyword
+        arguments pass through to
+        :class:`~repro.processor.executor.IFlexEngine` (``tracer=``,
+        ``metrics=``, shared stores, ...).
+        """
+        from repro.processor.executor import IFlexEngine
+
+        engine = IFlexEngine(
+            self.program(query=query),
+            self.corpus(),
+            features=self.features,
+            config=config or self.config,
+            **engine_kwargs,
+        )
+        return ResultSet(engine.execute())
+
+    def submit(self, service, query=None, ingest=True):
+        """Host this pipeline on a resident ExtractionService.
+
+        Ingests the session's tables (unless ``ingest=False``) and
+        submits the accumulated source, so ``repro serve`` hosts the
+        same program — recursive rules included.  Procedural predicates
+        and functions cannot cross the service boundary (the service
+        binds its own callables, e.g. ``similar``); registering any
+        makes submission an error rather than a silently different
+        program.  Returns the service's ``(host, resubmitted)`` pair.
+        """
+        if self._p_predicates or self._p_functions:
+            raise ValueError(
+                "procedural predicates/functions do not cross the service "
+                "boundary; submit() supports pure-Alog sessions only"
+            )
+        if ingest:
+            for name in sorted(self._tables):
+                service.ingest(name, self._tables[name])
+        return service.submit_program(
+            self.source(), query=query, tables=sorted(self._tables)
+        )
+
+
+def _documents(documents):
+    """Normalise any supported document collection to ``[Document]``."""
+    from repro.text.document import Document
+    from repro.text.html_parser import parse_html
+
+    if hasattr(documents, "items"):
+        pairs = sorted(documents.items())
+    else:
+        pairs = list(documents)
+    docs = []
+    for item in pairs:
+        if isinstance(item, Document):
+            docs.append(item)
+            continue
+        doc_id, content = item
+        if isinstance(content, Document):
+            docs.append(content)
+        else:
+            docs.append(parse_html(str(doc_id), content))
+    return docs

@@ -246,13 +246,19 @@ class _Scout:
 def check_plan(analyzer, program=None):
     """Run the plan lint; attaches a :class:`PlanReport` to the analyzer.
 
-    Needs a resolvable, compilable, non-recursive program; anything
-    else silently skips — the surface passes already reported why.
+    Needs a resolvable, compilable program whose recursion (if any) is
+    stratified-safe; anything else silently skips — the surface passes
+    already reported why.  Recursive heads are legal: the lint walks
+    the flattened group order, scouting each member's plan once (an
+    in-group scan that has no state yet scouts as a plain value input,
+    which is what a fixpoint iteration sees too).
     """
     from repro.analysis.analyzer import facts_program
 
     facts = analyzer.facts
-    if analyzer.stratification is not None and analyzer.stratification.cycles:
+    if analyzer.stratification is not None and any(
+        not cycle.safe for cycle in analyzer.stratification.cycles
+    ):
         return
     if program is None:
         program = facts_program(facts)
@@ -264,7 +270,13 @@ def check_plan(analyzer, program=None):
         from repro.processor.plan import compile_program
 
         unfolded = unfold_program(program)
-        order = evaluation_order(unfolded)
+        order = [
+            name
+            for group in evaluation_order(
+                unfolded, stratification=analyzer.stratification
+            )
+            for name in group
+        ]
         compiled = compile_program(unfolded)
     except Exception:
         return

@@ -17,9 +17,12 @@ pass classifies it instead, the way a semi-naive evaluator would:
   procedural predicate/function, or IE extraction, where fixpoint
   iteration has no defined semantics.
 
-Either way execution still refuses recursion, but the ``ALOG016``
-message now says *which* kind the program hit and at what stratum;
-``evaluation_order`` raises the same stratum-aware message.
+Stratified-safe components *execute*: the engine's semi-naive fixpoint
+loop (:mod:`repro.processor.executor`) iterates each safe component to
+a fixed point, and this pass reports the cycle as an informational
+``ALOG016`` naming the stratum.  Genuinely unsafe components keep the
+``ALOG016`` error, and ``evaluation_order`` refuses them with the same
+message.
 """
 
 from dataclasses import dataclass, field
@@ -32,6 +35,7 @@ __all__ = [
     "stratify_rules",
     "stratify_program",
     "check_stratification",
+    "tarjan_scc",
 ]
 
 
@@ -57,10 +61,11 @@ class CycleInfo:
         walk = " -> ".join(self.path)
         if self.safe:
             return (
-                "recursive predicate %r: dependency cycle %s cannot be "
-                "evaluated bottom-up; the cycle is stratified-safe "
-                "(stratum %d) but stratified evaluation is not "
-                "implemented yet" % (name, walk, self.stratum)
+                "recursive predicate %r: dependency cycle %s is "
+                "stratified-safe (stratum %d); the engine evaluates the "
+                "component with a semi-naive fixpoint loop, deduplicating "
+                "derived tuples by canonical key"
+                % (name, walk, self.stratum)
             )
         return (
             "recursive predicate %r: dependency cycle %s cannot be "
@@ -139,8 +144,16 @@ def _dependency_graph(rules):
     return deps, sites
 
 
-def _tarjan(deps):
-    """Strongly connected components, dependencies-first."""
+def tarjan_scc(deps):
+    """Strongly connected components of ``{node: {dep, ...}}``.
+
+    Components come out dependencies-first (reverse topological order
+    of the condensation), deterministically: roots and successors are
+    visited in sorted order.  For an acyclic graph this is exactly the
+    depth-first postorder over sorted names, so callers that flatten
+    singleton components recover the historical evaluation order.
+    The executor's ``evaluation_order`` shares this routine.
+    """
     index = {}
     low = {}
     stack = []
@@ -241,7 +254,7 @@ def stratify_rules(rules, kind_of=None):
     """
     rules = tuple(rules)
     deps, sites = _dependency_graph(rules)
-    components = _tarjan(deps)
+    components = tarjan_scc(deps)
     scc_of = {}
     for i, component in enumerate(components):
         for name in component:
@@ -303,12 +316,19 @@ def stratify_program(program):
 # ----------------------------------------------------------------------
 
 def check_stratification(analyzer):
+    from repro.analysis.diagnostics import INFO
+
     facts = analyzer.facts
     info = stratify_rules(facts.rules, facts.atom_kind)
     analyzer.stratification = info
     for cycle in info.cycles:
         rule, atom = _anchor(cycle, info.edge_sites)
-        analyzer.emit("ALOG016", cycle.message, rule=rule, node=atom)
+        # a stratified-safe cycle executes (semi-naive fixpoint), so it
+        # is advisory; only unsafe cycles keep the blocking error
+        severity = INFO if cycle.safe else None
+        analyzer.emit(
+            "ALOG016", cycle.message, rule=rule, node=atom, severity=severity
+        )
 
 
 def _anchor(cycle, edge_sites):

@@ -158,6 +158,16 @@ def build_parser():
             "and always recompute every partition",
         )
         p.add_argument(
+            "--max-fixpoint-iterations",
+            type=_positive_int,
+            default=100,
+            metavar="N",
+            help="semi-naive iteration cap per recursive group (each "
+            "group needs its longest derivation chain plus one proving "
+            "iteration); exceeding it aborts the run with an enriched "
+            "Fixpoint failure under every --on-error policy",
+        )
+        p.add_argument(
             "--on-error",
             choices=("fail-fast", "skip", "retry"),
             default="fail-fast",
@@ -424,6 +434,14 @@ def build_parser():
     serve.add_argument("--no-batch", action="store_true")
     serve.add_argument("--no-incremental", action="store_true")
     serve.add_argument(
+        "--max-fixpoint-iterations",
+        type=_positive_int,
+        default=100,
+        metavar="N",
+        help="semi-naive iteration cap per recursive group of any "
+        "hosted program",
+    )
+    serve.add_argument(
         "--log-level",
         choices=("debug", "info", "warning", "error", "critical"),
         default="info",
@@ -493,6 +511,7 @@ def _exec_config(args):
         partition_timeout=getattr(args, "partition_timeout", None),
         result_cache=getattr(args, "result_cache", None),
         incremental=not getattr(args, "no_incremental", False),
+        max_fixpoint_iterations=getattr(args, "max_fixpoint_iterations", 100),
     )
 
 
@@ -892,6 +911,7 @@ def _cmd_serve(args):
         result_cache=args.result_cache,
         incremental=not args.no_incremental,
         partition_docs=args.partition_docs,
+        max_fixpoint_iterations=args.max_fixpoint_iterations,
     )
     service = ExtractionService(
         corpus=corpus,

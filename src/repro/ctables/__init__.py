@@ -25,6 +25,7 @@ from repro.ctables.export import (
     table_to_dicts,
     table_to_json,
 )
+from repro.ctables.keys import assignment_key, cell_key, table_key, tuple_key
 from repro.ctables.worlds import atable_worlds, compact_worlds
 
 __all__ = [
@@ -38,7 +39,9 @@ __all__ = [
     "Contain",
     "Exact",
     "RESULT_CODEC_VERSION",
+    "assignment_key",
     "atable_to_compact",
+    "cell_key",
     "decode_table",
     "encode_table",
     "atable_worlds",
@@ -47,9 +50,11 @@ __all__ = [
     "compact_worlds",
     "diff_tables",
     "result_to_dict",
+    "table_key",
     "table_to_csv",
     "table_to_dicts",
     "table_to_json",
+    "tuple_key",
     "value_key",
     "value_number",
     "value_text",

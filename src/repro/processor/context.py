@@ -97,6 +97,14 @@ class ExecConfig:
     #: Master switch for the delta execution path; ``False`` ignores
     #: ``result_cache`` entirely (the CLI's ``--no-incremental``).
     incremental: bool = True
+    #: Iteration cap for the semi-naive fixpoint loop over one recursive
+    #: predicate group (the CLI's ``--max-fixpoint-iterations``).  Each
+    #: iteration re-derives deltas for every group member; proving
+    #: convergence costs one final empty iteration, so the cap must
+    #: exceed the longest derivation chain by at least one.  Hitting it
+    #: raises an :class:`~repro.errors.ExecutionFailure` (operator
+    #: ``Fixpoint``) that surfaces under every error policy.
+    max_fixpoint_iterations: int = 100
 
 
 #: Valid ``ExecConfig.on_error`` values.
@@ -151,6 +159,11 @@ class ExecutionStats:
     result_cache_hits: int = 0
     #: persistent-store lookups that missed (absent, stale, or corrupt)
     result_cache_misses: int = 0
+    #: semi-naive fixpoint iterations across all recursive groups
+    #: (including the final empty iteration that proves convergence);
+    #: ticks in the coordinating process only, so the count is
+    #: identical across scheduler backends
+    fixpoint_iterations: int = 0
 
     def merge(self, other):
         for name in vars(other):

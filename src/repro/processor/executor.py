@@ -3,7 +3,11 @@
 :class:`IFlexEngine` evaluates an Alog program over a corpus: it
 unfolds description rules, compiles one plan per intensional predicate,
 executes them bottom-up over compact tables, and returns the query
-predicate's table.
+predicate's table.  Stratified-safe recursive components evaluate as
+*groups*: a semi-naive fixpoint loop iterates the component's rules
+over per-iteration delta tables until no new tuple (by canonical key)
+appears; genuinely unsafe cycles — ψ, IE, or procedural predicates in
+the cycle — are refused with ``ALOG016`` exactly as before.
 
 Cross-iteration **reuse** (section 5.2) is keyed on a per-predicate
 fingerprint.  When a refinement only *adds* domain constraints to a
@@ -76,79 +80,91 @@ def _recursion_error(message, rule=None, node=None):
     return error
 
 
-def _cycle_message(program, name, fallback):
-    """The stratify pass's classification of ``name``'s cycle, or ``fallback``.
+def _stratification_for(program):
+    """The stratify pass's view of ``program``, or ``None``.
 
-    Stratified-safe recursion gets a message saying so (and naming the
-    stratum); genuinely unsafe recursion gets the reason.  Any analysis
-    failure falls back to the plain refusal.
+    Used only when the caller has no analyzer result to hand (the
+    validating engine passes its lint result's stratification instead of
+    re-analyzing).  An analysis failure is logged at debug level and
+    degrades to ``None`` — the ordering then refuses the cycle with the
+    plain fallback message rather than masking the original error.
     """
     try:
         from repro.analysis.stratify import stratify_program
 
-        info = stratify_program(program)
-        cycle = info.cycle_for(name)
-        if cycle is not None:
-            return cycle.message
+        return stratify_program(program)
     except Exception:
-        pass
-    return fallback
+        logger.debug("stratification analysis failed", exc_info=True)
+        return None
 
 
-def evaluation_order(program):
-    """Topological order of the intensional predicates.
+def _group_anchor(names, sites):
+    """The first in-group dependency edge site, for diagnostics."""
+    for head in names:
+        for dep in names:
+            site = sites.get((head, dep))
+            if site is not None:
+                return site
+    return None, None
 
-    The bottom-up evaluator computes each predicate exactly once, so a
-    recursive program cannot be ordered; recursion raises
-    :class:`EvaluationError` through an ``ALOG016`` diagnostic anchored
-    at the offending rule (the analyzer's recursion pass reports the
-    same code pre-execution).
+
+def evaluation_order(program, stratification=None):
+    """Bottom-up evaluation order: a list of predicate *groups*.
+
+    Each group is a sorted tuple of intensional predicate names that
+    evaluate together.  Non-recursive predicates form singleton groups
+    and are computed exactly once; a recursive strongly connected
+    component becomes one multi-member (or self-recursive singleton)
+    group, which the engine iterates to fixpoint with its semi-naive
+    loop.  Groups come out dependencies-first — for an acyclic program
+    the flattened order is identical to the historical depth-first
+    postorder.
+
+    Only *stratified-safe* recursion is ordered.  A cycle through a ψ
+    annotation, IE extraction, or a procedural predicate has no fixpoint
+    semantics and raises :class:`EvaluationError` through the same
+    ``ALOG016`` diagnostic the analyzer reports pre-execution.
+
+    ``stratification`` is the caller's already-computed analysis of the
+    *original* program (unfolding erases IE atoms, so classifying the
+    unfolded rules would mistake an IE cycle for plain relational
+    recursion); ``None`` computes one here over the program as given.
+    Visited bookkeeping is all hash-based (Tarjan index maps), so
+    ordering is linear in the dependency graph.
     """
+    from repro.analysis.stratify import tarjan_scc
+
     deps = {}
-    sites = {}  # name -> (rule, atom) that introduced the first dep edge
+    sites = {}  # (head, dep) -> (rule, atom) of the first such edge
     for rule in program.skeleton_rules:
         deps.setdefault(rule.head.name, set())
         for atom in rule.body_atoms(PredicateAtom):
-            if atom.name == rule.head.name:
+            if atom.name in program.intensional:
+                deps[rule.head.name].add(atom.name)
+                sites.setdefault((rule.head.name, atom.name), (rule, atom))
+    info = stratification
+    info_resolved = stratification is not None
+    order = []
+    for component in tarjan_scc(deps):
+        names = tuple(sorted(component))
+        recursive = len(names) > 1 or names[0] in deps.get(names[0], ())
+        if recursive:
+            if not info_resolved:
+                info = _stratification_for(program)
+                info_resolved = True
+            cycle = info.cycle_for(names[0]) if info is not None else None
+            rule, atom = _group_anchor(names, sites)
+            if cycle is None:
                 raise _recursion_error(
-                    _cycle_message(
-                        program,
-                        atom.name,
-                        "recursive predicate %r: rule body refers to its "
-                        "own head" % (atom.name,),
-                    ),
+                    "recursive predicate %r: dependency cycle cannot be "
+                    "evaluated bottom-up (stratification analysis "
+                    "unavailable)" % (names[0],),
                     rule=rule,
                     node=atom,
                 )
-            if atom.name in program.intensional:
-                deps[rule.head.name].add(atom.name)
-                sites.setdefault(rule.head.name, (rule, atom))
-    order = []
-    visiting = set()
-
-    def visit(name):
-        if name in order:
-            return
-        if name in visiting:
-            rule, atom = sites.get(name, (None, None))
-            raise _recursion_error(
-                _cycle_message(
-                    program,
-                    name,
-                    "recursive predicate %r: dependency cycle cannot be "
-                    "evaluated bottom-up" % (name,),
-                ),
-                rule=rule,
-                node=atom,
-            )
-        visiting.add(name)
-        for dep in sorted(deps.get(name, ())):
-            visit(dep)
-        visiting.discard(name)
-        order.append(name)
-
-    for name in sorted(deps):
-        visit(name)
+            if not cycle.safe:
+                raise _recursion_error(cycle.message, rule=rule, node=atom)
+        order.append(names)
     return order
 
 
@@ -398,7 +414,22 @@ class IFlexEngine:
         if validate:
             self.lint_result = self._validate()
         self.unfolded = unfold_program(program)
-        self.order = evaluation_order(self.unfolded)
+        # recursion safety is classified on the *original* program (the
+        # unfolded one has IE atoms inlined away); reuse the analyzer's
+        # stratification when validation ran instead of re-analyzing
+        stratification = getattr(self.lint_result, "stratification", None)
+        if stratification is None:
+            stratification = _stratification_for(program)
+        self.order = evaluation_order(
+            self.unfolded, stratification=stratification
+        )
+        #: the groups the semi-naive fixpoint loop evaluates (multi-member
+        #: components plus self-recursive singletons)
+        self.recursive_groups = frozenset(
+            group
+            for group in self.order
+            if len(group) > 1 or self._self_recursive(group[0])
+        )
         #: documents quarantined by the error policy; the *active*
         #: corpus (what executions actually see) excludes them
         self.excluded_docs = set()
@@ -519,21 +550,39 @@ class IFlexEngine:
             tracer=self.tracer,
         )
 
+    def _self_recursive(self, name):
+        """Does any of ``name``'s rules reference ``name`` in its body?"""
+        return any(
+            atom.name == name
+            for rule in self.unfolded.rules_for(name)
+            for atom in rule.body_atoms(PredicateAtom)
+        )
+
     def _persistable_predicates(self):
-        """``{name: bool}`` — which predicates may persist to disk."""
+        """``{name: bool}`` — which predicates may persist to disk.
+
+        A recursive group shares one verdict: its members derive from
+        each other, so if any member touches procedural code the whole
+        group must stay off disk.
+        """
         procedural = set(self.unfolded.p_predicates) | set(
             self.unfolded.p_functions
         )
         persistable = {}
-        for name in self.order:
+        for group in self.order:
             clean = True
-            for rule in self.unfolded.rules_for(name):
-                for atom in rule.body_atoms(PredicateAtom):
-                    if atom.name in procedural:
-                        clean = False
-                    elif atom.name in self.unfolded.intensional:
-                        clean = clean and persistable.get(atom.name, True)
-            persistable[name] = clean
+            for name in group:
+                for rule in self.unfolded.rules_for(name):
+                    for atom in rule.body_atoms(PredicateAtom):
+                        if atom.name in procedural:
+                            clean = False
+                        elif (
+                            atom.name in self.unfolded.intensional
+                            and atom.name not in group
+                        ):
+                            clean = clean and persistable.get(atom.name, True)
+            for name in group:
+                persistable[name] = clean
         return persistable
 
     def _docs_by_id(self):
@@ -631,7 +680,11 @@ class IFlexEngine:
         context = self._context()
         tokens = {}
         reuse_summary = {}
-        for name in self.order:
+        for group in self.order:
+            if group in self.recursive_groups:
+                self._execute_fixpoint(group, context, cache, tokens, reuse_summary)
+                continue
+            name = group[0]
             fingerprint = self._fingerprint(name, tokens)
             table = None
             kind = None
@@ -719,6 +772,229 @@ class IFlexEngine:
         if self.physical is not None:
             return self.physical.execute_plan(name, context)
         return compile_predicate(name, self.unfolded).execute(context)
+
+    # -- semi-naive fixpoint over recursive groups ---------------------
+
+    def _group_tokens(self, group, tokens):
+        """Content-addressed reuse tokens for one recursive group.
+
+        A predicate's fingerprint normally embeds the tokens of its
+        upstream intensionals, which is circular inside a recursive
+        component.  The group digest breaks the cycle: one SHA-256 over
+        every member's split rules, the tokens of all out-of-group
+        upstream intensionals, and the corpus content signature; each
+        member's token is that digest salted with its own name, so the
+        per-member fingerprints (and the persistent store keys derived
+        from them) stay process-stable.
+        """
+        import hashlib
+
+        payload = []
+        upstream = set()
+        for member in group:
+            for rule in self.unfolded.rules_for(member):
+                base, cons = _split_rule(rule)
+                payload.append((member, base, cons))
+                for atom in rule.body_atoms(PredicateAtom):
+                    if (
+                        atom.name in self.unfolded.intensional
+                        and atom.name not in group
+                    ):
+                        upstream.add((atom.name, tokens.get(atom.name)))
+        digest = hashlib.sha256(
+            repr(
+                (
+                    tuple(payload),
+                    tuple(sorted(upstream)),
+                    ("content", self._active.content_digest),
+                )
+            ).encode("utf-8")
+        ).hexdigest()
+        for member in group:
+            tokens[member] = hashlib.sha256(
+                ("%s:%s" % (digest, member)).encode("utf-8")
+            ).hexdigest()[:24]
+
+    def _execute_fixpoint(self, group, context, cache, tokens, reuse_summary):
+        """Evaluate one recursive group, against the caches first.
+
+        Fixpoint results reuse only wholesale: the members of a
+        component derive from each other, so either every member's table
+        comes back (memory or store) under its current fingerprint, or
+        the whole group recomputes.  The constraints-commute incremental
+        path deliberately does not apply — a constraint added to a
+        recursive rule changes which tuples *feed back*, not merely
+        which survive a final filter.  Returns ``(kind, iterations)``
+        (iterations is ``None`` on a cache hit).
+        """
+        self._group_tokens(group, tokens)
+        fingerprints = {m: self._fingerprint(m, tokens) for m in group}
+        label = "+".join(group)
+        with self._span("fixpoint:%s" % label, "plan", predicates=label):
+            tables = None
+            iterations = None
+            if cache is not None:
+                tables = self._fixpoint_reuse(group, fingerprints, cache, context)
+            if tables is not None:
+                kind = "full"
+            else:
+                kind = "computed"
+                tables, iterations = self._run_fixpoint(group, context)
+        for member in group:
+            reuse_summary[member] = kind
+            context.relations[member] = tables[member]
+            if cache is not None:
+                if kind == "full":
+                    cache.full_hits += 1
+                else:
+                    cache.misses += 1
+                cache.put(member, fingerprints[member], tables[member])
+                if (
+                    kind == "computed"
+                    and cache.store is not None
+                    and self._persistable[member]
+                ):
+                    cache.store.save(fingerprints[member].token, tables[member])
+            logger.debug(
+                "%s: %d tuples, %d assignments (%s, fixpoint group %s)",
+                member,
+                tables[member].tuple_count(),
+                tables[member].assignment_count(),
+                kind,
+                label,
+            )
+        return kind, iterations
+
+    def _fixpoint_reuse(self, group, fingerprints, cache, context):
+        """Hydrate a whole recursive group from the caches, or ``None``."""
+        tables = {}
+        for member in group:
+            fingerprint = fingerprints[member]
+            entry = cache.get(member)
+            if entry is not None and entry.fingerprint.token == fingerprint.token:
+                tables[member] = entry.table
+                continue
+            if cache.store is not None and self._persistable[member]:
+                table = self._store_load(cache, context, fingerprint)
+                if table is not None:
+                    tables[member] = table
+                    continue
+            return None
+        return tables
+
+    def _run_fixpoint(self, group, context):
+        """The semi-naive loop: iterate one recursive group to fixpoint.
+
+        Iteration 1 evaluates every rule against empty group relations
+        (recursive rules contribute nothing; base rules seed the
+        totals).  Later iterations evaluate only rules that can derive
+        something new: a rule with exactly one in-group atom runs with
+        that relation bound to the previous iteration's *delta*
+        (semi-naive — every new derivation must use a new tuple there),
+        a rule with several in-group atoms re-runs naively whenever any
+        of its inputs grew, and base rules never re-run.  Derived tuples
+        deduplicate against everything already seen by canonical tuple
+        key (:func:`repro.ctables.keys.tuple_key`) — the fixed-point
+        test is "this iteration's delta is empty", i.e. the canonical
+        table key stopped changing.  Updates install Jacobi-style, after
+        the whole iteration, so results never depend on member order;
+        iteration over members and tuples follows deterministic list
+        order, which is what keeps results byte-identical across
+        scheduler backends (the loop runs in the coordinating process on
+        every backend — recursive plans scan intensional tables, so they
+        are never document-local).
+
+        Returns ``({member: table}, iterations)`` or raises an
+        :class:`~repro.errors.ExecutionFailure` (operator ``Fixpoint``,
+        no document attribution, so every error policy surfaces it) when
+        ``config.max_fixpoint_iterations`` is reached while deltas are
+        still non-empty.
+        """
+        from repro.ctables.ctable import CompactTable
+        from repro.ctables.keys import tuple_key
+        from repro.processor.plan import compile_rule
+
+        group_set = set(group)
+        plans = {}
+        attrs = {}
+        for member in group:
+            rule_plans = []
+            for rule in self.unfolded.rules_for(member):
+                plan = compile_rule(rule, self.unfolded)
+                targets = tuple(
+                    atom.name
+                    for atom in rule.body_atoms(PredicateAtom)
+                    if atom.name in group_set
+                )
+                rule_plans.append((plan, targets))
+            plans[member] = rule_plans
+            attrs[member] = rule_plans[0][0].attrs
+        totals = {m: CompactTable(attrs[m]) for m in group}
+        deltas = dict(totals)
+        seen = {m: set() for m in group}
+        for member in group:
+            context.relations[member] = totals[member]
+        limit = max(1, int(getattr(self.config, "max_fixpoint_iterations", 100)))
+        iterations = 0
+        while True:
+            iterations += 1
+            context.stats.fixpoint_iterations += 1
+            fresh = {}
+            for member in group:
+                new_table = CompactTable(attrs[member])
+                for plan, targets in plans[member]:
+                    if iterations == 1:
+                        produced = plan.execute(context)
+                    elif not targets:
+                        continue  # base rule: already accumulated
+                    elif all(not deltas[t].tuples for t in set(targets)):
+                        continue  # no input grew: nothing new derivable
+                    elif len(targets) == 1:
+                        produced = self._with_relation(
+                            context, targets[0], deltas[targets[0]], plan
+                        )
+                    else:
+                        produced = plan.execute(context)
+                    for tup in produced.tuples:
+                        key = tuple_key(tup)
+                        if key in seen[member]:
+                            continue
+                        seen[member].add(key)
+                        new_table.add(tup)
+                fresh[member] = new_table
+            # Jacobi update: every rule above ran against the previous
+            # totals/deltas; install the new deltas only once the whole
+            # iteration is done (Gauss-Seidel would make results depend
+            # on member order within the group)
+            converged = all(not fresh[m].tuples for m in group)
+            for member in group:
+                deltas[member] = fresh[member]
+                if fresh[member].tuples:
+                    totals[member] = CompactTable.union(
+                        [totals[member], fresh[member]], attrs=attrs[member]
+                    )
+                    context.relations[member] = totals[member]
+            if converged:
+                return totals, iterations
+            if iterations >= limit:
+                growing = [m for m in group if fresh[m].tuples]
+                raise ExecutionFailure(
+                    "recursive group (%s) did not reach a fixpoint within "
+                    "%d iteration(s) (max_fixpoint_iterations); still "
+                    "deriving new tuples for: %s"
+                    % (", ".join(group), limit, ", ".join(growing)),
+                    operator="Fixpoint",
+                    predicate=",".join(group),
+                )
+
+    def _with_relation(self, context, name, table, plan):
+        """Execute ``plan`` with one relation temporarily rebound."""
+        saved = context.relations[name]
+        context.relations[name] = table
+        try:
+            return plan.execute(context)
+        finally:
+            context.relations[name] = saved
 
     def _execute_partitioned(self, name, context, cache):
         """A fully document-local predicate with a partition-keyed cache.
@@ -836,9 +1112,17 @@ class IFlexEngine:
     def explain(self):
         """The compiled plan for every predicate, as text."""
         parts = []
-        for name in self.order:
-            plan = compile_predicate(name, self.unfolded)
-            parts.append("%s:\n%s" % (name, plan.explain(1)))
+        for group in self.order:
+            recursive = group in self.recursive_groups
+            for name in group:
+                plan = compile_predicate(name, self.unfolded)
+                header = (
+                    "%s (semi-naive fixpoint group: %s)"
+                    % (name, " + ".join(group))
+                    if recursive
+                    else name
+                )
+                parts.append("%s:\n%s" % (header, plan.explain(1)))
         return "\n".join(parts)
 
     def explain_analyze(self):
@@ -889,7 +1173,24 @@ class IFlexEngine:
         context = self._context()
         tokens = {}
         reports = []
-        for name in self.order:
+        for group in self.order:
+            if group in self.recursive_groups:
+                kind, iterations = self._execute_fixpoint(
+                    group, context, cache, tokens, {}
+                )
+                label = " + ".join(group)
+                if kind == "full":
+                    reports.append(
+                        "%s: recursive group reused from the result cache"
+                        % label
+                    )
+                else:
+                    reports.append(
+                        "%s: recursive group evaluated semi-naively to "
+                        "fixpoint in %d iteration(s)" % (label, iterations)
+                    )
+                continue
+            name = group[0]
             with self._span("predicate:%s" % name, "plan", predicate=name):
                 fingerprint = (
                     self._fingerprint(name, tokens) if cache is not None else None
@@ -1001,7 +1302,10 @@ class IFlexEngine:
             constraints.append(cons)
             for atom in rule.body_atoms(PredicateAtom):
                 if atom.name in self.unfolded.intensional:
-                    upstream.append((atom.name, tokens[atom.name]))
+                    # every upstream token is set by evaluation order;
+                    # .get only matters on cacheless explain paths where
+                    # the fingerprint is never consulted
+                    upstream.append((atom.name, tokens.get(atom.name)))
         return _Fingerprint(
             bases=tuple(bases),
             constraints=tuple(constraints),

@@ -8,7 +8,9 @@ a shared-token index, our stand-in for the approximate-string-join
 optimisation of the paper's full version.
 """
 
+import itertools
 import re
+import threading
 
 from repro.ctables.assignments import value_text
 
@@ -23,26 +25,45 @@ _STOPWORDS = frozenset(
 
 _TOKEN_CACHE = {}
 _TOKEN_CACHE_MAX = 500_000
+#: guards every read and write of ``_TOKEN_CACHE``: the threaded
+#: service (ThreadingWSGIServer) runs similarity joins concurrently,
+#: and an unguarded resize during iteration would raise (or lose
+#: entries) under free-threaded builds
+_TOKEN_CACHE_LOCK = threading.Lock()
+
+
+def _evict_oldest(cache, keep):
+    """Drop the oldest entries (dict insertion order) down to ``keep``."""
+    for key in list(itertools.islice(iter(cache), max(0, len(cache) - keep))):
+        del cache[key]
 
 
 def token_set(value, drop_stopwords=True):
     """Lower-cased alphanumeric tokens of a value's text (memoised).
 
-    Similarity joins call this millions of times on the same spans;
-    the cache keys on the value's canonical key.
+    Similarity joins call this millions of times on the same spans; the
+    cache keys on the value's canonical key.  The cache is bounded: at
+    ``_TOKEN_CACHE_MAX`` entries the oldest half is evicted (insertion
+    order approximates recency well enough here — spans of one
+    execution cluster together), rather than dropping the whole cache.
+    Get and set are race-safe; the tokenisation itself runs unlocked,
+    so a concurrent duplicate computation costs time, never correctness
+    (both threads produce equal frozensets).
     """
     from repro.ctables.assignments import value_key
 
     cache_key = (value_key(value), drop_stopwords)
-    cached = _TOKEN_CACHE.get(cache_key)
+    with _TOKEN_CACHE_LOCK:
+        cached = _TOKEN_CACHE.get(cache_key)
     if cached is not None:
         return cached
     tokens = frozenset(t.lower() for t in _WORD_RE.findall(value_text(value)))
     if drop_stopwords:
         tokens = frozenset(t for t in tokens if t not in _STOPWORDS) or tokens
-    if len(_TOKEN_CACHE) >= _TOKEN_CACHE_MAX:
-        _TOKEN_CACHE.clear()
-    _TOKEN_CACHE[cache_key] = tokens
+    with _TOKEN_CACHE_LOCK:
+        if len(_TOKEN_CACHE) >= _TOKEN_CACHE_MAX:
+            _evict_oldest(_TOKEN_CACHE, _TOKEN_CACHE_MAX // 2)
+        _TOKEN_CACHE[cache_key] = tokens
     return tokens
 
 

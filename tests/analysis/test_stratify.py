@@ -1,11 +1,10 @@
 """Stratification: SCC-based recursion classification (ALOG016).
 
-The stratify pass replaced the blanket recursion rejection: cycles are
-classified stratified-safe (plain relational recursion) or genuinely
-unsafe (through ψ, IE extraction, or procedures), strata are exposed on
-the analysis result, and execution still refuses both flavors with the
-stratum-aware message.
-"""
+The stratify pass classifies cycles stratified-safe (plain relational
+recursion — evaluated by the engine's semi-naive fixpoint loop and
+reported as an *informational* ALOG016) or genuinely unsafe (through ψ,
+IE extraction, or procedures — still an ALOG016 error, and execution
+refuses them with the stratum-aware message)."""
 
 import pytest
 
@@ -17,7 +16,7 @@ from repro.xlog.program import Program
 STRATIFIED_SAFE = """
 q(t) :- docs(d), reach(t).
 reach(t) :- base(t).
-reach(t) :- reach(t), base(t).
+reach(t) :- reach(s), base(t), s = t.
 base(t) :- docs(d), title(@d, t).
 title(@d, t) :- from(@d, t), bold_font(t) = yes.
 """
@@ -56,28 +55,31 @@ class TestStrataArtifact:
 
 
 class TestStratifiedSafe:
-    def test_safe_cycle_is_classified_and_still_an_error(self):
+    def test_safe_cycle_is_classified_as_an_info(self):
         result = lint(STRATIFIED_SAFE)
         info = result.stratification
         cycle = info.cycle_for("reach")
         assert cycle is not None and cycle.safe
         assert cycle.stratum == 2
         assert info.strata[2] == ("reach",)
-        # execution is still refused: ALOG016 stays an error
+        # safe recursion executes: ALOG016 is advisory, not blocking
         found = [d for d in result.diagnostics if d.code == "ALOG016"]
         assert len(found) == 1
-        assert not result.ok
+        assert found[0].severity == "info"
+        assert result.ok
         assert "stratified-safe (stratum 2)" in found[0].message
-        assert "not implemented yet" in found[0].message
+        assert "semi-naive fixpoint" in found[0].message
 
-    def test_evaluation_order_refuses_with_the_stratum_aware_message(self):
+    def test_evaluation_order_returns_the_recursive_group(self):
         program = Program.parse(
             STRATIFIED_SAFE, extensional=["docs"], query="q"
         )
-        with pytest.raises(EvaluationError) as err:
-            evaluation_order(program)
-        assert "stratified-safe" in str(err.value)
-        assert err.value.diagnostic.code == "ALOG016"
+        order = evaluation_order(program)
+        assert ("reach",) in order
+        # dependencies first: base before the recursive group, the
+        # query last
+        assert order.index(("base",)) < order.index(("reach",))
+        assert order.index(("reach",)) < order.index(("q",))
 
 
 class TestUnsafeCycles:
@@ -123,7 +125,11 @@ class TestUnsafeCycles:
         assert "cannot be stratified" in str(err.value)
 
 
-class TestPlanLintSkipsRecursion:
-    def test_recursive_programs_get_no_plan_report(self):
+class TestPlanLintAndRecursion:
+    def test_safe_recursion_gets_a_plan_report(self):
         result = lint(STRATIFIED_SAFE, plan=True)
+        assert result.plan_report is not None
+
+    def test_unsafe_recursion_still_skips_the_plan_lint(self):
+        result = lint(UNSAFE_PSI, plan=True)
         assert result.plan_report is None

@@ -21,7 +21,7 @@ class TestEvaluationOrder:
             query="c",
         )
         order = evaluation_order(program)
-        assert order.index("a") < order.index("b") < order.index("c")
+        assert order.index(("a",)) < order.index(("b",)) < order.index(("c",))
 
 
 class TestPaperPipeline:

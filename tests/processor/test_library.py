@@ -1,5 +1,8 @@
 """Built-in p-function library tests."""
 
+import threading
+
+import repro.processor.library as library
 from repro.processor.library import jaccard, make_similar, token_set
 from repro.text.document import Document
 from repro.text.span import doc_span
@@ -28,6 +31,65 @@ class TestTokenSet:
     def test_memoised(self):
         span = span_of("memo target")
         assert token_set(span) is token_set(span)
+
+
+class TestTokenCacheBounds:
+    def run_with_cap(self, cap, body):
+        saved_cache = dict(library._TOKEN_CACHE)
+        saved_max = library._TOKEN_CACHE_MAX
+        library._TOKEN_CACHE.clear()
+        library._TOKEN_CACHE_MAX = cap
+        try:
+            return body()
+        finally:
+            library._TOKEN_CACHE_MAX = saved_max
+            library._TOKEN_CACHE.clear()
+            library._TOKEN_CACHE.update(saved_cache)
+
+    def test_cache_never_exceeds_the_cap(self):
+        def body():
+            for i in range(25):
+                token_set("value %d" % i)
+            assert len(library._TOKEN_CACHE) <= 8
+
+        self.run_with_cap(8, body)
+
+    def test_eviction_drops_the_oldest_half_not_everything(self):
+        def body():
+            for i in range(8):
+                token_set("value %d" % i)
+            token_set("overflow value")  # trips eviction to cap // 2
+            assert 0 < len(library._TOKEN_CACHE) <= 5
+            # the newest entry survives the sweep
+            keys = list(library._TOKEN_CACHE)
+            assert any("overflow" in repr(k) for k in keys)
+
+        self.run_with_cap(8, body)
+
+    def test_concurrent_lookups_are_race_safe(self):
+        def body():
+            errors = []
+
+            def worker(seed):
+                try:
+                    for i in range(200):
+                        tokens = token_set("value %d" % ((seed * 7 + i) % 40))
+                        assert tokens
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(seed,))
+                for seed in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(library._TOKEN_CACHE) <= 16
+
+        self.run_with_cap(16, body)
 
 
 class TestJaccard:

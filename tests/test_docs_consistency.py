@@ -172,6 +172,43 @@ class TestDesignIndexTargets:
             assert (root / "examples" / target).exists(), target
 
 
+class TestEmbeddingDocs:
+    def test_exported_api_names_are_documented(self):
+        import repro.alog.embed as embed
+
+        text = (DOCS / "embedding.md").read_text(encoding="utf-8")
+        for name in embed.__all__:
+            assert name in text, (
+                "embed export %s missing from docs/embedding.md" % name
+            )
+
+    def test_documented_methods_exist(self):
+        from repro.alog import AlogSession, ResultRow, ResultSet
+
+        text = (DOCS / "embedding.md").read_text(encoding="utf-8")
+        documented = set(
+            re.findall(r"`([a-z_]+)\(", text)
+        ) - {"len"}  # builtins aside
+        assert {"table", "rule", "run", "submit"} <= documented
+        for name in documented:
+            assert any(
+                hasattr(owner, name)
+                for owner in (AlogSession, ResultSet, ResultRow)
+            ), "docs/embedding.md documents unknown method %s" % name
+
+    def test_documented_row_and_set_members_exist(self):
+        from repro.alog import ResultRow, ResultSet
+
+        text = (DOCS / "embedding.md").read_text(encoding="utf-8")
+        for owner, members in (
+            (ResultSet, ("attrs", "stats", "maybe_rows", "to_dicts", "to_csv")),
+            (ResultRow, ("maybe", "value", "cell", "as_dict")),
+        ):
+            for member in members:
+                assert member in text, member
+                assert hasattr(owner, member), member
+
+
 class TestServiceDocs:
     def test_documented_routes_exist(self):
         """Every route row in docs/service.md matches a real ServiceApp
